@@ -1,0 +1,85 @@
+// Ablation — N_start policy: how much does the category-aware, history- and
+// hint-informed start point (Sec. V-B1) save over naive starts? Measured as
+// profiling steps to convergence and utilization lost during profiling,
+// per model, against the analytic ground truth.
+#include <iostream>
+
+#include "bench_common.h"
+#include "coda/allocator.h"
+#include "perfmodel/train_perf.h"
+
+using namespace coda;
+using perfmodel::TrainPerf;
+
+namespace {
+
+struct SessionCost {
+  int steps = 0;
+  int final_cores = 0;
+  double util_lost = 0.0;  // sum over steps of (best util - step util)
+};
+
+SessionCost run_from(core::AdaptiveCpuAllocator& allocator,
+                     const workload::JobSpec& spec, int start,
+                     const TrainPerf& perf) {
+  const int opt = perf.optimal_cores(spec.model, spec.train_config);
+  const double best = perf.gpu_utilization(spec.model, spec.train_config, opt);
+  allocator.begin(spec.id, spec, start);
+  int cores = start;
+  SessionCost cost;
+  while (!allocator.converged(spec.id)) {
+    const double util =
+        perf.gpu_utilization(spec.model, spec.train_config, cores);
+    cost.util_lost += best - util;
+    auto next = allocator.step(spec.id, util);
+    if (!next.has_value()) {
+      break;
+    }
+    cores = *next;
+  }
+  cost.steps = allocator.profile_steps(spec.id);
+  cost.final_cores = allocator.current_cores(spec.id);
+  allocator.cancel(spec.id);
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation", "N_start policy: informed vs naive starts");
+  TrainPerf perf;
+  util::Table table("N_start ablation (1N4G, cold cluster)");
+  table.set_header({"model", "opt", "informed start", "steps", "naive(1)",
+                    "steps", "naive(26)", "steps", "util-loss informed",
+                    "util-loss naive(1)"});
+  double informed_steps = 0;
+  double naive_steps = 0;
+  for (perfmodel::ModelId m : perfmodel::kAllModels) {
+    workload::JobSpec spec;
+    spec.id = 1;
+    spec.kind = workload::JobKind::kGpuTraining;
+    spec.model = m;
+    spec.train_config = perfmodel::config_1n4g();
+    core::HistoryLog history;
+    core::AdaptiveCpuAllocator allocator(core::AllocatorConfig{}, &history);
+
+    const int informed = allocator.start_cores(spec);
+    const auto a = run_from(allocator, spec, informed, perf);
+    const auto b = run_from(allocator, spec, 1, perf);
+    const auto c = run_from(allocator, spec, 26, perf);
+    informed_steps += a.steps;
+    naive_steps += b.steps;
+    table.add_row({perfmodel::to_string(m),
+                   std::to_string(perf.optimal_cores(m, spec.train_config)),
+                   std::to_string(informed), std::to_string(a.steps),
+                   std::to_string(b.final_cores), std::to_string(b.steps),
+                   std::to_string(c.final_cores), std::to_string(c.steps),
+                   bench::num(a.util_lost, 2), bench::num(b.util_lost, 2)});
+  }
+  table.add_note(util::strfmt(
+      "mean steps: informed %.1f vs naive-from-1 %.1f — the Sec. V-B1 "
+      "start rules are what keep Table II at 3-4 steps",
+      informed_steps / 8.0, naive_steps / 8.0));
+  table.print(std::cout);
+  return 0;
+}

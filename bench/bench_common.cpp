@@ -1,0 +1,47 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <map>
+
+namespace coda::bench {
+
+const std::vector<workload::JobSpec>& standard_trace() {
+  static const std::vector<workload::JobSpec> kTrace =
+      workload::TraceGenerator(sim::standard_week_trace()).generate();
+  return kTrace;
+}
+
+const sim::ExperimentReport& standard_report(sim::Policy policy) {
+  static std::map<sim::Policy, sim::ExperimentReport> cache;
+  auto it = cache.find(policy);
+  if (it == cache.end()) {
+    it = cache.emplace(policy,
+                       sim::run_experiment(policy, standard_trace()))
+             .first;
+  }
+  return it->second;
+}
+
+sim::ExperimentReport run_standard(sim::Policy policy,
+                                   const sim::ExperimentConfig& config) {
+  return sim::run_experiment(policy, standard_trace(), config);
+}
+
+double fraction_at_most(const std::vector<double>& values, double limit) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t n = 0;
+  for (double v : values) {
+    n += v <= limit ? 1 : 0;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+void print_banner(const std::string& experiment_id,
+                  const std::string& description) {
+  std::printf("#\n# CODA reproduction | %s\n# %s\n#\n", experiment_id.c_str(),
+              description.c_str());
+}
+
+}  // namespace coda::bench

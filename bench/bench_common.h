@@ -1,0 +1,49 @@
+// Shared support for the benchmark binaries that regenerate the paper's
+// tables and figures. Every binary prints util::Table blocks with our
+// measured values next to the paper's published numbers so the shape
+// comparison is immediate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace coda::bench {
+
+// The standard evaluation trace (one week, paper-calibrated marginals),
+// generated once per process.
+const std::vector<workload::JobSpec>& standard_trace();
+
+// Replays the standard trace under `policy` (cached per policy within the
+// process so benches can share runs).
+const sim::ExperimentReport& standard_report(sim::Policy policy);
+
+// Runs the standard trace with a custom experiment config (not cached).
+sim::ExperimentReport run_standard(sim::Policy policy,
+                                   const sim::ExperimentConfig& config);
+
+// Fraction of `values` less than or equal to `limit`.
+double fraction_at_most(const std::vector<double>& values, double limit);
+
+// "62.1%"-style cell.
+inline std::string pct(double fraction) {
+  return util::format_percent(fraction);
+}
+// "3.2s"/"14m06s"-style cell.
+inline std::string dur(double seconds) {
+  return util::format_duration(seconds);
+}
+inline std::string num(double v, int decimals = 2) {
+  return util::strfmt("%.*f", decimals, v);
+}
+
+// Prints a standard header naming the experiment and the paper artifact it
+// reproduces.
+void print_banner(const std::string& experiment_id,
+                  const std::string& description);
+
+}  // namespace coda::bench

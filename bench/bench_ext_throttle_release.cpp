@@ -1,0 +1,68 @@
+// Extension bench — throttle release ("future work" beyond the paper: its
+// eliminator throttles are permanent for a CPU job's lifetime). With
+// release_when_calm, MBA caps come off and halved cores are restored once a
+// node's bandwidth pressure subsides, guarded against throttle/release
+// oscillation. This bench quantifies what permanent throttling costs the
+// CPU jobs and what release gives back, on a 5%-bandwidth-heavy trace.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace coda;
+
+namespace {
+
+double mean_processing(const sim::ExperimentReport& report, bool gpu) {
+  util::RunningStats s;
+  for (const auto& record : report.records) {
+    if (record.spec.is_gpu_job() == gpu && record.completed) {
+      s.add(record.finish_time - record.first_start_time);
+    }
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension",
+                      "eliminator throttle release (beyond the paper)");
+  auto trace_cfg = sim::standard_week_trace();
+  trace_cfg.heavy_bw_cpu_fraction = 0.05;
+  const auto trace = workload::TraceGenerator(trace_cfg).generate();
+
+  util::Table table("throttle-release extension (5% bandwidth-heavy CPU "
+                    "jobs)");
+  table.set_header({"configuration", "gpu util", "mean gpu proc",
+                    "mean cpu proc", "throttles", "releases"});
+  for (int mode = 0; mode < 3; ++mode) {
+    sim::ExperimentConfig cfg;
+    std::string label;
+    switch (mode) {
+      case 0:
+        cfg.coda.eliminator.enabled = false;
+        label = "eliminator off";
+        break;
+      case 1:
+        label = "paper: permanent throttles";
+        break;
+      case 2:
+        cfg.coda.eliminator.release_when_calm = true;
+        label = "extension: release when calm";
+        break;
+    }
+    const auto report = sim::run_experiment(sim::Policy::kCoda, trace, cfg);
+    table.add_row(
+        {label, bench::pct(report.gpu_util_active),
+         bench::dur(mean_processing(report, true)),
+         bench::dur(mean_processing(report, false)),
+         util::strfmt("%d/%d", report.eliminator_stats.mba_throttles,
+                      report.eliminator_stats.core_halvings),
+         std::to_string(report.eliminator_stats.releases)});
+  }
+  table.add_note("release returns bandwidth to throttled CPU jobs once the "
+                 "pressure is gone, shortening their runtimes without "
+                 "giving back the GPU-side protection");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 3 — "The GPU utilization when the training job uses different numbers
+// of CPU cores": for every Table-I model and both 1N1G / 1N4G
+// configurations, prints training speed (samples/s) and GPU utilization as
+// the core count sweeps 1..16. The published shape: both rise together,
+// reach the optimum at the same core count, then flatten with a slight drop;
+// most models are not yet optimal at 2 cores (gap 10% to >5x), except
+// Transformer in 1N1G.
+#include <iostream>
+
+#include "bench_common.h"
+#include "perfmodel/train_perf.h"
+
+using namespace coda;
+using perfmodel::TrainPerf;
+
+int main() {
+  bench::print_banner("Fig. 3",
+                      "training speed + GPU utilization vs CPU core count");
+  TrainPerf perf;
+  for (const auto cfg :
+       {perfmodel::config_1n1g(), perfmodel::config_1n4g()}) {
+    for (perfmodel::ModelId m : perfmodel::kAllModels) {
+      util::Table table(util::strfmt("Fig. 3 | %s (%s)",
+                                     perfmodel::to_string(m),
+                                     cfg.name().c_str()));
+      table.set_header({"cores", "samples/s", "gpu util", "speed vs best"});
+      const int opt = perf.optimal_cores(m, cfg);
+      const double best = perf.samples_per_second(m, cfg, opt);
+      for (int c = 1; c <= 16; ++c) {
+        const double speed = perf.samples_per_second(m, cfg, c);
+        table.add_row({std::to_string(c) + (c == opt ? "*" : ""),
+                       bench::num(speed, 1),
+                       bench::pct(perf.gpu_utilization(m, cfg, c)),
+                       bench::pct(speed / best)});
+      }
+      table.add_note(util::strfmt(
+          "optimum %d cores; 2-core config reaches %.0f%% of best speed "
+          "(paper: gap ranges from 10%% to >5x across models)",
+          opt, 100.0 * perf.samples_per_second(m, cfg, 2) / best));
+      table.print(std::cout);
+    }
+  }
+
+  util::Table summary("Fig. 3 | published facts");
+  summary.set_header({"fact", "paper", "measured"});
+  const int transformer_opt =
+      perf.optimal_cores(perfmodel::ModelId::kTransformer,
+                         perfmodel::config_1n1g());
+  int not_optimal_at_two = 0;
+  for (perfmodel::ModelId m : perfmodel::kAllModels) {
+    if (perf.optimal_cores(m, perfmodel::config_1n1g()) > 2) {
+      ++not_optimal_at_two;
+    }
+  }
+  summary.add_row({"Transformer optimal at 2 cores (1N1G)", "yes",
+                   transformer_opt <= 2 ? "yes" : "no"});
+  summary.add_row({"models NOT optimal at 2 cores (1N1G)", "most (6+/8)",
+                   util::strfmt("%d/8", not_optimal_at_two)});
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 5 — "The optimal CPU core number for different benchmarks with
+// different batch size": optimal cores for every model across 1N1G / 1N4G /
+// 2N4G at the default and maximum batch sizes. Published shape: batch-size
+// invariance (except Alexnet), CV demand anti-correlated with complexity,
+// linear-with-slope growth on one node, and <= 2 cores across nodes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "perfmodel/train_perf.h"
+
+using namespace coda;
+using perfmodel::TrainPerf;
+
+int main() {
+  bench::print_banner("Fig. 5", "optimal CPU cores per model/config/batch");
+  TrainPerf perf;
+  util::Table table("Fig. 5 | optimal core count");
+  table.set_header({"model", "category", "1N1G", "1N1G maxBS", "1N2G", "1N4G",
+                    "2N4G", "2N4G maxBS"});
+  for (perfmodel::ModelId m : perfmodel::kAllModels) {
+    const auto& p = perfmodel::model_params(m);
+    table.add_row({
+        p.name,
+        perfmodel::to_string(p.category),
+        std::to_string(perf.optimal_cores(m, perfmodel::config_1n1g())),
+        std::to_string(
+            perf.optimal_cores(m, perfmodel::config_1n1g(p.max_batch))),
+        std::to_string(perf.optimal_cores(m, {1, 2, 0})),
+        std::to_string(perf.optimal_cores(m, perfmodel::config_1n4g())),
+        std::to_string(perf.optimal_cores(m, perfmodel::config_2n4g())),
+        std::to_string(
+            perf.optimal_cores(m, perfmodel::config_2n4g(p.max_batch))),
+    });
+  }
+  table.add_note("paper facts: all models except Alexnet keep the same "
+                 "demand at max batch size; single-node demand grows with "
+                 "the GPU count (model-specific slope); multi-node demand "
+                 "is at most 2 cores");
+  table.print(std::cout);
+
+  util::Table facts("Fig. 5 | published facts");
+  facts.set_header({"fact", "paper", "measured"});
+  int bs_invariant = 0;
+  int multi_node_le2 = 0;
+  for (perfmodel::ModelId m : perfmodel::kAllModels) {
+    const auto& p = perfmodel::model_params(m);
+    if (perf.optimal_cores(m, perfmodel::config_1n1g()) ==
+        perf.optimal_cores(m, perfmodel::config_1n1g(p.max_batch))) {
+      ++bs_invariant;
+    }
+    if (perf.optimal_cores(m, perfmodel::config_2n4g()) <= 2) {
+      ++multi_node_le2;
+    }
+  }
+  facts.add_row({"batch-size invariant models", "7/8 (all but Alexnet)",
+                 util::strfmt("%d/8", bs_invariant)});
+  facts.add_row({"multi-node demand <= 2 cores", "8/8",
+                 util::strfmt("%d/8", multi_node_le2)});
+  facts.add_row(
+      {"Alexnet (simplest CV) demands the most CPU of CV set", "yes",
+       perf.optimal_cores(perfmodel::ModelId::kAlexnet,
+                          perfmodel::config_1n1g()) >=
+               perf.optimal_cores(perfmodel::ModelId::kVgg16,
+                                  perfmodel::config_1n1g())
+           ? "yes"
+           : "no"});
+  facts.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 6 — "The memory bandwidth demand for different benchmarks with
+// optimal CPU number": peak DRAM bandwidth per model across configurations
+// and batch sizes. Published shape: CV demand anti-correlated with model
+// complexity, NLP tiny, Wavenet grows with batch size while DeepSpeech does
+// not, and multi-GPU demand grows linearly.
+#include <iostream>
+
+#include "bench_common.h"
+#include "perfmodel/train_perf.h"
+
+using namespace coda;
+using perfmodel::TrainPerf;
+
+namespace {
+
+double demand(const TrainPerf& perf, perfmodel::ModelId m,
+              const perfmodel::TrainConfig& cfg) {
+  return perf.mem_bw_demand_gbps(m, cfg, perf.optimal_cores(m, cfg));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Fig. 6", "memory-bandwidth demand at optimal cores");
+  TrainPerf perf;
+  util::Table table("Fig. 6 | peak memory bandwidth demand (GB/s)");
+  table.set_header(
+      {"model", "1N1G", "1N1G maxBS", "1N2G", "1N4G", "2N4G (per node)"});
+  for (perfmodel::ModelId m : perfmodel::kAllModels) {
+    const auto& p = perfmodel::model_params(m);
+    table.add_row({
+        p.name,
+        bench::num(demand(perf, m, perfmodel::config_1n1g()), 1),
+        bench::num(demand(perf, m, perfmodel::config_1n1g(p.max_batch)), 1),
+        bench::num(demand(perf, m, {1, 2, 0}), 1),
+        bench::num(demand(perf, m, perfmodel::config_1n4g()), 1),
+        bench::num(demand(perf, m, perfmodel::config_2n4g()), 1),
+    });
+  }
+  table.print(std::cout);
+
+  util::Table facts("Fig. 6 | published facts");
+  facts.set_header({"fact", "paper", "measured"});
+  const double alex = demand(perf, perfmodel::ModelId::kAlexnet,
+                             perfmodel::config_1n1g());
+  const double vgg =
+      demand(perf, perfmodel::ModelId::kVgg16, perfmodel::config_1n1g());
+  const double incep = demand(perf, perfmodel::ModelId::kInceptionV3,
+                              perfmodel::config_1n1g());
+  facts.add_row({"CV demand anti-correlated with complexity",
+                 "Alexnet > VGG16 > InceptionV3",
+                 util::strfmt("%.1f > %.1f > %.1f %s", alex, vgg, incep,
+                              alex > vgg && vgg > incep ? "(yes)" : "(NO)")});
+  const double bat =
+      demand(perf, perfmodel::ModelId::kBiAttFlow, perfmodel::config_1n1g());
+  const double tfm = demand(perf, perfmodel::ModelId::kTransformer,
+                            perfmodel::config_1n1g());
+  facts.add_row({"NLP demand is very small", "< 3 GB/s",
+                 util::strfmt("BAT %.1f, Transformer %.1f", bat, tfm)});
+  const auto& wn = perfmodel::model_params(perfmodel::ModelId::kWavenet);
+  const auto& ds = perfmodel::model_params(perfmodel::ModelId::kDeepSpeech);
+  facts.add_row(
+      {"Wavenet demand grows with batch size", "yes",
+       demand(perf, wn.id, perfmodel::config_1n1g(wn.max_batch)) >
+               demand(perf, wn.id, perfmodel::config_1n1g()) * 1.2
+           ? "yes"
+           : "no"});
+  facts.add_row(
+      {"DeepSpeech demand flat in batch size", "yes",
+       std::abs(demand(perf, ds.id, perfmodel::config_1n1g(ds.max_batch)) -
+                demand(perf, ds.id, perfmodel::config_1n1g())) < 0.5
+           ? "yes"
+           : "no"});
+  const double lin = demand(perf, perfmodel::ModelId::kResnet50,
+                            perfmodel::config_1n4g()) /
+                     demand(perf, perfmodel::ModelId::kResnet50,
+                            perfmodel::config_1n1g());
+  facts.add_row({"multi-GPU demand linear in GPU count", "4x at 4 GPUs",
+                 util::strfmt("%.2fx (Resnet50)", lin)});
+  facts.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Hot-path microbenchmarks (google-benchmark): the discrete-event queue,
+// contention resolution, placement search, the performance-model inner
+// loops, and a full small-scale replay. These guard the simulator's own
+// performance — a week-long 26k-job replay must stay in the seconds range.
+#include <benchmark/benchmark.h>
+
+#include "perfmodel/contention.h"
+#include "perfmodel/train_perf.h"
+#include "sched/placement.h"
+#include "sim/experiment.h"
+#include "simcore/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace coda;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    simcore::EventQueue queue;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.push(rng.uniform(), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_at(static_cast<double>(i), [&counter] { ++counter; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorDispatch)->Arg(10000);
+
+void BM_IterTime(benchmark::State& state) {
+  perfmodel::TrainPerf perf;
+  const auto cfg = perfmodel::config_1n4g();
+  int c = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        perf.iter_time(perfmodel::ModelId::kWavenet, cfg, 1 + (c++ % 16)));
+  }
+}
+BENCHMARK(BM_IterTime);
+
+void BM_OptimalCores(benchmark::State& state) {
+  perfmodel::TrainPerf perf;
+  const auto cfg = perfmodel::config_1n4g();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        perf.optimal_cores(perfmodel::ModelId::kAlexnet, cfg));
+  }
+}
+BENCHMARK(BM_OptimalCores);
+
+void BM_ContentionResolve(benchmark::State& state) {
+  perfmodel::NodeContentionModel model;
+  perfmodel::TrainPerf perf;
+  std::vector<perfmodel::ResourceFootprint> footprints;
+  for (int i = 0; i < state.range(0); ++i) {
+    perfmodel::ResourceFootprint fp;
+    fp.job = static_cast<cluster::JobId>(i + 1);
+    fp.is_gpu_job = i % 2 == 0;
+    fp.mem_bw_gbps = 5.0 + i;
+    fp.llc_mb = 2.0;
+    fp.bw_latency_sensitivity = 0.5;
+    fp.bw_share_dependence = 0.3;
+    fp.bw_bound_fraction = 0.4;
+    footprints.push_back(fp);
+  }
+  const cluster::NodeConfig node;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.resolve(node, footprints));
+  }
+}
+BENCHMARK(BM_ContentionResolve)->Arg(8)->Arg(32);
+
+void BM_FindPlacement(benchmark::State& state) {
+  cluster::ClusterConfig cfg;
+  cfg.node_count = 80;
+  cluster::Cluster cluster(cfg);
+  util::Rng rng(2);
+  // Partially fill the cluster so the search does real work.
+  for (cluster::JobId id = 1; id <= 200; ++id) {
+    const auto node = static_cast<cluster::NodeId>(rng.uniform_int(0, 79));
+    (void)cluster.node(node).allocate(
+        id, static_cast<int>(rng.uniform_int(1, 4)),
+        static_cast<int>(rng.uniform_int(0, 1)));
+  }
+  const sched::PlacementRequest request{1, 2, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::find_placement(cluster, request));
+  }
+}
+BENCHMARK(BM_FindPlacement);
+
+void BM_SmallTraceReplay(benchmark::State& state) {
+  auto cfg = sim::standard_week_trace(3);
+  cfg.duration_s = 0.25 * 86400.0;
+  cfg.cpu_jobs = 600;
+  cfg.gpu_jobs = 300;
+  const auto trace = workload::TraceGenerator(cfg).generate();
+  const auto policy = static_cast<sim::Policy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_experiment(policy, trace).completed);
+  }
+  state.SetLabel(sim::to_string(policy));
+}
+BENCHMARK(BM_SmallTraceReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#include "cluster/cluster.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace coda::cluster {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  CODA_ASSERT(config.node_count > 0);
+  CODA_ASSERT(config.cpu_only_node_count >= 0);
+  CODA_ASSERT(config.cpu_only_node.gpus == 0);
+  CODA_ASSERT(config.mba_fraction >= 0.0 && config.mba_fraction <= 1.0);
+  nodes_.reserve(
+      static_cast<size_t>(config.node_count + config.cpu_only_node_count));
+  const int mba_nodes = static_cast<int>(
+      std::lround(config.mba_fraction * config.node_count));
+  for (int i = 0; i < config.node_count; ++i) {
+    NodeConfig nc = config.node;
+    nc.mba_capable = i < mba_nodes;
+    nodes_.emplace_back(static_cast<NodeId>(i), nc);
+    totals_ += ResourceVector{nc.cores, nc.gpus};
+  }
+  for (int i = 0; i < config.cpu_only_node_count; ++i) {
+    NodeConfig nc = config.cpu_only_node;
+    nc.mba_capable = false;  // plain CPU servers in the paper's fleets are
+                             // the older machines without MBA
+    nodes_.emplace_back(static_cast<NodeId>(config.node_count + i), nc);
+    totals_ += ResourceVector{nc.cores, nc.gpus};
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  CODA_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  CODA_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+int Cluster::used_cpus() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    n += node.used_cpus();
+  }
+  return n;
+}
+
+int Cluster::used_gpus() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    n += node.used_gpus();
+  }
+  return n;
+}
+
+double Cluster::gpu_active_rate() const {
+  return totals_.gpus > 0
+             ? static_cast<double>(used_gpus()) / totals_.gpus
+             : 0.0;
+}
+
+double Cluster::cpu_active_rate() const {
+  return totals_.cpus > 0
+             ? static_cast<double>(used_cpus()) / totals_.cpus
+             : 0.0;
+}
+
+double Cluster::gpu_fragmentation_rate(int min_cpus_per_gpu_job) const {
+  int fragmented = 0;
+  for (const auto& node : nodes_) {
+    if (node.free_gpus() > 0 && node.free_cpus() < min_cpus_per_gpu_job) {
+      fragmented += node.free_gpus();
+    }
+  }
+  return totals_.gpus > 0 ? static_cast<double>(fragmented) / totals_.gpus
+                          : 0.0;
+}
+
+int Cluster::release_everywhere(JobId job) {
+  int released = 0;
+  for (auto& node : nodes_) {
+    if (node.hosts(job)) {
+      auto status = node.release(job);
+      CODA_ASSERT(status.ok());
+      ++released;
+    }
+  }
+  return released;
+}
+
+}  // namespace coda::cluster

@@ -1,0 +1,64 @@
+// The full simulated cluster: a fixed set of nodes plus aggregate
+// resource-accounting queries used by schedulers and the metrics pipeline.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.h"
+#include "util/result.h"
+
+namespace coda::cluster {
+
+struct ClusterConfig {
+  int node_count = 80;          // the paper's cluster: ~80 servers, 400 GPUs
+  NodeConfig node;
+  // Fraction of nodes (from node id 0 upward) that support Intel MBA; the
+  // paper notes MBA "only works on the latest CPU", so mixed fleets are the
+  // realistic case and exercise the eliminator's core-halving fallback.
+  double mba_fraction = 0.5;
+
+  // Larger private clusters mix GPU servers with plain CPU servers
+  // (Sec. VI-G). CPU-only nodes are appended after the GPU nodes and get
+  // ids [node_count, node_count + cpu_only_node_count).
+  int cpu_only_node_count = 0;
+  NodeConfig cpu_only_node = NodeConfig{.cores = 28, .gpus = 0};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+  size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::vector<Node>& nodes() { return nodes_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Aggregate capacities and usage across all nodes.
+  int total_cpus() const { return totals_.cpus; }
+  int total_gpus() const { return totals_.gpus; }
+  int used_cpus() const;
+  int used_gpus() const;
+
+  // Paper Eq. (1): fraction of GPUs (CPU cores) currently allocated to jobs.
+  double gpu_active_rate() const;
+  double cpu_active_rate() const;
+
+  // GPU fragmentation as defined in §VI-C case 1: the fraction of *idle*
+  // GPUs that sit on nodes whose remaining CPU cores are fewer than
+  // `min_cpus_per_gpu_job` — GPUs that exist but cannot be matched with
+  // enough CPU to host a training job.
+  double gpu_fragmentation_rate(int min_cpus_per_gpu_job) const;
+
+  // Releases a job from every node that hosts it (multi-node jobs hold
+  // allocations on several nodes). Returns how many nodes released it.
+  int release_everywhere(JobId job);
+
+ private:
+  ClusterConfig config_;
+  std::vector<Node> nodes_;
+  ResourceVector totals_;
+};
+
+}  // namespace coda::cluster

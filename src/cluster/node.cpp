@@ -1,0 +1,102 @@
+#include "cluster/node.h"
+
+#include "util/strings.h"
+
+namespace coda::cluster {
+
+util::Status Node::allocate(JobId job, int cpus, int gpus) {
+  if (cpus < 0 || gpus < 0 || (cpus == 0 && gpus == 0)) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "allocation must request a positive amount"};
+  }
+  if (failed_) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       util::strfmt("node %u has failed", id_)};
+  }
+  if (allocations_.count(job) > 0) {
+    return util::Error{
+        util::ErrorCode::kFailedPrecondition,
+        util::strfmt("job %llu already allocated on node %u",
+                     static_cast<unsigned long long>(job), id_)};
+  }
+  if (!can_fit(cpus, gpus)) {
+    return util::Error{
+        util::ErrorCode::kResourceExhausted,
+        util::strfmt("node %u cannot fit %d cpus / %d gpus (free %d/%d)", id_,
+                     cpus, gpus, free_cpus(), free_gpus())};
+  }
+  allocations_[job] = Allocation{job, cpus, gpus};
+  used_ += ResourceVector{cpus, gpus};
+  return util::Status::Ok();
+}
+
+util::Status Node::resize_cpus(JobId job, int new_cpus) {
+  auto it = allocations_.find(job);
+  if (it == allocations_.end()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       util::strfmt("job %llu not on node %u",
+                                    static_cast<unsigned long long>(job),
+                                    id_)};
+  }
+  if (new_cpus < 0) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "cpu count must be non-negative"};
+  }
+  const int delta = new_cpus - it->second.cpus;
+  if (delta > free_cpus()) {
+    return util::Error{
+        util::ErrorCode::kResourceExhausted,
+        util::strfmt("node %u cannot grow job by %d cpus (free %d)", id_,
+                     delta, free_cpus())};
+  }
+  it->second.cpus = new_cpus;
+  used_.cpus += delta;
+  return util::Status::Ok();
+}
+
+util::Status Node::release(JobId job) {
+  auto it = allocations_.find(job);
+  if (it == allocations_.end()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       util::strfmt("job %llu not on node %u",
+                                    static_cast<unsigned long long>(job),
+                                    id_)};
+  }
+  used_ -= ResourceVector{it->second.cpus, it->second.gpus};
+  CODA_ASSERT(used_.non_negative());
+  allocations_.erase(it);
+  return util::Status::Ok();
+}
+
+util::Result<Allocation> Node::allocation_of(JobId job) const {
+  auto it = allocations_.find(job);
+  if (it == allocations_.end()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       util::strfmt("job %llu not on node %u",
+                                    static_cast<unsigned long long>(job),
+                                    id_)};
+  }
+  return it->second;
+}
+
+std::vector<JobId> Node::gpu_jobs() const {
+  std::vector<JobId> out;
+  for (const auto& [job, alloc] : allocations_) {
+    if (alloc.gpus > 0) {
+      out.push_back(job);
+    }
+  }
+  return out;
+}
+
+std::vector<JobId> Node::cpu_only_jobs() const {
+  std::vector<JobId> out;
+  for (const auto& [job, alloc] : allocations_) {
+    if (alloc.gpus == 0) {
+      out.push_back(job);
+    }
+  }
+  return out;
+}
+
+}  // namespace coda::cluster

@@ -1,0 +1,44 @@
+// Resource vectors shared by the cluster model and the schedulers.
+#pragma once
+
+#include <cstdint>
+
+namespace coda::cluster {
+
+using JobId = uint64_t;
+using NodeId = uint32_t;
+using TenantId = uint32_t;
+
+// A (cores, GPUs) demand or allocation. CPU cores and GPUs are the two
+// schedulable resources in the paper's cluster; memory bandwidth is a
+// *shared* (non-partitioned) resource handled by the contention model.
+struct ResourceVector {
+  int cpus = 0;
+  int gpus = 0;
+
+  ResourceVector operator+(const ResourceVector& o) const {
+    return {cpus + o.cpus, gpus + o.gpus};
+  }
+  ResourceVector operator-(const ResourceVector& o) const {
+    return {cpus - o.cpus, gpus - o.gpus};
+  }
+  ResourceVector& operator+=(const ResourceVector& o) {
+    cpus += o.cpus;
+    gpus += o.gpus;
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    cpus -= o.cpus;
+    gpus -= o.gpus;
+    return *this;
+  }
+  bool operator==(const ResourceVector& o) const = default;
+
+  // True when every component fits inside `capacity`.
+  bool fits_within(const ResourceVector& capacity) const {
+    return cpus <= capacity.cpus && gpus <= capacity.gpus;
+  }
+  bool non_negative() const { return cpus >= 0 && gpus >= 0; }
+};
+
+}  // namespace coda::cluster

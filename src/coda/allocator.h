@@ -1,0 +1,125 @@
+// Adaptive CPU allocator (paper Sec. V-B): picks N_start for a new DNN
+// training job, then hill-climbs on measured GPU utilization to the optimal
+// core count N_opt in a handful of 90-second profiling steps.
+//
+// The allocator itself is a pure decision engine: the CODA scheduler drives
+// it with measured utilizations and applies the core-count changes it asks
+// for. This keeps it independently testable against the performance model.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "coda/history.h"
+#include "workload/job.h"
+
+namespace coda::core {
+
+// How the tuner searches the core-count axis (ablation of Sec. V-B2's
+// design; bench_ablation_search_mode compares them).
+enum class SearchMode {
+  kHillClimb = 0,  // the paper's method: linear-extrapolation jumps +
+                   // halving descent + bisection (default)
+  kStepwise,       // classic +/-1 hill climb, no jumps
+  kOneShot,        // probe, one linear jump, settle — minimal profiling
+};
+
+const char* to_string(SearchMode mode);
+
+struct AllocatorConfig {
+  SearchMode search_mode = SearchMode::kHillClimb;
+  double profile_step_s = 90.0;  // paper Sec. VI-F: 90 s per profiling step
+  int max_profile_steps = 10;    // hard stop for the tuning session
+  // Relative utilization improvement below which a change "does not improve
+  // GPU utilization" (stopping rule of Sec. V-B2).
+  double improvement_eps = 0.004;
+  // Utilization treated as "the plateau": used by the linear-extrapolation
+  // jump (Sec. V-B: "there is a linear relationship between the GPU
+  // utilization and the CPU number allocated to the job"). Models top out
+  // at different ceilings (55-78% measured), so this is the cluster-wide
+  // estimate; overshoot costs one trim step, undershoot one more jump.
+  double plateau_util = 0.65;
+  int min_cores = 1;
+  int max_cores = 26;  // leave headroom on a 28-core node
+};
+
+class AdaptiveCpuAllocator {
+ public:
+  AdaptiveCpuAllocator(const AllocatorConfig& config, HistoryLog* history)
+      : config_(config), history_(history) {}
+
+  const AllocatorConfig& config() const { return config_; }
+
+  // N_start for a job (Sec. V-B1): owner history in the category first;
+  // otherwise the category default (CV 3, NLP 5, Speech 5); adjusted by the
+  // optional user hints (-1 pipelined, -1 large weights, +1 complex prep).
+  // When not even the category is known, falls back to the owner's history
+  // across categories, then to a conservative default.
+  int start_cores(const workload::JobSpec& spec) const;
+
+  // ---- tuning session (one per running job) ----
+
+  // Begins tuning a job that just started with `start` cores.
+  void begin(cluster::JobId job, const workload::JobSpec& spec, int start);
+
+  // Reports the utilization measured over the last profiling step at the
+  // current core count. Returns the core count to try next, or nullopt when
+  // the session converged (current cores are final). Each call is one
+  // profiling step.
+  std::optional<int> step(cluster::JobId job, double measured_util);
+
+  // The core count the session currently believes in.
+  int current_cores(cluster::JobId job) const;
+
+  // Steps consumed so far (Table II overhead accounting).
+  int profile_steps(cluster::JobId job) const;
+
+  bool converged(cluster::JobId job) const;
+
+  // Force-converges the session at `cores` (used when a suggested resize
+  // cannot be applied because the node has no free cores).
+  void settle(cluster::JobId job, int cores);
+
+  // Drops the session without recording history (job migrated; it will
+  // restart and begin a fresh session).
+  void cancel(cluster::JobId job);
+
+  // Ends the session (job finished or converged); records N_opt into the
+  // history log when the session saw at least one measurement.
+  void finish(cluster::JobId job);
+
+  // Whether a tuning session exists for the job.
+  bool tracking(cluster::JobId job) const { return sessions_.count(job) > 0; }
+
+ private:
+  enum class Phase {
+    kProbeStart,   // waiting for the first measurement at N_start
+    kProbeDown,    // trying N_start - 1 (paper: evaluate smaller first)
+    kDescend,      // walking down through a flat plateau (over-allocated)
+    kBinaryAscend, // bisecting between a bad low point and a good high point
+    kAscend,       // walking/jumping up (under-provisioned)
+    kTrim,         // at plateau after ascending: try one core fewer
+    kDone,
+  };
+
+  struct Session {
+    workload::JobSpec spec;
+    Phase phase = Phase::kProbeStart;
+    int current = 1;       // cores currently allocated
+    int steps = 0;         // profiling steps consumed
+    double start_util = 0; // utilization measured at N_start
+    int best_cores = 1;    // best configuration seen so far
+    double best_util = 0;
+    // kDescend / kBinaryAscend bookkeeping.
+    int good_high = 0;     // known-good core count above
+    int bad_low = 0;       // known-bad core count below
+  };
+
+  std::optional<int> transition(Session& s, double util);
+
+  AllocatorConfig config_;
+  HistoryLog* history_;
+  std::map<cluster::JobId, Session> sessions_;
+};
+
+}  // namespace coda::core

@@ -1,0 +1,193 @@
+// The CODA scheduling system (paper Sec. V): multi-array job scheduler +
+// adaptive CPU allocator + real-time contention eliminator behind the common
+// Scheduler interface.
+//
+// Resources are split into a CPU array and a GPU array; the GPU array
+// reserves CPU cores on every node for GPU jobs and is itself split into a
+// 4-GPU sub-array (jobs needing >= 4 GPUs) and a 1-GPU sub-array. DRF is
+// applied *inside* each array (by CPU usage in the CPU array, by GPU usage
+// in the GPU arrays). Bursty CPU jobs may borrow idle reserved cores and are
+// aborted back to the head of their queue when a GPU job needs the cores;
+// 1-GPU jobs may borrow 4-GPU sub-array nodes and are live-migrated out when
+// a 4-GPU job arrives (container migration keeps their progress).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "coda/allocator.h"
+#include "coda/eliminator.h"
+#include "coda/history.h"
+#include "perfmodel/train_perf.h"
+#include "sched/placement.h"
+#include "sched/scheduler.h"
+
+namespace coda::core {
+
+struct CodaConfig {
+  AllocatorConfig allocator;
+  EliminatorConfig eliminator;
+
+  // CPU cores reserved for GPU jobs on every node ("derived from historical
+  // statistical information"; this is the cold-start value).
+  int reserved_cores_per_node = 20;
+  // Fraction of nodes assigned to the 4-GPU sub-array (cold-start value).
+  double four_gpu_node_fraction = 0.40;
+  // Re-derive both from the history log this often (0 disables).
+  double reservation_update_period_s = 6.0 * 3600.0;
+
+  // Ablation switches. With multi_array_enabled=false all nodes form one
+  // array with no reservation (adaptive allocation + eliminator still work).
+  bool multi_array_enabled = true;
+  bool cpu_preemption_enabled = true;
+
+  // Kelp-style *static* bandwidth partitioning (related-work baseline): cap
+  // every CPU job at this many GB/s on MBA-capable nodes the moment it
+  // starts, regardless of observed contention. 0 disables. Compare against
+  // the paper's reactive eliminator with bench_ext_static_partition.
+  double static_bw_cap_gbps = 0.0;
+};
+
+class CodaScheduler : public sched::Scheduler {
+ public:
+  explicit CodaScheduler(const CodaConfig& config);
+
+  const char* name() const override { return "CODA"; }
+
+  void attach(const sched::SchedulerEnv& env) override;
+  void submit(const workload::JobSpec& spec) override;
+  void on_job_finished(const workload::JobSpec& spec) override;
+  void on_job_evicted(const workload::JobSpec& spec) override;
+  void kick() override;
+
+  // ---- introspection (tests, benches) ----
+  const HistoryLog& history() const { return history_; }
+  const EliminatorStats& eliminator_stats() const {
+    return eliminator_->stats();
+  }
+  const AdaptiveCpuAllocator& allocator() const { return allocator_; }
+
+  // Audit of the adaptive allocation, one entry per started GPU job
+  // (Fig. 14 / Table II): what the owner asked for vs what CODA converged
+  // to, and the profiling steps spent.
+  struct TuningOutcome {
+    cluster::JobId job = 0;
+    perfmodel::ModelId model = perfmodel::ModelId::kAlexnet;
+    int requested_cpus = 0;
+    int start_cpus = 0;
+    int final_cpus = 0;
+    int profile_steps = 0;
+  };
+  const std::vector<TuningOutcome>& tuning_outcomes() const {
+    return tuning_outcomes_;
+  }
+
+  size_t pending_gpu_jobs() const override;
+  size_t pending_cpu_jobs() const;
+  size_t pending_jobs() const override {
+    return pending_gpu_jobs() + pending_cpu_jobs();
+  }
+  std::optional<sched::Scheduler::PendingGpuDemand> min_pending_gpu_demand()
+      const override;
+  int reclaimable_cpus(cluster::NodeId node) const override;
+  int preemptions() const { return preemptions_; }
+  int migrations() const { return migrations_; }
+
+  int reserved_cores_per_node() const { return reserved_cores_; }
+  bool node_in_four_array(cluster::NodeId id) const;
+
+ private:
+  // Per-array tenant queues with DRF ordering by the array's dominant
+  // resource usage.
+  struct ArrayState {
+    std::map<cluster::TenantId, std::deque<workload::JobSpec>> queues;
+    std::map<cluster::TenantId, int> usage;  // cores or GPUs, by array kind
+
+    size_t pending() const;
+    void push_back(const workload::JobSpec& spec);
+    void push_front(const workload::JobSpec& spec);
+    // Tenants with pending jobs ordered by ascending usage share.
+    std::vector<cluster::TenantId> drf_order(int total_capacity) const;
+  };
+
+  struct RunningGpu {
+    workload::JobSpec spec;
+    sched::Placement placement;
+    int cores_per_node = 0;
+    bool four_array_job = false;   // belongs to the 4-GPU sub-array
+    bool cross_borrower = false;   // 1-GPU job running on a 4-GPU node
+    uint64_t generation = 0;       // invalidates stale tuning timers
+    bool tuning_active = false;
+  };
+
+  struct RunningCpu {
+    workload::JobSpec spec;
+    cluster::NodeId node = 0;
+    int cores = 0;
+    int borrowed_reserved = 0;     // cores taken from the GPU reservation
+    uint64_t start_seq = 0;        // LIFO eviction order
+  };
+
+  bool is_four_gpu_job(const workload::JobSpec& spec) const;
+  ArrayState& gpu_array_for(const workload::JobSpec& spec);
+
+  // CPU cores on `node` currently usable by the CPU array without touching
+  // the (unused part of the) GPU reservation.
+  int cpu_array_free_cores(const cluster::Node& node) const;
+  int gpu_cores_used_on(const cluster::Node& node) const;
+
+  // Scheduling passes.
+  void schedule_gpu_array(ArrayState& array, bool four_array);
+  bool try_start_gpu_job(const workload::JobSpec& spec, bool four_array);
+  void schedule_cpu_array();
+
+  // Eviction helpers.
+  bool evict_cpu_borrowers_for(cluster::NodeId node, int cores_needed);
+  bool migrate_cross_borrowers_for(const sched::PlacementRequest& request);
+
+  void start_gpu_job(const workload::JobSpec& spec,
+                     const sched::Placement& placement, int cores,
+                     bool four_array, bool cross_borrower);
+  void begin_tuning(cluster::JobId job);
+  void schedule_tuning_tick(cluster::JobId job, uint64_t generation);
+  void on_tuning_tick(cluster::JobId job, uint64_t generation);
+  double expected_utilization(cluster::JobId job) const;
+  void update_reservation_from_history();
+
+  CodaConfig config_;
+  perfmodel::TrainPerf perf_;
+  HistoryLog history_;
+  AdaptiveCpuAllocator allocator_;
+  std::unique_ptr<ContentionEliminator> eliminator_;
+
+  ArrayState cpu_array_;
+  ArrayState four_gpu_array_;
+  ArrayState one_gpu_array_;
+
+  std::map<cluster::JobId, RunningGpu> running_gpu_;
+  std::map<cluster::JobId, RunningCpu> running_cpu_;
+
+  std::vector<TuningOutcome> tuning_outcomes_;
+  std::map<cluster::JobId, TuningOutcome> pending_outcomes_;
+
+  // Incremental per-node accounting (kick() runs after every event; scanning
+  // node allocation maps there would dominate the simulation).
+  std::vector<int> gpu_cores_on_node_;       // cores held by GPU jobs
+  std::vector<int> borrowed_on_node_;        // reserved cores lent to CPU jobs
+  std::vector<std::vector<cluster::JobId>> cpu_jobs_by_node_;
+
+  void note_cpu_job_started(const RunningCpu& rc);
+  void note_cpu_job_gone(const RunningCpu& rc);
+  void on_eliminator_cpu_resize(cluster::JobId job, cluster::NodeId node,
+                                int new_cores);
+
+  int reserved_cores_ = 0;
+  int four_array_nodes_ = 0;  // nodes [0, four_array_nodes_) are 4-GPU array
+  uint64_t next_seq_ = 0;
+  uint64_t next_generation_ = 1;
+  int preemptions_ = 0;
+  int migrations_ = 0;
+};
+
+}  // namespace coda::core

@@ -1,0 +1,169 @@
+#include "coda/eliminator.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace coda::core {
+
+void ContentionEliminator::check_all(
+    const std::function<double(cluster::JobId)>& expected_util) {
+  if (!config_.enabled) {
+    return;
+  }
+  ++stats_.checks;
+  for (const auto& node : env_->cluster->nodes()) {
+    check_node(node, expected_util);
+    if (config_.release_when_calm) {
+      release_node(node);
+    }
+  }
+}
+
+void ContentionEliminator::forget_job(cluster::JobId job) {
+  throttled_.erase(job);
+}
+
+void ContentionEliminator::release_node(const cluster::Node& node) {
+  auto sample = env_->bandwidth->sample(node.id());
+  if (sample.pressure() >= config_.release_threshold) {
+    return;
+  }
+  // Anti-oscillation guard: only release a throttle when the *projected*
+  // pressure — after the job roughly doubles its traffic back — still sits
+  // below the trigger threshold. Without this, release/throttle would cycle
+  // every check period (likely why the paper keeps throttles permanent).
+  double projected = sample.pressure();
+  const auto achieved_of = [&sample](cluster::JobId job) {
+    for (const auto& jb : sample.jobs) {
+      if (jb.job == job) {
+        return jb.gbps;
+      }
+    }
+    return 0.0;
+  };
+  for (auto it = throttled_.begin(); it != throttled_.end();) {
+    if (it->second.node != node.id()) {
+      ++it;
+      continue;
+    }
+    const cluster::JobId job = it->first;
+    const double restored_delta =
+        achieved_of(job) / node.config().mem_bw_gbps;
+    if (projected + restored_delta >= config_.bw_threshold) {
+      ++it;
+      continue;
+    }
+    if (it->second.via_mba) {
+      env_->clear_bw_cap(node.id(), job);
+      projected += restored_delta;
+      ++stats_.releases;
+      it = throttled_.erase(it);
+      continue;
+    }
+    // Core-halving path: restore the original cores if the node has room.
+    const auto resize =
+        env_->resize_job(job, node.id(), it->second.original_cores);
+    if (resize.ok()) {
+      if (on_cpu_resize_) {
+        on_cpu_resize_(job, node.id(), it->second.original_cores);
+      }
+      projected += restored_delta;
+      ++stats_.releases;
+      it = throttled_.erase(it);
+    } else {
+      ++it;  // no room yet; retry on a later pass
+    }
+  }
+}
+
+void ContentionEliminator::check_node(
+    const cluster::Node& node,
+    const std::function<double(cluster::JobId)>& expected_util) {
+  const auto sample = env_->bandwidth->sample(node.id());
+  if (sample.pressure() < config_.bw_threshold) {
+    return;
+  }
+
+  // Threshold crossed — but only act when a DNN training job actually
+  // suffers (Sec. V-D: threshold reached "and the GPU utilization of the
+  // DNN training jobs on the node drops").
+  bool gpu_job_suffering = false;
+  for (const auto& jb : sample.jobs) {
+    if (!jb.is_gpu_job) {
+      continue;
+    }
+    const double actual = env_->gpu_util->gpu_utilization(jb.job);
+    const double expected = expected_util(jb.job);
+    if (actual >= 0.0 && expected > 0.0 &&
+        actual < expected * (1.0 - config_.util_drop_tolerance)) {
+      gpu_job_suffering = true;
+      break;
+    }
+  }
+  if (!gpu_job_suffering) {
+    return;
+  }
+  ++stats_.nodes_over_threshold;
+
+  // Throttle CPU jobs, biggest bandwidth consumer first. User-facing
+  // inference jobs outrank DNN training (Sec. V-A) and are never touched.
+  std::vector<telemetry::JobBandwidth> cpu_jobs;
+  for (const auto& jb : sample.jobs) {
+    if (!jb.is_gpu_job && jb.gbps > 0.0 &&
+        (!is_user_facing_ || !is_user_facing_(jb.job))) {
+      cpu_jobs.push_back(jb);
+    }
+  }
+  std::sort(cpu_jobs.begin(), cpu_jobs.end(),
+            [](const telemetry::JobBandwidth& a,
+               const telemetry::JobBandwidth& b) {
+              if (a.gbps != b.gbps) {
+                return a.gbps > b.gbps;
+              }
+              return a.job < b.job;
+            });
+
+  double excess = sample.total_gbps -
+                  config_.bw_threshold * sample.capacity_gbps;
+  for (const auto& jb : cpu_jobs) {
+    if (excess <= 0.0) {
+      break;
+    }
+    const double cap = jb.gbps * config_.mba_throttle_factor;
+    const auto status = env_->set_bw_cap(node.id(), jb.job, cap);
+    if (status.ok()) {
+      ++stats_.mba_throttles;
+      throttled_.emplace(jb.job, ThrottleRecord{node.id(), true, 0});
+      excess -= jb.gbps - cap;
+      CODA_LOG_DEBUG("eliminator: MBA cap %.1f GB/s on job %llu node %u",
+                     cap, static_cast<unsigned long long>(jb.job), node.id());
+      continue;
+    }
+    // No MBA on this node: halve the CPU job's cores instead (Sec. V-D).
+    const auto alloc = node.allocation_of(jb.job);
+    if (!alloc.ok() || alloc->cpus <= 1) {
+      continue;
+    }
+    const int new_cores = std::max(1, alloc->cpus / 2);
+    const auto resize = env_->resize_job(jb.job, node.id(), new_cores);
+    if (resize.ok()) {
+      ++stats_.core_halvings;
+      // Remember the first (largest) allocation for a later release.
+      throttled_.emplace(jb.job,
+                         ThrottleRecord{node.id(), false, alloc->cpus});
+      if (on_cpu_resize_) {
+        on_cpu_resize_(jb.job, node.id(), new_cores);
+      }
+      // Fewer cores move proportionally less data.
+      excess -= jb.gbps * (1.0 - static_cast<double>(new_cores) /
+                                     alloc->cpus);
+      CODA_LOG_DEBUG("eliminator: halved job %llu to %d cores on node %u",
+                     static_cast<unsigned long long>(jb.job), new_cores,
+                     node.id());
+    }
+  }
+}
+
+}  // namespace coda::core

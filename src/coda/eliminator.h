@@ -1,0 +1,101 @@
+// Real-time contention eliminator (paper Sec. V-D).
+//
+// Watches every node's total memory bandwidth (simulated Intel MBM). When a
+// node crosses the threshold (75% of capacity by default) AND a co-located
+// DNN training job's GPU utilization has dropped below what its current
+// allocation should deliver, the eliminator throttles the node's CPU jobs:
+// an MBA bandwidth cap on capable nodes, or halving the CPU job's cores on
+// nodes without MBA. DNN jobs are never throttled (they have priority and
+// do not contend with each other severely, Sec. IV-C).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "cluster/cluster.h"
+#include "perfmodel/train_perf.h"
+#include "sched/scheduler.h"
+
+namespace coda::core {
+
+struct EliminatorConfig {
+  bool enabled = true;
+  double check_period_s = 10.0;
+  double bw_threshold = 0.75;        // fraction of node capacity (Sec. V-D)
+  double util_drop_tolerance = 0.03; // GPU util this far below expectation
+                                     // counts as "dropped"
+  double mba_throttle_factor = 0.5;  // cap = achieved bandwidth x factor
+
+  // Extension beyond the paper (its throttles are permanent for the job's
+  // lifetime): release MBA caps and restore halved cores once the node's
+  // pressure falls below `release_threshold`. Exercised by
+  // bench_ext_throttle_release.
+  bool release_when_calm = false;
+  double release_threshold = 0.55;
+};
+
+// Counters exposed for the Sec. VI-E evaluation.
+struct EliminatorStats {
+  int checks = 0;
+  int nodes_over_threshold = 0;
+  int mba_throttles = 0;
+  int core_halvings = 0;
+  int releases = 0;  // caps cleared / cores restored (extension)
+};
+
+class ContentionEliminator {
+ public:
+  // `expected_util` must return the utilization a GPU job should reach with
+  // its current core allocation absent contention (the engine computes it
+  // from the performance model); `current_cpu_cores` returns a CPU job's
+  // core count on a node.
+  // `on_cpu_resize(job, node, new_cores)` fires after a successful
+  // core-halving so the owning scheduler can update its accounting.
+  using CpuResizeCallback =
+      std::function<void(cluster::JobId, cluster::NodeId, int)>;
+  // Marks jobs the eliminator must never throttle (user-facing inference,
+  // Sec. V-A). Optional; nullptr means "no exempt jobs".
+  using UserFacingPredicate = std::function<bool(cluster::JobId)>;
+
+  ContentionEliminator(const EliminatorConfig& config,
+                       const sched::SchedulerEnv* env,
+                       CpuResizeCallback on_cpu_resize = nullptr,
+                       UserFacingPredicate is_user_facing = nullptr)
+      : config_(config),
+        env_(env),
+        on_cpu_resize_(std::move(on_cpu_resize)),
+        is_user_facing_(std::move(is_user_facing)) {}
+
+  const EliminatorConfig& config() const { return config_; }
+  const EliminatorStats& stats() const { return stats_; }
+
+  // One monitoring pass over every node (call from a periodic simulator
+  // event). `expected_util(job)` is the no-contention utilization reference.
+  void check_all(
+      const std::function<double(cluster::JobId)>& expected_util);
+
+  // Forgets per-job bookkeeping when a job ends (call from the scheduler's
+  // on_job_finished).
+  void forget_job(cluster::JobId job);
+
+ private:
+  void check_node(const cluster::Node& node,
+                  const std::function<double(cluster::JobId)>& expected_util);
+  void release_node(const cluster::Node& node);
+
+  // Jobs this eliminator has acted on, for the release extension.
+  struct ThrottleRecord {
+    cluster::NodeId node = 0;
+    bool via_mba = false;
+    int original_cores = 0;  // core-halving path only
+  };
+
+  EliminatorConfig config_;
+  const sched::SchedulerEnv* env_;
+  CpuResizeCallback on_cpu_resize_;
+  UserFacingPredicate is_user_facing_;
+  EliminatorStats stats_;
+  std::map<cluster::JobId, ThrottleRecord> throttled_;
+};
+
+}  // namespace coda::core

@@ -1,0 +1,61 @@
+// Historical job log (paper Sec. V-A step 5): when a job completes, its
+// resource usage and owner are recorded "for future use". The adaptive CPU
+// allocator seeds N_start from the owner's history in the same model
+// category, and the multi-array scheduler sizes its per-node CPU
+// reservation from cluster-wide statistics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "perfmodel/dnn_model.h"
+#include "perfmodel/train_perf.h"
+
+namespace coda::core {
+
+struct HistoryRecord {
+  cluster::TenantId tenant = 0;
+  perfmodel::ModelCategory category = perfmodel::ModelCategory::kCV;
+  perfmodel::ModelId model = perfmodel::ModelId::kAlexnet;
+  int nodes = 1;
+  int gpus_per_node = 1;
+  int optimal_cores = 1;  // per node, as converged by the allocator
+};
+
+class HistoryLog {
+ public:
+  void record(const HistoryRecord& record);
+
+  // N_start seed: the largest converged core count among the owner's past
+  // jobs in `category` (paper: "we choose the largest core number"). Jobs
+  // with the same GPU shape are preferred when any exist; otherwise any job
+  // in the category counts. nullopt when the owner has no history there.
+  std::optional<int> start_point(cluster::TenantId tenant,
+                                 perfmodel::ModelCategory category,
+                                 int nodes, int gpus_per_node) const;
+
+  // Worst-case fallback (Sec. V-B1): the owner did not even provide the
+  // category — seed from the owner's history across all categories.
+  std::optional<int> start_point_any(cluster::TenantId tenant) const;
+
+  // Cluster-wide average converged cores per GPU; sizes the GPU array's
+  // per-node CPU reservation ("derived from historical statistical
+  // information", Sec. V-C). nullopt before any GPU job completed.
+  std::optional<double> mean_cores_per_gpu() const;
+
+  // Fraction of recorded GPU jobs that used >= 4 GPUs; sizes the 4-GPU
+  // sub-array. nullopt when empty.
+  std::optional<double> four_gpu_fraction() const;
+
+  size_t size() const { return records_.size(); }
+  const std::vector<HistoryRecord>& records() const { return records_; }
+
+ private:
+  std::vector<HistoryRecord> records_;
+  // (tenant, category) -> indices into records_, for fast start_point.
+  std::map<std::pair<cluster::TenantId, int>, std::vector<size_t>> by_owner_;
+};
+
+}  // namespace coda::core

@@ -1,0 +1,138 @@
+#include "perfmodel/characterization.h"
+
+#include "perfmodel/contention.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coda::perfmodel {
+
+std::vector<CoreSweepPoint> core_sweep(int max_cores) {
+  TrainPerf perf;
+  std::vector<CoreSweepPoint> out;
+  for (ModelId m : kAllModels) {
+    for (const auto cfg : {config_1n1g(), config_1n4g()}) {
+      for (int c = 1; c <= max_cores; ++c) {
+        out.push_back(CoreSweepPoint{m, cfg.name(), c,
+                                     perf.samples_per_second(m, cfg, c),
+                                     perf.gpu_utilization(m, cfg, c)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ConfigSummary> config_summaries() {
+  TrainPerf perf;
+  std::vector<ConfigSummary> out;
+  for (ModelId m : kAllModels) {
+    const auto& params = model_params(m);
+    for (const auto base : {config_1n1g(), TrainConfig{1, 2, 0},
+                            config_1n4g(), config_2n4g()}) {
+      for (bool max_batch : {false, true}) {
+        TrainConfig cfg = base;
+        if (max_batch) {
+          cfg.batch_size = params.max_batch;
+        }
+        const int opt = perf.optimal_cores(m, cfg);
+        out.push_back(ConfigSummary{
+            m, base.name(), max_batch, opt,
+            perf.mem_bw_demand_gbps(m, cfg, opt),
+            perf.pcie_demand_gbps(m, cfg, opt),
+            perf.gpu_utilization(m, cfg, opt)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ContentionPoint> contention_sweep(
+    const std::vector<int>& heat_threads) {
+  TrainPerf perf;
+  NodeContentionModel contention;
+  const cluster::NodeConfig node;
+  std::vector<ContentionPoint> out;
+  for (ModelId m : kAllModels) {
+    const auto cfg = config_1n1g();
+    const int opt = perf.optimal_cores(m, cfg);
+    const double solo = perf.throughput(m, cfg, opt);
+    const auto& params = model_params(m);
+
+    ResourceFootprint self;
+    self.job = 1;
+    self.is_gpu_job = true;
+    self.mem_bw_gbps = perf.mem_bw_demand_gbps(m, cfg, opt);
+    self.pcie_gbps = perf.pcie_demand_gbps(m, cfg, opt);
+    self.llc_mb = perf.llc_demand_mb(m, cfg);
+    self.bw_latency_sensitivity = params.bw_latency_sensitivity;
+    self.bw_share_dependence = params.bw_share_dependence;
+    self.llc_sensitivity = params.llc_sensitivity;
+
+    for (int threads : heat_threads) {
+      std::vector<ResourceFootprint> footprints = {self};
+      if (threads > 0) {
+        // Mirrors workload::HeatParams' defaults (8 GB/s and 1.2 MB LLC per
+        // thread, 90% bandwidth-bound); perfmodel cannot depend on workload,
+        // and tests/perfmodel_test.cpp pins the two in sync.
+        ResourceFootprint antagonist;
+        antagonist.job = 2;
+        antagonist.mem_bw_gbps = 8.0 * threads;
+        antagonist.llc_mb = 1.2 * threads;
+        antagonist.bw_bound_fraction = 0.9;
+        footprints.push_back(antagonist);
+      }
+      const auto report = contention.resolve(node, footprints);
+      out.push_back(ContentionPoint{
+          m, threads,
+          perf.throughput(m, cfg, opt, report.jobs[0].factors) / solo});
+    }
+  }
+  return out;
+}
+
+util::Status save_characterization_csv(const std::string& directory) {
+  {
+    util::CsvDocument doc;
+    doc.header = {"model", "config", "cores", "samples_per_s", "gpu_util"};
+    for (const auto& p : core_sweep()) {
+      doc.rows.push_back({to_string(p.model), p.config,
+                          std::to_string(p.cores),
+                          util::strfmt("%.2f", p.samples_per_s),
+                          util::strfmt("%.4f", p.gpu_util)});
+    }
+    if (auto status =
+            util::write_csv_file(directory + "/fig3_cores.csv", doc);
+        !status.ok()) {
+      return status;
+    }
+  }
+  {
+    util::CsvDocument doc;
+    doc.header = {"model",       "config",   "max_batch", "optimal_cores",
+                  "mem_bw_gbps", "pcie_gbps", "peak_util"};
+    for (const auto& s : config_summaries()) {
+      doc.rows.push_back({to_string(s.model), s.config,
+                          s.max_batch ? "1" : "0",
+                          std::to_string(s.optimal_cores),
+                          util::strfmt("%.2f", s.mem_bw_gbps),
+                          util::strfmt("%.2f", s.pcie_gbps),
+                          util::strfmt("%.4f", s.peak_util)});
+    }
+    if (auto status = util::write_csv_file(
+            directory + "/fig5_fig6_summary.csv", doc);
+        !status.ok()) {
+      return status;
+    }
+  }
+  {
+    util::CsvDocument doc;
+    doc.header = {"model", "heat_threads", "normalized_perf"};
+    for (const auto& p : contention_sweep()) {
+      doc.rows.push_back({to_string(p.model),
+                          std::to_string(p.heat_threads),
+                          util::strfmt("%.4f", p.normalized_perf)});
+    }
+    return util::write_csv_file(directory + "/fig7_contention.csv", doc);
+  }
+}
+
+}  // namespace coda::perfmodel

@@ -1,0 +1,57 @@
+// Plot-ready characterization sweeps over the model zoo: the data behind
+// Figs. 3, 5, 6 and 7 as structured tables, plus a CSV exporter so the
+// figures can be regenerated with any plotting tool
+// (`coda_cli characterize --out DIR`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/train_perf.h"
+#include "util/result.h"
+
+namespace coda::perfmodel {
+
+// Fig. 3: one point of the speed/utilization-vs-cores curve.
+struct CoreSweepPoint {
+  ModelId model = ModelId::kAlexnet;
+  std::string config;     // "1N1G" / "1N4G"
+  int cores = 0;
+  double samples_per_s = 0.0;
+  double gpu_util = 0.0;
+};
+
+// Fig. 5 + Fig. 6: per model x configuration x batch summary.
+struct ConfigSummary {
+  ModelId model = ModelId::kAlexnet;
+  std::string config;
+  bool max_batch = false;
+  int optimal_cores = 0;
+  double mem_bw_gbps = 0.0;   // at the optimum
+  double pcie_gbps = 0.0;
+  double peak_util = 0.0;
+};
+
+// Fig. 7: normalized performance under a HEAT antagonist.
+struct ContentionPoint {
+  ModelId model = ModelId::kAlexnet;
+  int heat_threads = 0;
+  double normalized_perf = 0.0;  // vs solo at optimal cores
+};
+
+// Sweeps cores 1..max_cores for every model under 1N1G and 1N4G (Fig. 3).
+std::vector<CoreSweepPoint> core_sweep(int max_cores = 16);
+
+// Optimal cores + resource demands for every model across the evaluated
+// configurations and batch sizes (Figs. 5 and 6).
+std::vector<ConfigSummary> config_summaries();
+
+// Normalized 1N1G performance against HEAT at each thread count (Fig. 7).
+std::vector<ContentionPoint> contention_sweep(
+    const std::vector<int>& heat_threads = {0, 4, 8, 12, 16, 20, 24, 28});
+
+// Writes fig3_cores.csv, fig5_fig6_summary.csv and fig7_contention.csv
+// under `directory`.
+util::Status save_characterization_csv(const std::string& directory);
+
+}  // namespace coda::perfmodel

@@ -1,0 +1,83 @@
+#include "perfmodel/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace coda::perfmodel {
+
+NodeContentionReport NodeContentionModel::resolve(
+    const cluster::NodeConfig& config,
+    const std::vector<ResourceFootprint>& footprints) const {
+  NodeContentionReport report;
+  report.jobs.reserve(footprints.size());
+
+  // Pass 1: node-wide totals after MBA throttling.
+  double demand = 0.0;
+  double llc = 0.0;
+  double pcie = 0.0;
+  for (const auto& fp : footprints) {
+    const double eff = fp.mem_bw_cap_gbps >= 0.0
+                           ? std::min(fp.mem_bw_gbps, fp.mem_bw_cap_gbps)
+                           : fp.mem_bw_gbps;
+    demand += eff;
+    llc += fp.llc_mb;
+    pcie += fp.pcie_gbps;
+  }
+  report.total_demand_gbps = demand;
+  report.mem_pressure =
+      config.mem_bw_gbps > 0.0 ? demand / config.mem_bw_gbps : 0.0;
+  report.llc_pressure = config.llc_mb > 0.0 ? llc / config.llc_mb : 0.0;
+  report.pcie_total_gbps = pcie;
+
+  // Proportional bandwidth sharing once demand exceeds capacity.
+  const double share =
+      report.mem_pressure > 1.0 ? 1.0 / report.mem_pressure : 1.0;
+  // DRAM queueing latency penalty above the knee (affects every consumer on
+  // the node, independent of its own share — this is how tiny-footprint NLP
+  // jobs still lose >= 50% under HEAT pressure, Fig. 7).
+  const double latency_excess =
+      std::max(0.0, report.mem_pressure - params_.latency_knee_pressure);
+  // LLC pressure penalty beyond full occupancy.
+  const double llc_excess = std::max(0.0, report.llc_pressure - 1.0);
+  // PCIe inflation near link saturation.
+  const double pcie_fraction =
+      config.pcie_gbps > 0.0 ? pcie / config.pcie_gbps : 0.0;
+  const double pcie_excess =
+      std::max(0.0, pcie_fraction - params_.pcie_knee_fraction);
+
+  // Pass 2: per-job outcomes.
+  for (const auto& fp : footprints) {
+    JobContention jc;
+    jc.job = fp.job;
+    const double eff = fp.mem_bw_cap_gbps >= 0.0
+                           ? std::min(fp.mem_bw_gbps, fp.mem_bw_cap_gbps)
+                           : fp.mem_bw_gbps;
+    jc.achieved_bw_gbps = eff * share;
+
+    if (fp.is_gpu_job) {
+      // Bandwidth-share starvation: prep slows by (demand/achieved)^dep.
+      const double starvation =
+          share < 1.0 ? std::pow(1.0 / share, fp.bw_share_dependence) : 1.0;
+      const double latency = 1.0 + fp.bw_latency_sensitivity * latency_excess;
+      const double llc_penalty = 1.0 + fp.llc_sensitivity * llc_excess;
+      jc.factors.prep_inflation = starvation * latency * llc_penalty;
+      jc.factors.gpu_inflation =
+          1.0 + params_.pcie_inflation_slope * pcie_excess;
+    } else {
+      // CPU job: Amdahl slowdown of its bandwidth-bound fraction. Throttling
+      // (cap below demand) and sharing both reduce achieved bandwidth.
+      const double f = std::clamp(fp.bw_bound_fraction, 0.0, 1.0);
+      const double ratio = fp.mem_bw_gbps > 0.0 && jc.achieved_bw_gbps > 0.0
+                               ? fp.mem_bw_gbps / jc.achieved_bw_gbps
+                               : 1.0;
+      jc.cpu_rate_factor = 1.0 / ((1.0 - f) + f * std::max(1.0, ratio));
+      CODA_ASSERT(jc.cpu_rate_factor <= 1.0 + 1e-12);
+    }
+    report.jobs.push_back(jc);
+  }
+  return report;
+}
+
+}  // namespace coda::perfmodel

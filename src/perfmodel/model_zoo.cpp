@@ -1,0 +1,137 @@
+#include "perfmodel/dnn_model.h"
+
+#include "util/assert.h"
+
+namespace coda::perfmodel {
+
+namespace {
+
+// Calibration notes (see DESIGN.md Sec. 3 and tests/perfmodel_test.cpp):
+//  * 1N1G optimal cores = smallest c with prep_serial + prep_work/c <=
+//    gpu_time. Chosen to match Fig. 5: Alexnet 6, VGG16 3, InceptionV3 2,
+//    Resnet50 3, BAT 5, Transformer 2, Wavenet 6, DeepSpeech 4 — the paper's
+//    qualitative ordering ("the simpler the CV network, the more CPUs";
+//    Transformer is the only model already optimal at 2 cores in 1N1G).
+//  * mem_bw_gbps matches Fig. 6's ordering: CV demand anti-correlated with
+//    complexity (Alexnet highest), NLP tiny, Wavenet > DeepSpeech.
+//  * bw_latency_sensitivity / bw_share_dependence reproduce Fig. 7: NLP
+//    models lose >= 50% under HEAT pressure, Alexnet is bandwidth-bound,
+//    VGG/Inception/Resnet are insensitive, DeepSpeech > Wavenet.
+//  * util_ceiling: the measured GPU utilization each model tops out at
+//    even when the input pipeline keeps up (kernel/SM efficiency); chosen
+//    so the cluster-average utilization at optimal allocation lands near
+//    the paper's CODA headline (62.1%) and at the owners' 1-2-cores-per-GPU
+//    requests near the FIFO headline (45.4%).
+//  * multi_node_slowdown calibrated so end-to-end multi-node throughput
+//    lands 25-30% below 1N4G (Sec. IV-B2);
+//    multi_node_prep_scale models the network-gated input pipeline that
+//    makes measured multi-node CPU demand collapse to <= 2 cores.
+constexpr ModelParams kZoo[kModelCount] = {
+    // Alexnet: simplest CV net — shortest GPU iteration, heaviest relative
+    // prep, biggest bandwidth + PCIe footprint. The only CV model whose CPU
+    // demand grows with batch size (Fig. 5).
+    {ModelId::kAlexnet, "Alexnet", ModelCategory::kCV,
+     /*gpu_time_s=*/0.060, /*prep_work_core_s=*/0.320, /*prep_serial_s=*/0.004,
+     /*prep_parallel_limit=*/26, /*overhead_s=*/0.003,
+     /*util_ceiling=*/0.55, /*pipelined=*/true,
+     /*default_batch=*/256, /*max_batch=*/512,
+     /*multi_gpu_prep_slope=*/0.39,
+     /*gpu_bs_exp=*/0.90, /*prep_bs_exp=*/1.10, /*mem_bs_exp=*/0.20,
+     /*mem_bw_gbps=*/14.0, /*pcie_gbps=*/8.0, /*llc_mb=*/6.0,
+     /*bw_latency_sensitivity=*/0.30, /*bw_share_dependence=*/0.80,
+     /*llc_sensitivity=*/0.02,
+     /*weights_gb=*/0.24, /*multi_node_slowdown=*/1.43,
+     /*multi_node_prep_scale=*/0.20},
+    // VGG16: large dense CV net — long GPU iteration hides prep easily.
+    {ModelId::kVgg16, "VGG16", ModelCategory::kCV,
+     0.220, 0.600, 0.004, 26, 0.008, 0.78, true,
+     64, 128, 0.44, 1.00, 1.00, 0.10,
+     6.0, 3.0, 8.0,
+     0.05, 0.15, 0.02,
+     0.53, 1.37, 0.20},
+    // InceptionV3: deepest compute per byte of the CV set — lowest CPU and
+    // bandwidth demand.
+    {ModelId::kInceptionV3, "InceptionV3", ModelCategory::kCV,
+     0.160, 0.300, 0.004, 26, 0.006, 0.72, true,
+     64, 128, 0.50, 1.00, 1.00, 0.10,
+     5.0, 2.0, 7.0,
+     0.05, 0.15, 0.02,
+     0.10, 1.33, 0.20},
+    // Resnet50: moderate CV net; second PCIe-heavy model of Sec. IV-C3.
+    {ModelId::kResnet50, "Resnet50", ModelCategory::kCV,
+     0.130, 0.360, 0.004, 26, 0.005, 0.70, true,
+     64, 256, 0.44, 1.00, 1.00, 0.10,
+     8.0, 8.0, 7.5,
+     0.05, 0.20, 0.02,
+     0.10, 1.35, 0.20},
+    // Bi-att-Flow (BAT): NLP reader — heavy per-iteration vector prep on the
+    // CPU, tiny bandwidth footprint, very contention-latency sensitive.
+    {ModelId::kBiAttFlow, "BAT", ModelCategory::kNLP,
+     0.350, 1.620, 0.006, 26, 0.010, 0.62, true,
+     60, 120, 0.40, 1.00, 1.00, 0.00,
+     2.0, 0.5, 3.0,
+     1.30, 0.10, 0.02,
+     0.09, 1.42, 0.20},
+    // Transformer: the one model already optimal at 2 cores in 1N1G (Fig. 3);
+    // most latency-sensitive under bandwidth pressure (Fig. 7).
+    {ModelId::kTransformer, "Transformer", ModelCategory::kNLP,
+     0.300, 0.550, 0.006, 26, 0.009, 0.68, true,
+     4096, 8192, 0.50, 1.00, 1.00, 0.00,
+     1.5, 0.5, 3.5,
+     1.40, 0.10, 0.02,
+     0.25, 1.38, 0.20},
+    // Wavenet: speech synthesis — audio re-cut each iteration gives it the
+    // highest Speech CPU demand, and bandwidth that grows with batch size.
+    {ModelId::kWavenet, "Wavenet", ModelCategory::kSpeech,
+     0.250, 1.400, 0.005, 26, 0.008, 0.60, true,
+     8, 32, 0.39, 1.00, 1.00, 0.60,
+     9.0, 0.8, 5.0,
+     0.35, 0.50, 0.02,
+     0.12, 1.41, 0.20},
+    // DeepSpeech: no audio re-cut — lighter prep than Wavenet but more
+    // latency-sensitive to contention (Fig. 7).
+    {ModelId::kDeepSpeech, "DeepSpeech", ModelCategory::kSpeech,
+     0.300, 1.000, 0.005, 26, 0.009, 0.64, true,
+     32, 64, 0.42, 1.00, 1.00, 0.00,
+     4.0, 0.8, 4.5,
+     0.95, 0.20, 0.02,
+     0.15, 1.36, 0.20},
+};
+
+}  // namespace
+
+const char* to_string(ModelId id) { return model_params(id).name; }
+
+const char* to_string(ModelCategory category) {
+  switch (category) {
+    case ModelCategory::kCV:
+      return "CV";
+    case ModelCategory::kNLP:
+      return "NLP";
+    case ModelCategory::kSpeech:
+      return "Speech";
+  }
+  return "?";
+}
+
+const ModelParams& model_params(ModelId id) {
+  const auto idx = static_cast<size_t>(id);
+  CODA_ASSERT(idx < kModelCount);
+  const ModelParams& p = kZoo[idx];
+  CODA_ASSERT(p.id == id);
+  return p;
+}
+
+int default_start_cores(ModelCategory category) {
+  switch (category) {
+    case ModelCategory::kCV:
+      return 3;
+    case ModelCategory::kNLP:
+      return 5;
+    case ModelCategory::kSpeech:
+      return 5;
+  }
+  CODA_UNREACHABLE("bad category");
+}
+
+}  // namespace coda::perfmodel

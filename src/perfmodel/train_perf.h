@@ -1,0 +1,109 @@
+// Analytic training-performance model: iteration time, GPU utilization,
+// throughput and shared-resource demands for a DNN job as a function of its
+// model, its training configuration (aNbG, batch size) and the CPU cores
+// allocated to it.
+//
+// Core structure (paper Sec. IV-A, Fig. 4): each iteration pipelines a
+// CPU-side data-preparation stage against the GPU compute stage, so
+//
+//   prep_time(c) = prep_serial + prep_work / min(c, parallel_limit)
+//   iter_time(c) = max(gpu_phase, prep_time(c)) + overhead      (pipelined)
+//   gpu_util(c)  = gpu_phase / iter_time(c)  (x slight over-allocation decay)
+//
+// The optimal core count is the knee where prep drops below the GPU phase —
+// allocating more cores no longer helps, matching Fig. 3's rise-then-plateau
+// curves and the allocator's stopping rule.
+#pragma once
+
+#include <string>
+
+#include "perfmodel/dnn_model.h"
+
+namespace coda::perfmodel {
+
+// Training configuration in the paper's aNbG notation.
+struct TrainConfig {
+  int nodes = 1;          // a: number of servers
+  int gpus_per_node = 1;  // b / a: GPUs used on each server
+  int batch_size = 0;     // 0 => the model's default batch size
+  double net_gbps = 1.25; // inter-node link, GB/s (paper: 10 Gb/s Infiniband)
+
+  int total_gpus() const { return nodes * gpus_per_node; }
+  // "1N4G"-style label used in tables.
+  std::string name() const;
+};
+
+// Convenience constructors for the configurations the paper evaluates.
+TrainConfig config_1n1g(int batch_size = 0);
+TrainConfig config_1n4g(int batch_size = 0);
+// Canonical multi-node configuration (2 nodes x 2 GPUs); see DESIGN.md.
+TrainConfig config_2n4g(int batch_size = 0);
+
+// Externally-imposed slowdowns from node-level shared-resource contention,
+// produced by NodeContentionModel (contention.h). Defaults mean "no
+// contention".
+struct ContentionFactors {
+  double prep_inflation = 1.0;  // multiplies the CPU prep stage (>= 1)
+  double gpu_inflation = 1.0;   // multiplies the GPU phase (PCIe pressure)
+};
+
+class TrainPerf {
+ public:
+  // CPU data-preparation stage time per iteration on one node (seconds),
+  // given `cores` allocated on that node.
+  double prep_time(ModelId id, const TrainConfig& cfg, int cores,
+                   const ContentionFactors& contention = {}) const;
+
+  // GPU compute phase per iteration, including multi-node gradient
+  // synchronization slowdown and PCIe-pressure inflation.
+  double gpu_phase_time(ModelId id, const TrainConfig& cfg,
+                        const ContentionFactors& contention = {}) const;
+
+  // Wall-clock time per training iteration.
+  double iter_time(ModelId id, const TrainConfig& cfg, int cores,
+                   const ContentionFactors& contention = {}) const;
+
+  // GPU utilization in [0, 1]: fraction of the iteration the GPU computes,
+  // with a slight decay past the optimum (Fig. 3: "drops slightly" when a
+  // job holds more cores than it needs).
+  double gpu_utilization(ModelId id, const TrainConfig& cfg, int cores,
+                         const ContentionFactors& contention = {}) const;
+
+  // Iterations per second (per job, not per GPU).
+  double throughput(ModelId id, const TrainConfig& cfg, int cores,
+                    const ContentionFactors& contention = {}) const;
+
+  // Samples (sequences/images/audio snippets) per second.
+  double samples_per_second(ModelId id, const TrainConfig& cfg, int cores,
+                            const ContentionFactors& contention = {}) const;
+
+  // Peak DRAM bandwidth demand on ONE node (GB/s) when the job runs with
+  // `cores` cores there (Fig. 6). Demand scales with the achieved data rate:
+  // a core-starved job moves less data per second.
+  double mem_bw_demand_gbps(ModelId id, const TrainConfig& cfg,
+                            int cores) const;
+
+  // Average PCIe bandwidth demand on one node (GB/s), Sec. IV-C3.
+  double pcie_demand_gbps(ModelId id, const TrainConfig& cfg,
+                          int cores) const;
+
+  // LLC working-set footprint on one node (MB).
+  double llc_demand_mb(ModelId id, const TrainConfig& cfg) const;
+
+  // Smallest core count that achieves within `tolerance` (relative) of the
+  // best reachable GPU utilization, searching 1..max_cores. This is the
+  // ground-truth optimum the adaptive allocator tries to discover online.
+  int optimal_cores(ModelId id, const TrainConfig& cfg, int max_cores = 28,
+                    double tolerance = 0.01) const;
+
+ private:
+  // Smallest core count where prep no longer bounds the pipeline (the knee
+  // of the utilization curve); max_cores when prep never fits.
+  int saturation_cores(ModelId id, const TrainConfig& cfg,
+                       const ContentionFactors& contention,
+                       int max_cores) const;
+
+  double batch_ratio(ModelId id, const TrainConfig& cfg) const;
+};
+
+}  // namespace coda::perfmodel

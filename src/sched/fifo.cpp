@@ -1,0 +1,69 @@
+#include "sched/fifo.h"
+
+#include "util/assert.h"
+
+namespace coda::sched {
+
+void FifoScheduler::submit(const workload::JobSpec& spec) {
+  queue_.push_back(spec);
+  if (spec.is_gpu_job()) {
+    ++gpu_pending_;
+  }
+}
+
+void FifoScheduler::on_job_finished(const workload::JobSpec&) {}
+
+void FifoScheduler::on_job_evicted(const workload::JobSpec& spec) {
+  // Victims of a node failure go back to the head of the queue.
+  queue_.push_front(spec);
+  if (spec.is_gpu_job()) {
+    ++gpu_pending_;
+  }
+}
+
+void FifoScheduler::kick() {
+  // One pass over the backfill window in arrival order: start everything
+  // that fits right now. Jobs that do not fit stay queued in place; with
+  // window == 1 this degenerates to strict head-of-line-blocking FIFO.
+  int examined = 0;
+  for (auto it = queue_.begin();
+       it != queue_.end() && examined < backfill_window_; ++examined) {
+    auto placement = find_placement(*env_.cluster, baseline_request(*it));
+    if (!placement.has_value()) {
+      ++it;
+      continue;
+    }
+    const auto status = env_.start_job(it->id, *placement);
+    CODA_ASSERT_MSG(status.ok(), "FIFO proposed an infeasible placement");
+    if (it->is_gpu_job()) {
+      --gpu_pending_;
+    }
+    it = queue_.erase(it);
+  }
+}
+
+std::optional<sched::Scheduler::PendingGpuDemand>
+FifoScheduler::min_pending_gpu_demand() const {
+  // Smallest per-node demand among GPU jobs inside the backfill window —
+  // the jobs this policy could actually start next.
+  std::optional<PendingGpuDemand> best;
+  int examined = 0;
+  for (const auto& spec : queue_) {
+    if (examined++ >= backfill_window_) {
+      break;
+    }
+    if (!spec.is_gpu_job()) {
+      continue;
+    }
+    PendingGpuDemand d{spec.train_config.gpus_per_node,
+                       std::max(1, spec.requested_cpus)};
+    if (!best || d.gpus_per_node < best->gpus_per_node ||
+        (d.gpus_per_node == best->gpus_per_node &&
+         d.cpus_per_node < best->cpus_per_node)) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace coda::sched

@@ -1,0 +1,104 @@
+#include "sched/placement.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace coda::sched {
+
+NodeFilter any_node() {
+  return [](const cluster::Node&) { return true; };
+}
+
+PlacementRequest baseline_request(const workload::JobSpec& spec) {
+  PlacementRequest req;
+  if (spec.is_gpu_job()) {
+    req.nodes = spec.train_config.nodes;
+    req.gpus_per_node = spec.train_config.gpus_per_node;
+    req.cpus_per_node = std::max(1, spec.requested_cpus);
+  } else {
+    req.nodes = 1;
+    req.gpus_per_node = 0;
+    req.cpus_per_node = std::max(1, spec.cpu_cores);
+  }
+  return req;
+}
+
+namespace {
+
+// Best-fit score: prefer nodes that would be left with the fewest free GPUs,
+// then the fewest free cores (pack tightly, keep big holes open for big
+// jobs). Lower is better.
+struct Candidate {
+  const cluster::Node* node = nullptr;
+  int free_gpus_after = 0;
+  int free_cpus_after = 0;
+
+  bool operator<(const Candidate& other) const {
+    if (free_gpus_after != other.free_gpus_after) {
+      return free_gpus_after < other.free_gpus_after;
+    }
+    if (free_cpus_after != other.free_cpus_after) {
+      return free_cpus_after < other.free_cpus_after;
+    }
+    return node->id() < other.node->id();
+  }
+};
+
+}  // namespace
+
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request,
+                                        const NodeFilter& filter) {
+  CODA_ASSERT(request.nodes >= 1);
+  CODA_ASSERT(request.cpus_per_node >= 1 || request.gpus_per_node >= 1);
+  std::vector<Candidate> candidates;
+  for (const auto& node : cluster.nodes()) {
+    if (!filter(node)) {
+      continue;
+    }
+    if (!node.can_fit(request.cpus_per_node, request.gpus_per_node)) {
+      continue;
+    }
+    candidates.push_back(
+        Candidate{&node, node.free_gpus() - request.gpus_per_node,
+                  node.free_cpus() - request.cpus_per_node});
+  }
+  if (static_cast<int>(candidates.size()) < request.nodes) {
+    return std::nullopt;
+  }
+  std::sort(candidates.begin(), candidates.end());
+  Placement placement;
+  for (int i = 0; i < request.nodes; ++i) {
+    placement.nodes.push_back(NodePlacement{candidates[static_cast<size_t>(i)].node->id(),
+                                            request.cpus_per_node,
+                                            request.gpus_per_node});
+  }
+  return placement;
+}
+
+int count_feasible(const cluster::Cluster& cluster,
+                   const PlacementRequest& request, const NodeFilter& filter,
+                   int limit) {
+  // Capacity probe: how many *disjoint* placements fit, assuming each node
+  // can host floor(free/need) copies.
+  int total_slots = 0;
+  for (const auto& node : cluster.nodes()) {
+    if (!filter(node)) {
+      continue;
+    }
+    int by_cpu = request.cpus_per_node > 0
+                     ? node.free_cpus() / request.cpus_per_node
+                     : limit;
+    int by_gpu = request.gpus_per_node > 0
+                     ? node.free_gpus() / request.gpus_per_node
+                     : limit;
+    total_slots += std::min(by_cpu, by_gpu);
+    if (total_slots / request.nodes >= limit) {
+      return limit;
+    }
+  }
+  return std::min(limit, total_slots / request.nodes);
+}
+
+}  // namespace coda::sched

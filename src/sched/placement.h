@@ -1,0 +1,48 @@
+// Placement search: find nodes for a job's resource request.
+//
+// All policies use best-fit packing (choose the feasible node that leaves
+// the fewest free GPUs, then the fewest free cores) so that baseline-vs-CODA
+// differences come from the *scheduling policy*, not the packer.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "sched/scheduler.h"
+#include "workload/job.h"
+
+namespace coda::sched {
+
+// Restricts which nodes a search may use; return true to allow.
+using NodeFilter = std::function<bool(const cluster::Node&)>;
+
+// Always-true filter.
+NodeFilter any_node();
+
+// How many CPU cores a placement should give the job on each node.
+// For GPU jobs this is the paper's per-node core count (requested by the
+// owner under the baselines, assigned by the CPU allocator under CODA).
+struct PlacementRequest {
+  int nodes = 1;          // distinct nodes required
+  int gpus_per_node = 0;  // GPUs on each node (0 for CPU jobs)
+  int cpus_per_node = 1;  // cores on each node
+};
+
+// Builds the request implied by a JobSpec under baseline scheduling (the
+// owner's own CPU ask). CODA overrides cpus_per_node.
+PlacementRequest baseline_request(const workload::JobSpec& spec);
+
+// Finds a best-fit placement, or nullopt when the filtered cluster cannot
+// host the request right now. Deterministic: ties break on node id.
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request,
+                                        const NodeFilter& filter = any_node());
+
+// Counts how many requests of this shape could start right now (capacity
+// probes used by array rebalancing); stops counting at `limit`.
+int count_feasible(const cluster::Cluster& cluster,
+                   const PlacementRequest& request, const NodeFilter& filter,
+                   int limit);
+
+}  // namespace coda::sched

@@ -1,0 +1,141 @@
+// Scheduler plug-in interface.
+//
+// The simulation engine (sim/engine.h) drives a Scheduler through three
+// entry points — submit(), on_job_finished(), kick() — and hands it a
+// SchedulerEnv of callbacks for acting on the cluster: starting jobs on
+// chosen nodes, preempting jobs, resizing a job's CPU allocation, and
+// reading live telemetry (GPU utilization, per-node bandwidth). Baselines
+// (FIFO, DRF) and CODA implement the same interface, so every experiment
+// can swap policies without touching the engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "simcore/simulator.h"
+#include "telemetry/mbm.h"
+#include "util/result.h"
+#include "workload/job.h"
+
+namespace coda::sched {
+
+// Where a job runs: one entry per node it occupies.
+struct NodePlacement {
+  cluster::NodeId node = 0;
+  int cpus = 0;
+  int gpus = 0;
+};
+
+struct Placement {
+  std::vector<NodePlacement> nodes;
+
+  int total_cpus() const {
+    int n = 0;
+    for (const auto& p : nodes) {
+      n += p.cpus;
+    }
+    return n;
+  }
+  int total_gpus() const {
+    int n = 0;
+    for (const auto& p : nodes) {
+      n += p.gpus;
+    }
+    return n;
+  }
+};
+
+// Callbacks and services the engine provides to a scheduler. All pointers
+// outlive the scheduler; callbacks must only be invoked from engine-driven
+// entry points or simulator events (single-threaded discrete-event model).
+struct SchedulerEnv {
+  simcore::Simulator* sim = nullptr;
+  const cluster::Cluster* cluster = nullptr;
+
+  // Starts a pending job on the given placement. The engine validates and
+  // performs the node allocations; the scheduler must propose a feasible
+  // placement (checked).
+  std::function<util::Status(cluster::JobId, const Placement&)> start_job;
+
+  // Stops a running job and returns it to "pending" state. When
+  // `keep_progress` is false the job's work done so far is lost (the
+  // paper's CPU-job abort); when true it is preserved (container migration
+  // of GPU jobs between sub-arrays). The scheduler is responsible for
+  // re-queueing the job afterwards.
+  std::function<util::Status(cluster::JobId, bool keep_progress)> preempt_job;
+
+  // Changes the CPU cores a running job holds on one node (adaptive
+  // allocation / core-halving fallback). Fails if the node lacks free cores.
+  std::function<util::Status(cluster::JobId, cluster::NodeId, int new_cpus)>
+      resize_job;
+
+  // Live telemetry probes (simulated nvidia-smi and Intel MBM).
+  telemetry::GpuUtilSource* gpu_util = nullptr;
+  telemetry::BandwidthSource* bandwidth = nullptr;
+
+  // Simulated Intel MBA caps: set_bw_cap fails on non-MBA nodes.
+  std::function<util::Status(cluster::NodeId, cluster::JobId, double)>
+      set_bw_cap;
+  std::function<void(cluster::NodeId, cluster::JobId)> clear_bw_cap;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  // Called once by the engine before the run starts.
+  virtual void attach(const SchedulerEnv& env) { env_ = env; }
+
+  // A new job arrived. Implementations enqueue it; the engine calls kick()
+  // right after.
+  virtual void submit(const workload::JobSpec& spec) = 0;
+
+  // A running job completed (or was preempted by this scheduler and already
+  // re-queued). Bookkeeping hook; the engine calls kick() right after.
+  virtual void on_job_finished(const workload::JobSpec& spec) = 0;
+
+  // The ENGINE forcibly preempted a running job (node failure). The
+  // scheduler must clean its bookkeeping and re-queue the job; the engine
+  // calls kick() after delivering every eviction of the failure. Never
+  // called for preemptions the scheduler itself initiated via
+  // env_.preempt_job.
+  virtual void on_job_evicted(const workload::JobSpec& spec) = 0;
+
+  // Try to start pending jobs given current cluster state. Must be
+  // idempotent when nothing can start.
+  virtual void kick() = 0;
+
+  // Jobs currently queued (all kinds) — metrics hook.
+  virtual size_t pending_jobs() const = 0;
+
+  // GPU jobs currently queued — drives the paper's "active rate when jobs
+  // queue up" metric (Fig. 10).
+  virtual size_t pending_gpu_jobs() const = 0;
+
+  // The most easily placed pending GPU job's per-node demand (fewest GPUs,
+  // then fewest cores) among jobs this policy could start next. Backs the
+  // fragmentation metric of Sec. VI-C: an idle GPU counts as fragmented
+  // when its node cannot host even this demand. nullopt when no GPU job is
+  // pending (or the policy cannot start one next, e.g. FIFO blocked behind
+  // a CPU job).
+  struct PendingGpuDemand {
+    int gpus_per_node = 0;
+    int cpus_per_node = 0;
+  };
+  virtual std::optional<PendingGpuDemand> min_pending_gpu_demand() const = 0;
+
+  // CPU cores on `node` this policy could reclaim on demand for a GPU job
+  // (CODA's preemptible borrowers). Idle GPUs next to reclaimable cores are
+  // not fragmented — a pending GPU job would trigger the eviction. Baselines
+  // cannot reclaim anything.
+  virtual int reclaimable_cpus(cluster::NodeId /*node*/) const { return 0; }
+
+ protected:
+  SchedulerEnv env_;
+};
+
+}  // namespace coda::sched

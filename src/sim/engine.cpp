@@ -1,0 +1,549 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace coda::sim {
+
+ClusterEngine::ClusterEngine(const EngineConfig& config,
+                             sched::Scheduler* scheduler)
+    : config_(config),
+      scheduler_(scheduler),
+      cluster_(config.cluster),
+      mba_(&cluster_),
+      noise_rng_(config.noise_seed),
+      event_log_(config.record_events) {
+  jobs_on_node_.resize(cluster_.node_count());
+  node_reports_.resize(cluster_.node_count());
+
+  sched::SchedulerEnv env;
+  env.sim = &sim_;
+  env.cluster = &cluster_;
+  env.start_job = [this](cluster::JobId id, const sched::Placement& p) {
+    return start_job(id, p);
+  };
+  env.preempt_job = [this](cluster::JobId id, bool keep) {
+    return preempt_job(id, keep);
+  };
+  env.resize_job = [this](cluster::JobId id, cluster::NodeId node,
+                          int cpus) { return resize_job(id, node, cpus); };
+  env.gpu_util = this;
+  env.bandwidth = this;
+  env.set_bw_cap = [this](cluster::NodeId node, cluster::JobId id,
+                          double cap) {
+    auto status = mba_.set_cap(node, id, cap);
+    if (status.ok()) {
+      event_log_.record(sim_.now(), EventKind::kBwCap, id,
+                        static_cast<int>(node), cap);
+      recompute_node(node);
+    }
+    return status;
+  };
+  env.clear_bw_cap = [this](cluster::NodeId node, cluster::JobId id) {
+    mba_.clear_cap(node, id);
+    event_log_.record(sim_.now(), EventKind::kBwCapClear, id,
+                      static_cast<int>(node));
+    recompute_node(node);
+  };
+  scheduler_->attach(env);
+
+  sim_.schedule_periodic(config_.metrics_period_s,
+                         [this] { sample_metrics(); });
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+double ClusterEngine::total_work_of(const workload::JobSpec& spec) const {
+  return spec.is_gpu_job() ? spec.iterations : spec.cpu_work_core_s;
+}
+
+void ClusterEngine::load_trace(const std::vector<workload::JobSpec>& trace) {
+  for (const auto& spec : trace) {
+    inject(spec, spec.submit_time);
+  }
+}
+
+void ClusterEngine::inject(const workload::JobSpec& spec, double t) {
+  CODA_ASSERT_MSG(records_.count(spec.id) == 0, "duplicate job id injected");
+  JobRecord record;
+  record.spec = spec;
+  record.submit_time = t;
+  records_[spec.id] = std::move(record);
+  const cluster::JobId id = spec.id;
+  sim_.schedule_at(t, [this, id] { on_arrival(id); });
+}
+
+void ClusterEngine::on_arrival(cluster::JobId id) {
+  auto it = records_.find(id);
+  CODA_ASSERT(it != records_.end());
+  pending_since_[id] = sim_.now();
+  ++submitted_count_;
+  event_log_.record(sim_.now(), EventKind::kArrival, id);
+  scheduler_->submit(it->second.spec);
+  scheduler_->kick();
+}
+
+void ClusterEngine::run_until(double until) { sim_.run_until(until); }
+
+void ClusterEngine::drain(double hard_cap) {
+  // Periodic metric/eliminator events keep the queue non-empty forever, so
+  // advance in chunks and stop once every submitted job completed.
+  while (sim_.now() < hard_cap && finished_count_ < records_.size()) {
+    sim_.run_until(std::min(hard_cap, sim_.now() + 6.0 * 3600.0));
+  }
+}
+
+// ------------------------------------------------------ scheduler callbacks
+
+util::Status ClusterEngine::start_job(cluster::JobId id,
+                                      const sched::Placement& placement) {
+  auto rec_it = records_.find(id);
+  if (rec_it == records_.end()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       util::strfmt("unknown job %llu",
+                                    static_cast<unsigned long long>(id))};
+  }
+  if (running_.count(id) > 0) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "job is already running"};
+  }
+  if (placement.nodes.empty()) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "placement has no nodes"};
+  }
+  // Allocate on every node, rolling back on failure.
+  for (size_t i = 0; i < placement.nodes.size(); ++i) {
+    const auto& np = placement.nodes[i];
+    auto status = cluster_.node(np.node).allocate(id, np.cpus, np.gpus);
+    if (!status.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        auto release = cluster_.node(placement.nodes[j].node).release(id);
+        CODA_ASSERT(release.ok());
+      }
+      return status;
+    }
+  }
+
+  JobRecord& record = rec_it->second;
+  RunningJob job;
+  job.id = id;
+  job.spec = &record.spec;
+  job.placement = placement;
+  auto rem_it = remaining_work_.find(id);
+  job.remaining = rem_it != remaining_work_.end()
+                      ? rem_it->second
+                      : total_work_of(record.spec);
+  job.last_update = sim_.now();
+  auto [it, inserted] = running_.emplace(id, std::move(job));
+  CODA_ASSERT(inserted);
+  RunningJob& running = it->second;
+  for (const auto& np : placement.nodes) {
+    jobs_on_node_[np.node].push_back(id);
+    running.nodes[np.node].cpus = np.cpus;
+    rebuild_footprint(running, np.node);
+  }
+  for (const auto& np : placement.nodes) {
+    recompute_node(np.node);
+  }
+
+  // Queueing accounting.
+  auto pend_it = pending_since_.find(id);
+  CODA_ASSERT(pend_it != pending_since_.end());
+  record.queue_time_total += sim_.now() - pend_it->second;
+  if (record.first_start_time < 0.0) {
+    record.first_start_time = sim_.now();
+  }
+  pending_since_.erase(pend_it);
+  event_log_.record(sim_.now(), EventKind::kStart, id,
+                    static_cast<int>(placement.nodes.front().node),
+                    placement.total_cpus());
+  return util::Status::Ok();
+}
+
+util::Status ClusterEngine::preempt_job(cluster::JobId id,
+                                        bool keep_progress) {
+  auto status = stop_running_job(id, keep_progress);
+  if (status.ok()) {
+    event_log_.record(sim_.now(), EventKind::kPreempt, id, -1,
+                      keep_progress ? 1.0 : 0.0);
+  }
+  return status;
+}
+
+util::Status ClusterEngine::stop_running_job(cluster::JobId id,
+                                             bool keep_progress) {
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    return util::Error{util::ErrorCode::kNotFound, "job is not running"};
+  }
+  RunningJob& job = it->second;
+  advance_progress(job);
+  if (keep_progress) {
+    remaining_work_[id] = job.remaining;
+  } else {
+    remaining_work_.erase(id);
+  }
+  job.finish_event.cancel();
+  std::vector<cluster::NodeId> affected;
+  for (const auto& np : job.placement.nodes) {
+    auto& list = jobs_on_node_[np.node];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    auto release = cluster_.node(np.node).release(id);
+    CODA_ASSERT(release.ok());
+    affected.push_back(np.node);
+  }
+  mba_.clear_job(id);
+  running_.erase(it);
+  for (cluster::NodeId node : affected) {
+    recompute_node(node);
+  }
+  records_[id].preempt_count += 1;
+  pending_since_[id] = sim_.now();
+  return util::Status::Ok();
+}
+
+util::Status ClusterEngine::resize_job(cluster::JobId id,
+                                       cluster::NodeId node, int new_cpus) {
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    return util::Error{util::ErrorCode::kNotFound, "job is not running"};
+  }
+  RunningJob& job = it->second;
+  auto node_it = job.nodes.find(node);
+  if (node_it == job.nodes.end()) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       "job holds nothing on that node"};
+  }
+  auto status = cluster_.node(node).resize_cpus(id, new_cpus);
+  if (!status.ok()) {
+    return status;
+  }
+  node_it->second.cpus = new_cpus;
+  for (auto& np : job.placement.nodes) {
+    if (np.node == node) {
+      np.cpus = new_cpus;
+    }
+  }
+  rebuild_footprint(job, node);
+  recompute_node(node);
+  event_log_.record(sim_.now(), EventKind::kResize, id,
+                    static_cast<int>(node), new_cpus);
+  return util::Status::Ok();
+}
+
+util::Status ClusterEngine::fail_node(cluster::NodeId node_id) {
+  cluster::Node& node = cluster_.node(node_id);
+  if (node.failed()) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "node is already down"};
+  }
+  // Evict every resident job (multi-node jobs die wholesale: the failed
+  // leg takes the gang down). Snapshot ids first: eviction mutates lists.
+  const std::vector<cluster::JobId> victims = jobs_on_node_[node_id];
+  for (cluster::JobId id : victims) {
+    if (running_.count(id) == 0) {
+      continue;  // already evicted as another leg of a multi-node job
+    }
+    const workload::JobSpec spec = records_.at(id).spec;
+    auto status = stop_running_job(id, /*keep_progress=*/false);
+    CODA_ASSERT(status.ok());
+    event_log_.record(sim_.now(), EventKind::kEvict, id,
+                      static_cast<int>(node_id));
+    scheduler_->on_job_evicted(spec);
+  }
+  node.set_failed(true);
+  ++node_failures_;
+  event_log_.record(sim_.now(), EventKind::kNodeFail, 0,
+                    static_cast<int>(node_id));
+  metrics_.increment("node_failures");
+  scheduler_->kick();
+  return util::Status::Ok();
+}
+
+util::Status ClusterEngine::recover_node(cluster::NodeId node_id) {
+  cluster::Node& node = cluster_.node(node_id);
+  if (!node.failed()) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "node is not down"};
+  }
+  node.set_failed(false);
+  event_log_.record(sim_.now(), EventKind::kNodeRecover, 0,
+                    static_cast<int>(node_id));
+  scheduler_->kick();
+  return util::Status::Ok();
+}
+
+void ClusterEngine::schedule_node_outage(cluster::NodeId node, double at,
+                                         double outage_s) {
+  CODA_ASSERT(outage_s > 0.0);
+  sim_.schedule_at(at, [this, node] { (void)fail_node(node); });
+  sim_.schedule_at(at + outage_s, [this, node] { (void)recover_node(node); });
+}
+
+void ClusterEngine::finish_job(cluster::JobId id) {
+  auto it = running_.find(id);
+  CODA_ASSERT(it != running_.end());
+  RunningJob& job = it->second;
+  advance_progress(job);
+
+  JobRecord& record = records_[id];
+  record.finish_time = sim_.now();
+  record.completed = true;
+  record.final_cpus = job.placement.nodes.front().cpus;
+
+  std::vector<cluster::NodeId> affected;
+  for (const auto& np : job.placement.nodes) {
+    auto& list = jobs_on_node_[np.node];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    auto release = cluster_.node(np.node).release(id);
+    CODA_ASSERT(release.ok());
+    affected.push_back(np.node);
+  }
+  mba_.clear_job(id);
+  running_.erase(it);
+  remaining_work_.erase(id);
+  ++finished_count_;
+  event_log_.record(sim_.now(), EventKind::kFinish, id);
+  for (cluster::NodeId node : affected) {
+    recompute_node(node);
+  }
+  scheduler_->on_job_finished(record.spec);
+  scheduler_->kick();
+}
+
+// ----------------------------------------------------- contention and rates
+
+void ClusterEngine::rebuild_footprint(RunningJob& job, cluster::NodeId node) {
+  PerNodeState& st = job.nodes[node];
+  perfmodel::ResourceFootprint& fp = st.footprint;
+  fp.job = job.id;
+  const workload::JobSpec& spec = *job.spec;
+  if (spec.is_gpu_job()) {
+    const auto& params = perfmodel::model_params(spec.model);
+    fp.is_gpu_job = true;
+    fp.mem_bw_gbps =
+        perf_.mem_bw_demand_gbps(spec.model, spec.train_config, st.cpus);
+    fp.pcie_gbps =
+        perf_.pcie_demand_gbps(spec.model, spec.train_config, st.cpus);
+    fp.llc_mb = perf_.llc_demand_mb(spec.model, spec.train_config);
+    fp.bw_latency_sensitivity = params.bw_latency_sensitivity;
+    fp.bw_share_dependence = params.bw_share_dependence;
+    fp.llc_sensitivity = params.llc_sensitivity;
+    fp.mem_bw_cap_gbps = -1.0;  // DNN jobs are never throttled
+  } else {
+    fp.is_gpu_job = false;
+    // A CPU job shrunk by the eliminator moves proportionally less data.
+    const double scale =
+        spec.cpu_cores > 0
+            ? static_cast<double>(st.cpus) / spec.cpu_cores
+            : 1.0;
+    fp.mem_bw_gbps = spec.mem_bw_gbps * std::min(1.0, scale);
+    fp.pcie_gbps = 0.0;
+    fp.llc_mb = spec.llc_mb;
+    fp.bw_bound_fraction = spec.bw_bound_fraction;
+  }
+}
+
+void ClusterEngine::recompute_node(cluster::NodeId node) {
+  std::vector<perfmodel::ResourceFootprint> footprints;
+  footprints.reserve(jobs_on_node_[node].size());
+  for (cluster::JobId id : jobs_on_node_[node]) {
+    auto it = running_.find(id);
+    CODA_ASSERT(it != running_.end());
+    PerNodeState& st = it->second.nodes.at(node);
+    if (!st.footprint.is_gpu_job) {
+      st.footprint.mem_bw_cap_gbps = mba_.cap(node, id);  // live MBA view
+    }
+    footprints.push_back(st.footprint);
+  }
+  node_reports_[node] =
+      contention_.resolve(cluster_.node(node).config(), footprints);
+  const auto& report = node_reports_[node];
+  for (size_t i = 0; i < report.jobs.size(); ++i) {
+    const cluster::JobId id = report.jobs[i].job;
+    RunningJob& job = running_.at(id);
+    PerNodeState& st = job.nodes.at(node);
+    st.factors = report.jobs[i].factors;
+    st.cpu_rate_factor = report.jobs[i].cpu_rate_factor;
+    st.achieved_bw = report.jobs[i].achieved_bw_gbps;
+    update_rate(job);
+  }
+}
+
+void ClusterEngine::advance_progress(RunningJob& job) {
+  const double dt = sim_.now() - job.last_update;
+  if (dt > 0.0) {
+    job.remaining = std::max(0.0, job.remaining - job.rate * dt);
+  }
+  job.last_update = sim_.now();
+}
+
+void ClusterEngine::update_rate(RunningJob& job) {
+  advance_progress(job);
+  const workload::JobSpec& spec = *job.spec;
+  if (spec.is_gpu_job()) {
+    // The slowest node gates a synchronous data-parallel job.
+    double iter = 0.0;
+    double util = 1.0;
+    for (const auto& [node, st] : job.nodes) {
+      iter = std::max(iter, perf_.iter_time(spec.model, spec.train_config,
+                                            std::max(1, st.cpus),
+                                            st.factors));
+      util = std::min(util, perf_.gpu_utilization(
+                                spec.model, spec.train_config,
+                                std::max(1, st.cpus), st.factors));
+    }
+    CODA_ASSERT(iter > 0.0);
+    job.rate = 1.0 / iter;
+    job.gpu_util = util;
+  } else {
+    const auto& st = job.nodes.begin()->second;
+    job.rate = std::max(1, st.cpus) * st.cpu_rate_factor;
+    job.gpu_util = 0.0;
+  }
+  reschedule_finish(job);
+}
+
+void ClusterEngine::reschedule_finish(RunningJob& job) {
+  job.finish_event.cancel();
+  CODA_ASSERT(job.rate > 0.0);
+  const double dt = job.remaining / job.rate;
+  const cluster::JobId id = job.id;
+  job.finish_event =
+      sim_.schedule_after(dt, [this, id] { finish_job(id); });
+}
+
+// ----------------------------------------------------------------- probes
+
+telemetry::NodeBandwidthSample ClusterEngine::sample(
+    cluster::NodeId node) const {
+  telemetry::NodeBandwidthSample s;
+  s.node = node;
+  s.capacity_gbps = cluster_.node(node).config().mem_bw_gbps;
+  const auto& report = node_reports_[node];
+  for (const auto& jc : report.jobs) {
+    auto it = running_.find(jc.job);
+    if (it == running_.end()) {
+      continue;  // finished since the last recompute
+    }
+    telemetry::JobBandwidth jb;
+    jb.job = jc.job;
+    jb.is_gpu_job = it->second.spec->is_gpu_job();
+    jb.gbps = jc.achieved_bw_gbps;
+    s.total_gbps += jb.gbps;
+    s.jobs.push_back(jb);
+  }
+  return s;
+}
+
+double ClusterEngine::gpu_utilization(cluster::JobId job) const {
+  auto it = running_.find(job);
+  if (it == running_.end() || !it->second.spec->is_gpu_job()) {
+    return -1.0;
+  }
+  double util = it->second.gpu_util;
+  if (config_.util_noise_stddev > 0.0) {
+    // Jittered probe: what a real 90 s utilization sample looks like.
+    util *= 1.0 + noise_rng_.normal(0.0, config_.util_noise_stddev);
+  }
+  return std::clamp(util, 0.0, 1.0);
+}
+
+double ClusterEngine::expected_gpu_utilization(cluster::JobId job) const {
+  auto it = running_.find(job);
+  if (it == running_.end() || !it->second.spec->is_gpu_job()) {
+    return -1.0;
+  }
+  const RunningJob& r = it->second;
+  double util = 1.0;
+  for (const auto& [node, st] : r.nodes) {
+    util = std::min(util, perf_.gpu_utilization(r.spec->model,
+                                                r.spec->train_config,
+                                                std::max(1, st.cpus)));
+  }
+  return util;
+}
+
+// ----------------------------------------------------------------- metrics
+
+void ClusterEngine::sample_metrics() {
+  const double t = sim_.now();
+  metrics_.sample("gpu_active_rate", t, cluster_.gpu_active_rate());
+  metrics_.sample("cpu_active_rate", t, cluster_.cpu_active_rate());
+
+  // Fragmentation (Sec. VI-C): idle GPUs that cannot serve even the most
+  // easily placed pending GPU job. The paper's headline numbers are
+  // *case 1* — the node has the GPUs but lacks CPU cores; *case 2* — the
+  // node lacks enough adjacent GPUs — is tracked separately (the multi-array
+  // scheduler is the paper's fix for it). Zero when nothing is pending: an
+  // idle GPU without demand is spare capacity, not waste.
+  double frag_cpu = 0.0;
+  double frag_adjacency = 0.0;
+  if (auto demand = scheduler_->min_pending_gpu_demand()) {
+    int cpu_starved = 0;
+    int adjacency = 0;
+    for (const auto& node : cluster_.nodes()) {
+      if (node.free_gpus() == 0) {
+        continue;
+      }
+      if (node.free_gpus() < demand->gpus_per_node) {
+        adjacency += node.free_gpus();
+      } else if (node.free_cpus() +
+                     scheduler_->reclaimable_cpus(node.id()) <
+                 demand->cpus_per_node) {
+        cpu_starved += node.free_gpus();
+      }
+    }
+    frag_cpu = static_cast<double>(cpu_starved) / cluster_.total_gpus();
+    frag_adjacency = static_cast<double>(adjacency) / cluster_.total_gpus();
+  }
+  metrics_.sample("gpu_frag_rate", t, frag_cpu);
+  metrics_.sample("gpu_frag_case2_rate", t, frag_adjacency);
+  metrics_.sample("pending_jobs", t,
+                  static_cast<double>(scheduler_->pending_jobs()));
+  metrics_.sample("pending_gpu_jobs", t,
+                  static_cast<double>(scheduler_->pending_gpu_jobs()));
+
+  // GPU utilization averaged over *active* GPUs (the paper's definition);
+  // CPU utilization over active cores.
+  double gpu_util_weighted = 0.0;
+  int active_gpus = 0;
+  double cpu_busy = 0.0;
+  int active_cores = 0;
+  for (const auto& [id, job] : running_) {
+    const workload::JobSpec& spec = *job.spec;
+    if (spec.is_gpu_job()) {
+      const int gpus = spec.total_gpus();
+      gpu_util_weighted += job.gpu_util * gpus;
+      active_gpus += gpus;
+      for (const auto& [node, st] : job.nodes) {
+        const double prep = perf_.prep_time(spec.model, spec.train_config,
+                                            std::max(1, st.cpus), st.factors);
+        const double iter = 1.0 / job.rate;
+        cpu_busy += st.cpus * std::min(1.0, prep / iter);
+        active_cores += st.cpus;
+      }
+    } else {
+      const auto& st = job.nodes.begin()->second;
+      cpu_busy += st.cpus * st.cpu_rate_factor;
+      active_cores += st.cpus;
+    }
+  }
+  metrics_.sample("gpu_util_active", t,
+                  active_gpus > 0 ? gpu_util_weighted / active_gpus : 0.0);
+  metrics_.sample("cpu_util_active", t,
+                  active_cores > 0 ? cpu_busy / active_cores : 0.0);
+
+  double pressure = 0.0;
+  for (const auto& report : node_reports_) {
+    pressure += std::min(1.0, report.mem_pressure);
+  }
+  metrics_.sample("mem_pressure_mean", t,
+                  pressure / static_cast<double>(node_reports_.size()));
+}
+
+}  // namespace coda::sim

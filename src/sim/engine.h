@@ -1,0 +1,196 @@
+// ClusterEngine: the discrete-event simulation of the multi-tenant GPU
+// cluster. Binds the cluster model, the DNN performance model, the
+// contention model, simulated MBM/MBA telemetry and a pluggable scheduler
+// into one runnable experiment.
+//
+// Mechanics: jobs carry total work (training iterations for GPU jobs,
+// core-seconds for CPU jobs) and progress at piecewise-constant rates. Any
+// event that changes a node's population or allocations (start, finish,
+// preemption, resize, MBA cap) re-resolves that node's contention, updates
+// the affected jobs' rates exactly (integrating progress up to now) and
+// re-schedules their completion events. Everything is deterministic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "perfmodel/contention.h"
+#include "sim/event_log.h"
+#include "util/rng.h"
+#include "perfmodel/train_perf.h"
+#include "sched/scheduler.h"
+#include "simcore/simulator.h"
+#include "telemetry/mba.h"
+#include "telemetry/mbm.h"
+#include "telemetry/metrics.h"
+#include "workload/job.h"
+
+namespace coda::sim {
+
+struct EngineConfig {
+  cluster::ClusterConfig cluster;
+  double metrics_period_s = 60.0;
+  // A node's idle GPUs count as fragmented when fewer than this many cores
+  // remain free beside them (Sec. VI-C, fragmentation case 1).
+  int frag_min_cpus = 2;
+
+  // Multiplicative Gaussian noise on the GPU-utilization *probe* (the
+  // nvidia-smi stand-in): real 90-second utilization samples jitter, and
+  // the adaptive allocator must survive that. 0 = noiseless. Noise only
+  // affects what schedulers observe, never the true progress rates, and is
+  // drawn deterministically from `noise_seed`.
+  double util_noise_stddev = 0.0;
+  uint64_t noise_seed = 12345;
+
+  // Record every externally-visible scheduling action into an EventLog
+  // (see sim/event_log.h). Off by default: a month-long replay produces
+  // hundreds of thousands of events.
+  bool record_events = false;
+};
+
+// Per-job lifecycle record; the raw material for every queueing/latency
+// figure in the evaluation.
+struct JobRecord {
+  workload::JobSpec spec;
+  double submit_time = 0.0;
+  double first_start_time = -1.0;  // -1 while never started
+  double finish_time = -1.0;       // -1 while unfinished
+  double queue_time_total = 0.0;   // total time spent pending
+  int preempt_count = 0;
+  int final_cpus = 0;              // cores per node at finish
+  bool completed = false;
+
+  // Queueing delay until the first start (the paper's queuing time).
+  double initial_queue_time() const {
+    return first_start_time >= 0.0 ? first_start_time - submit_time : -1.0;
+  }
+  double end_to_end_latency() const {
+    return finish_time >= 0.0 ? finish_time - submit_time : -1.0;
+  }
+};
+
+class ClusterEngine : public telemetry::BandwidthSource,
+                      public telemetry::GpuUtilSource {
+ public:
+  ClusterEngine(const EngineConfig& config, sched::Scheduler* scheduler);
+  ~ClusterEngine() override;
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  // Registers a whole trace: arrival events are scheduled at each job's
+  // submit_time. Call before run().
+  void load_trace(const std::vector<workload::JobSpec>& trace);
+
+  // Injects a single job arriving at time `t` (>= now). Tests/examples.
+  void inject(const workload::JobSpec& spec, double t);
+
+  // ---- failure injection ----
+  // Fails a node now: every resident job is evicted (progress lost), the
+  // scheduler is notified per job via on_job_evicted, and the node accepts
+  // no allocations until recover_node. Fails with kFailedPrecondition if
+  // the node is already down.
+  util::Status fail_node(cluster::NodeId node);
+  // Brings a failed node back and kicks the scheduler.
+  util::Status recover_node(cluster::NodeId node);
+  // Convenience: schedules a fail at `at` and a recovery `outage_s` later.
+  void schedule_node_outage(cluster::NodeId node, double at,
+                            double outage_s);
+  int node_failures() const { return node_failures_; }
+
+  // Runs the simulation until simulated time `until`.
+  void run_until(double until);
+  // Keeps running until every submitted job finished or `hard_cap` is hit.
+  void drain(double hard_cap);
+
+  simcore::Simulator& sim() { return sim_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+  const telemetry::MetricRegistry& metrics() const { return metrics_; }
+  const std::map<cluster::JobId, JobRecord>& records() const {
+    return records_;
+  }
+  size_t running_jobs() const { return running_.size(); }
+  size_t finished_jobs() const { return finished_count_; }
+  const EventLog& event_log() const { return event_log_; }
+
+  // ---- telemetry interfaces (simulated MBM / nvidia-smi) ----
+  telemetry::NodeBandwidthSample sample(cluster::NodeId node) const override;
+  double gpu_utilization(cluster::JobId job) const override;
+
+  // No-contention utilization a running GPU job should reach with its
+  // current cores (the eliminator's reference); -1 for unknown jobs.
+  double expected_gpu_utilization(cluster::JobId job) const;
+
+ private:
+  struct PerNodeState {
+    int cpus = 0;
+    perfmodel::ResourceFootprint footprint;
+    perfmodel::ContentionFactors factors;
+    double cpu_rate_factor = 1.0;
+    double achieved_bw = 0.0;
+  };
+
+  struct RunningJob {
+    cluster::JobId id = 0;
+    const workload::JobSpec* spec = nullptr;  // owned by records_
+    sched::Placement placement;
+    std::map<cluster::NodeId, PerNodeState> nodes;
+    double remaining = 0.0;    // iterations (GPU) or core-seconds (CPU)
+    double rate = 0.0;         // per simulated second
+    double last_update = 0.0;
+    double gpu_util = 0.0;     // cached, refreshed on every rate update
+    simcore::EventHandle finish_event;
+  };
+
+  // Scheduler-facing callbacks (wired into SchedulerEnv).
+  util::Status start_job(cluster::JobId id, const sched::Placement& p);
+  util::Status preempt_job(cluster::JobId id, bool keep_progress);
+  // Shared stop-and-release path behind preempt_job and fail_node.
+  util::Status stop_running_job(cluster::JobId id, bool keep_progress);
+  util::Status resize_job(cluster::JobId id, cluster::NodeId node,
+                          int new_cpus);
+
+  void on_arrival(cluster::JobId id);
+  void finish_job(cluster::JobId id);
+
+  // Rebuilds the job's shared-resource footprint on one node (after a start
+  // or a core-count change there).
+  void rebuild_footprint(RunningJob& job, cluster::NodeId node);
+  // Re-resolves contention on a node and updates every resident job's rate.
+  void recompute_node(cluster::NodeId node);
+  void update_rate(RunningJob& job);
+  void advance_progress(RunningJob& job);
+  void reschedule_finish(RunningJob& job);
+  double total_work_of(const workload::JobSpec& spec) const;
+
+  void sample_metrics();
+
+  EngineConfig config_;
+  sched::Scheduler* scheduler_;
+  simcore::Simulator sim_;
+  cluster::Cluster cluster_;
+  perfmodel::TrainPerf perf_;
+  perfmodel::NodeContentionModel contention_;
+  telemetry::MbaController mba_;
+  telemetry::MetricRegistry metrics_;
+  mutable util::Rng noise_rng_;
+  EventLog event_log_;
+
+  std::map<cluster::JobId, JobRecord> records_;
+  std::map<cluster::JobId, RunningJob> running_;
+  // Jobs resident on each node (GPU jobs may appear on several nodes).
+  std::vector<std::vector<cluster::JobId>> jobs_on_node_;
+  // Last contention report per node (backs the MBM sample()).
+  std::vector<perfmodel::NodeContentionReport> node_reports_;
+  std::map<cluster::JobId, double> pending_since_;
+  std::map<cluster::JobId, double> remaining_work_;  // preserved on migration
+
+  size_t finished_count_ = 0;
+  size_t submitted_count_ = 0;
+  int node_failures_ = 0;
+};
+
+}  // namespace coda::sim

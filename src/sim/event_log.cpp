@@ -1,0 +1,68 @@
+#include "sim/event_log.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coda::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival:
+      return "arrival";
+    case EventKind::kStart:
+      return "start";
+    case EventKind::kFinish:
+      return "finish";
+    case EventKind::kPreempt:
+      return "preempt";
+    case EventKind::kEvict:
+      return "evict";
+    case EventKind::kResize:
+      return "resize";
+    case EventKind::kBwCap:
+      return "bw_cap";
+    case EventKind::kBwCapClear:
+      return "bw_cap_clear";
+    case EventKind::kNodeFail:
+      return "node_fail";
+    case EventKind::kNodeRecover:
+      return "node_recover";
+  }
+  return "?";
+}
+
+size_t EventLog::count(EventKind kind) const {
+  size_t n = 0;
+  for (const auto& event : events_) {
+    n += event.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::for_job(cluster::JobId job) const {
+  std::vector<Event> out;
+  for (const auto& event : events_) {
+    if (event.job == job) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+util::Status EventLog::save_csv(const std::string& path) const {
+  util::CsvDocument doc;
+  doc.header = {"t", "kind", "job", "node", "value"};
+  doc.rows.reserve(events_.size());
+  for (const auto& event : events_) {
+    doc.rows.push_back({
+        util::strfmt("%.3f", event.t),
+        to_string(event.kind),
+        util::strfmt("%llu", static_cast<unsigned long long>(event.job)),
+        util::strfmt("%d", event.node),
+        util::strfmt("%.3f", event.value),
+    });
+  }
+  return util::write_csv_file(path, doc);
+}
+
+}  // namespace coda::sim

@@ -1,0 +1,79 @@
+// One-call experiment runner: replay a trace under a scheduling policy and
+// collect the aggregates the paper's evaluation reports. Shared by the
+// benchmark binaries, the examples, and the integration tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coda/coda_scheduler.h"
+#include "sim/engine.h"
+#include "workload/trace_gen.h"
+
+namespace coda::sim {
+
+enum class Policy { kFifo = 0, kDrf, kCoda };
+
+const char* to_string(Policy policy);
+
+struct ExperimentConfig {
+  EngineConfig engine;
+  core::CodaConfig coda;     // used when policy == kCoda
+  double horizon_s = 0.0;    // trace window end; 0 => max submit time
+  double drain_slack_s = 2.0 * 86400.0;  // extra time to let jobs finish
+};
+
+// Aggregated outcome of one replay.
+struct ExperimentReport {
+  std::string scheduler;
+  size_t submitted = 0;
+  size_t completed = 0;
+  double horizon_s = 0.0;
+
+  // Fig. 10 headline metrics, time-weighted over the trace window.
+  double gpu_active_rate = 0.0;
+  double gpu_util_active = 0.0;   // per active GPU (paper's utilization)
+  double gpu_util_overall = 0.0;  // active rate x utilization
+  double cpu_active_rate = 0.0;
+  double cpu_util_active = 0.0;
+  double frag_rate = 0.0;         // Sec. VI-C case 1 (CPU-starved GPUs)
+  double frag_case2_rate = 0.0;   // Sec. VI-C case 2 (GPU adjacency)
+  // Same metrics restricted to samples where GPU jobs were queued — the
+  // paper's "when the jobs queue up for the resource allocation" framing.
+  double gpu_active_when_queued = 0.0;
+  double frag_when_queued = 0.0;
+  double queued_time_fraction = 0.0;  // fraction of samples with a backlog
+
+  // Queueing samples (Fig. 11/12); censored jobs (never started) count with
+  // their waiting time up to the horizon.
+  std::vector<double> gpu_queue_times;
+  std::vector<double> cpu_queue_times;
+  std::map<cluster::TenantId, std::vector<double>> queue_by_tenant;
+
+  // Per-job drill-down (Fig. 13) and the CODA audit trail (Fig. 14/Tbl. II).
+  std::vector<JobRecord> records;
+  std::vector<core::CodaScheduler::TuningOutcome> tuning_outcomes;
+  core::EliminatorStats eliminator_stats;
+  int preemptions = 0;
+  int migrations = 0;
+
+  // Time series kept for trend plots (Fig. 1 / Fig. 10 curves).
+  util::TimeSeries gpu_active_series;
+  util::TimeSeries gpu_util_series;
+  util::TimeSeries cpu_active_series;
+  util::TimeSeries cpu_util_series;
+};
+
+// Replays `trace` under `policy` and aggregates the report.
+ExperimentReport run_experiment(Policy policy,
+                                const std::vector<workload::JobSpec>& trace,
+                                const ExperimentConfig& config = {});
+
+// The evaluation's standard downscaled trace: one week at the paper's daily
+// job rate (the full month runs in the same shape but 4x slower), on the
+// 80-node / 400-GPU cluster.
+workload::TraceConfig standard_week_trace(uint64_t seed = 42);
+
+}  // namespace coda::sim

@@ -1,0 +1,90 @@
+#include "sim/report_io.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coda::sim {
+
+util::Status save_report_csv(const ExperimentReport& report,
+                             const std::string& directory,
+                             const std::string& prefix) {
+  const std::string base = directory + "/" + prefix;
+
+  // ---- summary ----
+  util::CsvDocument summary;
+  summary.header = {"scheduler",       "submitted",
+                    "completed",       "horizon_s",
+                    "gpu_active_rate", "gpu_util_active",
+                    "gpu_util_overall", "cpu_active_rate",
+                    "cpu_util_active", "frag_rate",
+                    "frag_case2_rate", "gpu_active_when_queued",
+                    "preemptions",     "migrations",
+                    "mba_throttles",   "core_halvings"};
+  summary.rows.push_back({
+      report.scheduler,
+      util::strfmt("%zu", report.submitted),
+      util::strfmt("%zu", report.completed),
+      util::strfmt("%.1f", report.horizon_s),
+      util::strfmt("%.4f", report.gpu_active_rate),
+      util::strfmt("%.4f", report.gpu_util_active),
+      util::strfmt("%.4f", report.gpu_util_overall),
+      util::strfmt("%.4f", report.cpu_active_rate),
+      util::strfmt("%.4f", report.cpu_util_active),
+      util::strfmt("%.4f", report.frag_rate),
+      util::strfmt("%.4f", report.frag_case2_rate),
+      util::strfmt("%.4f", report.gpu_active_when_queued),
+      util::strfmt("%d", report.preemptions),
+      util::strfmt("%d", report.migrations),
+      util::strfmt("%d", report.eliminator_stats.mba_throttles),
+      util::strfmt("%d", report.eliminator_stats.core_halvings),
+  });
+  if (auto status = util::write_csv_file(base + "_summary.csv", summary);
+      !status.ok()) {
+    return status;
+  }
+
+  // ---- time series (all sampled on the same metric ticks) ----
+  util::CsvDocument series;
+  series.header = {"t", "gpu_active", "gpu_util", "cpu_active", "cpu_util"};
+  const size_t n = report.gpu_active_series.size();
+  for (size_t i = 0; i < n; ++i) {
+    series.rows.push_back({
+        util::strfmt("%.1f", report.gpu_active_series.at(i).t),
+        util::strfmt("%.4f", report.gpu_active_series.at(i).value),
+        util::strfmt("%.4f", report.gpu_util_series.at(i).value),
+        util::strfmt("%.4f", report.cpu_active_series.at(i).value),
+        util::strfmt("%.4f", report.cpu_util_series.at(i).value),
+    });
+  }
+  if (auto status = util::write_csv_file(base + "_series.csv", series);
+      !status.ok()) {
+    return status;
+  }
+
+  // ---- per-job outcomes ----
+  util::CsvDocument jobs;
+  jobs.header = {"job",        "kind",       "tenant",     "submit_s",
+                 "queue_s",    "processing_s", "latency_s", "preempts",
+                 "final_cpus", "completed"};
+  for (const auto& record : report.records) {
+    const double processing =
+        record.completed ? record.finish_time - record.first_start_time
+                         : -1.0;
+    jobs.rows.push_back({
+        util::strfmt("%llu",
+                     static_cast<unsigned long long>(record.spec.id)),
+        workload::to_string(record.spec.kind),
+        util::strfmt("%u", record.spec.tenant),
+        util::strfmt("%.1f", record.submit_time),
+        util::strfmt("%.1f", record.queue_time_total),
+        util::strfmt("%.1f", processing),
+        util::strfmt("%.1f", record.end_to_end_latency()),
+        util::strfmt("%d", record.preempt_count),
+        util::strfmt("%d", record.final_cpus),
+        record.completed ? "1" : "0",
+    });
+  }
+  return util::write_csv_file(base + "_jobs.csv", jobs);
+}
+
+}  // namespace coda::sim

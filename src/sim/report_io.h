@@ -1,0 +1,22 @@
+// CSV export of experiment reports: plot-ready files for the time series,
+// the per-job queueing samples and the headline summary. Lets users
+// regenerate the paper's figures with their plotting tool of choice.
+#pragma once
+
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/result.h"
+
+namespace coda::sim {
+
+// Writes three files under `directory`:
+//   <prefix>_summary.csv  — one row of headline metrics
+//   <prefix>_series.csv   — t, gpu_active, gpu_util, cpu_active, cpu_util
+//   <prefix>_jobs.csv     — per-job kind/tenant/queue/processing/latency
+// Fails with kIoError when the directory is not writable.
+util::Status save_report_csv(const ExperimentReport& report,
+                             const std::string& directory,
+                             const std::string& prefix);
+
+}  // namespace coda::sim

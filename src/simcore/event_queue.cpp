@@ -1,0 +1,54 @@
+#include "simcore/event_queue.h"
+
+#include "util/assert.h"
+
+namespace coda::simcore {
+
+EventHandle EventQueue::push(SimTime t, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{t, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  CODA_ASSERT(!heap_.empty());
+  return heap_.top().t;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  CODA_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small parts and move the functor by re-wrapping.
+  Entry top = heap_.top();
+  heap_.pop();
+  *top.cancelled = true;  // mark fired so handles report !pending()
+  return Popped{top.t, std::move(top.fn)};
+}
+
+size_t EventQueue::live_count() const {
+  // Count non-cancelled entries; requires copying the heap (tests only).
+  auto copy = heap_;
+  size_t n = 0;
+  while (!copy.empty()) {
+    if (!*copy.top().cancelled) {
+      ++n;
+    }
+    copy.pop();
+  }
+  return n;
+}
+
+}  // namespace coda::simcore

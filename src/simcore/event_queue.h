@@ -1,0 +1,90 @@
+// Cancellable priority event queue for the discrete-event simulator.
+//
+// Events are ordered by (time, insertion sequence): ties in simulated time
+// resolve in schedule order, which keeps runs bit-for-bit deterministic.
+// Cancellation is lazy — a cancelled entry stays in the heap and is skipped
+// at pop time — so cancel is O(1) and pop stays O(log n) amortized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace coda::simcore {
+
+using SimTime = double;  // simulated seconds since experiment start
+
+using EventFn = std::function<void()>;
+
+// Handle to a scheduled event; lets callers cancel it before it fires.
+// Copyable; all copies refer to the same scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True while the event is scheduled and not yet fired/cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  // Cancels the event if still pending; no-op otherwise.
+  void cancel() {
+    if (state_) {
+      *state_ = true;
+    }
+  }
+
+ private:
+  friend class EventQueue;
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<bool> state_;  // true once cancelled or fired
+};
+
+class EventQueue {
+ public:
+  // Enqueues `fn` at simulated time `t`. Times may be scheduled in any order
+  // but must not precede the last popped time (checked by the Simulator).
+  EventHandle push(SimTime t, EventFn fn);
+
+  // True when no live (non-cancelled) events remain.
+  bool empty();
+
+  // Time of the earliest live event; requires !empty().
+  SimTime next_time();
+
+  // Pops and returns the earliest live event; requires !empty().
+  struct Popped {
+    SimTime t;
+    EventFn fn;
+  };
+  Popped pop();
+
+  // Number of live events (O(n): debugging/tests only).
+  size_t live_count() const;
+
+ private:
+  struct Entry {
+    SimTime t;
+    uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace coda::simcore

@@ -1,0 +1,61 @@
+#include "simcore/simulator.h"
+
+#include <limits>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace coda::simcore {
+
+EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
+  CODA_ASSERT_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, EventFn fn) {
+  CODA_ASSERT(delay >= 0.0);
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
+  CODA_ASSERT(period > 0.0);
+  // The chain re-arms itself after each tick. One shared `dead` flag stops
+  // the whole chain: EventHandle::cancel() sets it, and the next tick (or a
+  // not-yet-fired one) bails out without re-arming.
+  auto dead = std::make_shared<bool>(false);
+  auto user_fn = std::make_shared<EventFn>(std::move(fn));
+  auto tick = std::make_shared<EventFn>();
+  *tick = [this, dead, user_fn, tick, period]() {
+    if (*dead) {
+      return;
+    }
+    (*user_fn)();
+    if (!*dead) {
+      queue_.push(now_ + period, *tick);
+    }
+  };
+  queue_.push(now_ + period, *tick);
+  return EventHandle(std::move(dead));
+}
+
+size_t Simulator::run_until(SimTime until) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [t, fn] = queue_.pop();
+    CODA_ASSERT(t >= now_);
+    now_ = t;
+    fn();
+    ++n;
+    ++dispatched_;
+  }
+  if (now_ < until) {
+    now_ = until;  // advance the clock even if the queue drained early
+  }
+  return n;
+}
+
+size_t Simulator::run_all() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+}  // namespace coda::simcore

@@ -1,0 +1,53 @@
+// Discrete-event simulator driving all CODA experiments.
+//
+// The simulator owns the clock and the event queue. Components schedule
+// callbacks at absolute or relative simulated times; run() dispatches them in
+// (time, insertion) order until the queue drains or a time limit is hit.
+#pragma once
+
+#include <functional>
+
+#include "simcore/event_queue.h"
+
+namespace coda::simcore {
+
+class Simulator {
+ public:
+  // Current simulated time (seconds since start). Monotonically
+  // non-decreasing across event dispatches.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t`; t must be >= now().
+  EventHandle schedule_at(SimTime t, EventFn fn);
+
+  // Schedules `fn` after `delay` (>= 0) seconds of simulated time.
+  EventHandle schedule_after(SimTime delay, EventFn fn);
+
+  // Schedules `fn` every `period` seconds starting at now() + period, until
+  // the returned handle is cancelled or the run ends. The callback observes
+  // the tick time via Simulator::now().
+  //
+  // The returned handle cancels the *whole* periodic chain, not just the
+  // next tick.
+  EventHandle schedule_periodic(SimTime period, EventFn fn);
+
+  // Dispatches events until the queue is empty or simulated time would
+  // exceed `until` (events at exactly `until` still run). Returns the number
+  // of events dispatched.
+  size_t run_until(SimTime until);
+
+  // Dispatches events until the queue is empty. Returns events dispatched.
+  size_t run_all();
+
+  // Number of events dispatched since construction.
+  size_t dispatched() const { return dispatched_; }
+
+  bool queue_empty() { return queue_.empty(); }
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+  size_t dispatched_ = 0;
+};
+
+}  // namespace coda::simcore

@@ -1,0 +1,41 @@
+#include "telemetry/mba.h"
+
+#include "util/strings.h"
+
+namespace coda::telemetry {
+
+util::Status MbaController::set_cap(cluster::NodeId node, cluster::JobId job,
+                                    double cap_gbps) {
+  if (cap_gbps < 0.0) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "bandwidth cap must be non-negative"};
+  }
+  if (!cluster_->node(node).config().mba_capable) {
+    return util::Error{
+        util::ErrorCode::kFailedPrecondition,
+        util::strfmt("node %u does not support MBA", node)};
+  }
+  caps_[{node, job}] = cap_gbps;
+  return util::Status::Ok();
+}
+
+void MbaController::clear_cap(cluster::NodeId node, cluster::JobId job) {
+  caps_.erase({node, job});
+}
+
+void MbaController::clear_job(cluster::JobId job) {
+  for (auto it = caps_.begin(); it != caps_.end();) {
+    if (it->first.second == job) {
+      it = caps_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double MbaController::cap(cluster::NodeId node, cluster::JobId job) const {
+  auto it = caps_.find({node, job});
+  return it != caps_.end() ? it->second : -1.0;
+}
+
+}  // namespace coda::telemetry

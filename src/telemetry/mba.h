@@ -1,0 +1,45 @@
+// Simulated Intel Memory Bandwidth Allocation (MBA).
+//
+// MBA lets software clamp a core group's DRAM bandwidth. The controller here
+// is a cap registry: the contention eliminator writes caps, the simulation
+// engine reads them when resolving node contention (the physical enforcement
+// point). Nodes without MBA support reject caps — the eliminator then falls
+// back to halving the CPU job's cores (paper Sec. V-D).
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "util/result.h"
+
+namespace coda::telemetry {
+
+class MbaController {
+ public:
+  explicit MbaController(const cluster::Cluster* cluster)
+      : cluster_(cluster) {}
+
+  // Clamps `job`'s bandwidth on `node` to `cap_gbps`. Fails with
+  // kFailedPrecondition on nodes without MBA support.
+  util::Status set_cap(cluster::NodeId node, cluster::JobId job,
+                       double cap_gbps);
+
+  // Removes a cap; idempotent.
+  void clear_cap(cluster::NodeId node, cluster::JobId job);
+
+  // Removes every cap held by `job` (called when the job ends).
+  void clear_job(cluster::JobId job);
+
+  // Current cap for (node, job); < 0 means uncapped.
+  double cap(cluster::NodeId node, cluster::JobId job) const;
+
+  // Number of active caps (tests/metrics).
+  size_t active_caps() const { return caps_.size(); }
+
+ private:
+  const cluster::Cluster* cluster_;
+  std::map<std::pair<cluster::NodeId, cluster::JobId>, double> caps_;
+};
+
+}  // namespace coda::telemetry

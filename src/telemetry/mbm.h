@@ -1,0 +1,49 @@
+// Simulated Intel Memory Bandwidth Monitoring (MBM).
+//
+// On real hardware MBM exposes per-RMID (per-job) DRAM traffic counters; in
+// the simulator the engine computes each job's achieved bandwidth from the
+// contention model and publishes it through the BandwidthSource interface.
+// The contention eliminator consumes only this interface, exactly as it
+// would consume MBM counters on real hardware.
+#pragma once
+
+#include <vector>
+
+#include "cluster/resources.h"
+
+namespace coda::telemetry {
+
+struct JobBandwidth {
+  cluster::JobId job = 0;
+  bool is_gpu_job = false;
+  double gbps = 0.0;  // achieved (post-arbitration) bandwidth
+};
+
+struct NodeBandwidthSample {
+  cluster::NodeId node = 0;
+  double capacity_gbps = 0.0;
+  double total_gbps = 0.0;          // sum over all jobs on the node
+  std::vector<JobBandwidth> jobs;   // per-job breakdown (MBM per-RMID view)
+
+  double pressure() const {
+    return capacity_gbps > 0.0 ? total_gbps / capacity_gbps : 0.0;
+  }
+};
+
+// Live per-node bandwidth counters; implemented by the simulation engine.
+class BandwidthSource {
+ public:
+  virtual ~BandwidthSource() = default;
+  virtual NodeBandwidthSample sample(cluster::NodeId node) const = 0;
+};
+
+// Live per-job GPU utilization probe (nvidia-smi / DCGM stand-in);
+// implemented by the simulation engine. Returns utilization in [0, 1], or a
+// negative value when the job is unknown / not running.
+class GpuUtilSource {
+ public:
+  virtual ~GpuUtilSource() = default;
+  virtual double gpu_utilization(cluster::JobId job) const = 0;
+};
+
+}  // namespace coda::telemetry

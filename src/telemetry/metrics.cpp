@@ -1,0 +1,24 @@
+#include "telemetry/metrics.h"
+
+namespace coda::telemetry {
+
+void MetricRegistry::increment(const std::string& name, double amount) {
+  counters_[name] += amount;
+}
+
+double MetricRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0.0;
+}
+
+void MetricRegistry::sample(const std::string& name, double t, double value) {
+  series_[name].add(t, value);
+}
+
+const util::TimeSeries& MetricRegistry::series(const std::string& name) const {
+  static const util::TimeSeries kEmpty;
+  auto it = series_.find(name);
+  return it != series_.end() ? it->second : kEmpty;
+}
+
+}  // namespace coda::telemetry

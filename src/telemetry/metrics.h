@@ -1,0 +1,33 @@
+// Named metric registry: counters and time series collected during a
+// simulation run, consumed by the evaluation harness.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/timeseries.h"
+
+namespace coda::telemetry {
+
+class MetricRegistry {
+ public:
+  // Monotonic counter (creates on first use).
+  void increment(const std::string& name, double amount = 1.0);
+  double counter(const std::string& name) const;
+
+  // Appends a (t, value) sample to the named series (creates on first use).
+  void sample(const std::string& name, double t, double value);
+  // Series accessor; returns an empty series for unknown names.
+  const util::TimeSeries& series(const std::string& name) const;
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, util::TimeSeries>& all_series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, util::TimeSeries> series_;
+};
+
+}  // namespace coda::telemetry

@@ -1,0 +1,41 @@
+// Lightweight contract-checking macros for the CODA library.
+//
+// Programming errors (violated invariants, broken preconditions) abort the
+// process with a source location; they are never reported through return
+// values. Recoverable conditions use util::Result<T> instead (see result.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coda::util::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CODA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace coda::util::detail
+
+// Always-on assertion: checks `expr` in every build type. The simulator is a
+// research artifact; silent corruption is worse than an abort.
+#define CODA_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::coda::util::detail::assert_fail(#expr, __FILE__, __LINE__, "");    \
+    }                                                                      \
+  } while (false)
+
+// Assertion with an explanatory message shown on failure.
+#define CODA_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::coda::util::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+// Marks unreachable control flow.
+#define CODA_UNREACHABLE(msg)                                              \
+  ::coda::util::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

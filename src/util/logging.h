@@ -1,0 +1,34 @@
+// Leveled logging with a process-wide minimum level. The simulator runs
+// hundreds of thousands of scheduling decisions; logging defaults to kWarn
+// so benches stay quiet, and tests/examples can raise verbosity.
+#pragma once
+
+#include <string>
+
+#include "util/strings.h"
+
+namespace coda::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the process-wide minimum level (messages below it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one log line to stderr if `level` >= the process minimum.
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace coda::util
+
+#define CODA_LOG_DEBUG(...)                        \
+  ::coda::util::log_message(::coda::util::LogLevel::kDebug, \
+                            ::coda::util::strfmt(__VA_ARGS__))
+#define CODA_LOG_INFO(...)                        \
+  ::coda::util::log_message(::coda::util::LogLevel::kInfo, \
+                            ::coda::util::strfmt(__VA_ARGS__))
+#define CODA_LOG_WARN(...)                        \
+  ::coda::util::log_message(::coda::util::LogLevel::kWarn, \
+                            ::coda::util::strfmt(__VA_ARGS__))
+#define CODA_LOG_ERROR(...)                        \
+  ::coda::util::log_message(::coda::util::LogLevel::kError, \
+                            ::coda::util::strfmt(__VA_ARGS__))

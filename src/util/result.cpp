@@ -1,0 +1,23 @@
+#include "util/result.h"
+
+namespace coda::util {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+}  // namespace coda::util

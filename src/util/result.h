@@ -1,0 +1,100 @@
+// Minimal expected-style result type used for recoverable errors across
+// module boundaries (GCC 12 does not ship std::expected).
+//
+// A Result<T> either holds a value of T or an Error{code, message}. Errors
+// are for conditions a caller can reasonably handle (job not found, resource
+// exhausted, malformed trace row); invariant violations use CODA_ASSERT.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.h"
+
+namespace coda::util {
+
+// Broad error categories; the message carries the specifics.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+};
+
+// Human-readable name for an ErrorCode (stable, used in logs and tests).
+const char* to_string(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return 42;                      (success)
+  //   return Error{code, "..."};      (failure)
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  // Value access requires ok(); violating that is a programming error.
+  const T& value() const& {
+    CODA_ASSERT_MSG(ok(), error().message.c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CODA_ASSERT_MSG(ok(), error().message.c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CODA_ASSERT_MSG(ok(), error().message.c_str());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Error access requires !ok().
+  const Error& error() const {
+    CODA_ASSERT(!ok());
+    return std::get<Error>(data_);
+  }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    CODA_ASSERT(failed_);
+    return error_;
+  }
+
+  static Status Ok() { return Status(); }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace coda::util

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace coda::util {
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng Rng::fork(uint64_t tag) const {
+  // Mix the parent state with the tag through SplitMix64 to derive a child
+  // seed; distinct tags give unrelated streams.
+  uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ s_[3] ^
+                (tag * 0x2545F4914F6CDD1DULL + 0x9E3779B97F4A7C15ULL);
+  return Rng(splitmix64(sm));
+}
+
+uint64_t Rng::next_u64() {
+  // xoshiro256** core step.
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CODA_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  CODA_ASSERT(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw = next_u64();
+  while (draw >= limit) {
+    draw = next_u64();
+  }
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) {
+  CODA_ASSERT(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+double Rng::exponential(double lambda) {
+  CODA_ASSERT(lambda > 0.0);
+  // -log(1-U) avoids log(0) since uniform() < 1.
+  return -std::log1p(-uniform()) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) {
+  CODA_ASSERT(stddev >= 0.0);
+  double u1 = uniform();
+  while (u1 == 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  CODA_ASSERT(lo > 0.0 && hi > lo && alpha > 0.0);
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse-CDF of the bounded Pareto distribution.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CODA_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CODA_ASSERT(w >= 0.0);
+    total += w;
+  }
+  CODA_ASSERT(total > 0.0);
+  double draw = uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numerical edge: landed exactly on `total`
+}
+
+}  // namespace coda::util

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour in CODA experiments (trace synthesis, arrival
+// jitter, runtime draws) flows through util::Rng so that a seed fully
+// determines an experiment. The generator is xoshiro256** seeded via
+// SplitMix64, which is fast, has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace coda::util {
+
+// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+uint64_t splitmix64(uint64_t& state);
+
+class Rng {
+ public:
+  // Seeds the generator deterministically from a single 64-bit seed.
+  explicit Rng(uint64_t seed);
+
+  // Derives an independent child stream. Children with distinct tags are
+  // statistically independent of each other and of the parent; used to give
+  // each workload component its own stream so adding draws to one component
+  // does not perturb another.
+  Rng fork(uint64_t tag) const;
+
+  // Raw 64 random bits.
+  uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  // Exponential with rate lambda (> 0); mean 1/lambda. Used for Poisson
+  // inter-arrival gaps.
+  double exponential(double lambda);
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal and
+  // fork semantics simple).
+  double normal(double mean, double stddev);
+
+  // Log-normal: exp(N(mu, sigma)). Natural fit for job-runtime tails.
+  double lognormal(double mu, double sigma);
+
+  // Bounded Pareto on [lo, hi] with shape alpha (> 0): heavy-tailed draws for
+  // CPU-job runtimes.
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  // Samples an index in [0, weights.size()) with probability proportional to
+  // weights[i]. Requires a non-empty vector with non-negative weights summing
+  // to a positive value.
+  size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace coda::util

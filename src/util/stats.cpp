@@ -1,0 +1,146 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace coda::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double percentile(std::vector<double> values, double q) {
+  CODA_ASSERT(!values.empty());
+  CODA_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& qs) {
+  CODA_ASSERT(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    CODA_ASSERT(q >= 0.0 && q <= 1.0);
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(values[lo] + (values[hi] - values[lo]) * frac);
+  }
+  return out;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  CODA_ASSERT(!sorted_.empty());
+  CODA_ASSERT(q > 0.0 && q <= 1.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+std::vector<double> EmpiricalCdf::evaluate(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back(fraction_at_most(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  CODA_ASSERT(hi > lo);
+  CODA_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long>(std::floor((x - lo_) / width));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(size_t i) const {
+  CODA_ASSERT(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(size_t i) const {
+  CODA_ASSERT(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(size_t i) const {
+  CODA_ASSERT(i < counts_.size());
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+}  // namespace coda::util

@@ -1,0 +1,90 @@
+// Descriptive statistics used throughout the evaluation harness: running
+// moments, percentiles, empirical CDFs, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coda::util {
+
+// Streaming mean/variance/min/max (Welford). O(1) memory; suitable for
+// metric accumulation over long simulations.
+class RunningStats {
+ public:
+  void add(double x);
+  // Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set with linear interpolation between order
+// statistics. `q` in [0, 1]. Requires a non-empty vector; the input is copied
+// and sorted internally.
+double percentile(std::vector<double> values, double q);
+
+// Computes several percentiles in one sort pass.
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& qs);
+
+// Empirical CDF over a sample set. Built once, then queried for
+// P(X <= x) or inverted for quantiles; also exports plot-ready points.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  size_t count() const { return sorted_.size(); }
+  // Fraction of samples <= x.
+  double fraction_at_most(double x) const;
+  // Smallest sample value v with fraction_at_most(v) >= q, q in (0, 1].
+  double quantile(double q) const;
+
+  // Evaluates the CDF at each of `xs`, returning matching fractions. Useful
+  // for printing fixed-grid CDF tables in benches.
+  std::vector<double> evaluate(const std::vector<double>& xs) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+// the first/last bin so mass is never dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  size_t bin_count() const { return counts_.size(); }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  double count(size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  // Fraction of total mass in bin i (0 when empty).
+  double fraction(size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace coda::util

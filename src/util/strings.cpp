@@ -1,0 +1,87 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace coda::util {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  CODA_ASSERT(needed >= 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(const std::string& s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && is_space(s[b])) {
+    ++b;
+  }
+  while (e > b && is_space(s[e - 1])) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0.0) {
+    return "-" + format_duration(-seconds);
+  }
+  if (seconds < 60.0) {
+    return strfmt("%.1fs", seconds);
+  }
+  if (seconds < 3600.0) {
+    const int m = static_cast<int>(seconds / 60.0);
+    const int s = static_cast<int>(std::fmod(seconds, 60.0));
+    return strfmt("%dm%02ds", m, s);
+  }
+  const int h = static_cast<int>(seconds / 3600.0);
+  const int m = static_cast<int>(std::fmod(seconds, 3600.0) / 60.0);
+  return strfmt("%dh%02dm", h, m);
+}
+
+std::string format_percent(double fraction) {
+  return strfmt("%.1f%%", fraction * 100.0);
+}
+
+}  // namespace coda::util

@@ -1,0 +1,30 @@
+// Small string/formatting helpers (GCC 12 lacks <format>; benches and logs
+// use these printf-style wrappers instead).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coda::util {
+
+// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Renders seconds as a compact human-readable duration ("3.2s", "14m06s",
+// "2h15m"); used in bench tables.
+std::string format_duration(double seconds);
+
+// Renders a fraction as a percentage with one decimal ("62.1%").
+std::string format_percent(double fraction);
+
+}  // namespace coda::util

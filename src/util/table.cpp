@@ -1,0 +1,74 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace coda::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::print(std::ostream& os) const {
+  // Compute per-column widths over header + all rows.
+  size_t n_cols = header_.size();
+  for (const auto& row : rows_) {
+    n_cols = std::max(n_cols, row.size());
+  }
+  std::vector<size_t> widths(n_cols, 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+  const std::string rule(total > 1 ? total - 1 : 1, '-');
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < n_cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < n_cols) {
+        os << " | ";
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  for (const auto& note : notes_) {
+    os << "note: " << note << '\n';
+  }
+  os << '\n';
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace coda::util

@@ -1,0 +1,41 @@
+// ASCII table renderer shared by all benchmark binaries so every
+// table/figure reproduction prints in one consistent, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coda::util {
+
+// Column-aligned table with a header row, optional title and footnotes.
+//
+//   Table t("Fig. 10 | GPU utilization");
+//   t.set_header({"scheduler", "active rate", "utilization"});
+//   t.add_row({"FIFO", "83.5%", "45.4%"});
+//   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  // Rows may be ragged; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+  // Footnotes print below the table, prefixed with "note: ".
+  void add_note(std::string note);
+
+  size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace coda::util

@@ -1,0 +1,107 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace coda::util {
+
+void TimeSeries::add(double t, double value) {
+  CODA_ASSERT_MSG(points_.empty() || t >= points_.back().t,
+                  "TimeSeries timestamps must be non-decreasing");
+  points_.push_back({t, value});
+}
+
+double TimeSeries::mean() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& p : points_) {
+    sum += p.value;
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::min() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double m = points_.front().value;
+  for (const auto& p : points_) {
+    m = std::min(m, p.value);
+  }
+  return m;
+}
+
+double TimeSeries::max() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double m = points_.front().value;
+  for (const auto& p : points_) {
+    m = std::max(m, p.value);
+  }
+  return m;
+}
+
+double TimeSeries::mean_in_window(double t_lo, double t_hi) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= t_lo && p.t < t_hi) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::time_weighted_mean(double t_lo, double t_hi) const {
+  CODA_ASSERT(t_hi > t_lo);
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double integral = 0.0;
+  double covered = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const double seg_start = std::max(points_[i].t, t_lo);
+    const double seg_end =
+        std::min(i + 1 < points_.size() ? points_[i + 1].t : t_hi, t_hi);
+    if (seg_end > seg_start) {
+      integral += points_[i].value * (seg_end - seg_start);
+      covered += seg_end - seg_start;
+    }
+  }
+  return covered > 0.0 ? integral / covered : 0.0;
+}
+
+std::vector<TimePoint> TimeSeries::resample(double t_lo, double t_hi,
+                                            double bucket) const {
+  CODA_ASSERT(bucket > 0.0 && t_hi > t_lo);
+  const size_t n_buckets =
+      static_cast<size_t>(std::ceil((t_hi - t_lo) / bucket));
+  std::vector<double> sums(n_buckets, 0.0);
+  std::vector<size_t> counts(n_buckets, 0);
+  for (const auto& p : points_) {
+    if (p.t < t_lo || p.t >= t_hi) {
+      continue;
+    }
+    const auto idx = static_cast<size_t>((p.t - t_lo) / bucket);
+    sums[std::min(idx, n_buckets - 1)] += p.value;
+    counts[std::min(idx, n_buckets - 1)] += 1;
+  }
+  std::vector<TimePoint> out;
+  out.reserve(n_buckets);
+  double carry = points_.empty() ? 0.0 : points_.front().value;
+  for (size_t i = 0; i < n_buckets; ++i) {
+    const double v =
+        counts[i] > 0 ? sums[i] / static_cast<double>(counts[i]) : carry;
+    carry = v;
+    out.push_back({t_lo + bucket * (static_cast<double>(i) + 0.5), v});
+  }
+  return out;
+}
+
+}  // namespace coda::util

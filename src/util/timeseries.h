@@ -1,0 +1,50 @@
+// Time-series container for metric samples (t, value) plus resampling and
+// time-weighted aggregation helpers used by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace coda::util {
+
+struct TimePoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+// Append-only series of (time, value) samples with non-decreasing timestamps.
+class TimeSeries {
+ public:
+  void add(double t, double value);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  const TimePoint& at(size_t i) const { return points_[i]; }
+
+  // Plain (unweighted) mean of the sampled values.
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Mean of values whose timestamps fall in [t_lo, t_hi).
+  double mean_in_window(double t_lo, double t_hi) const;
+
+  // Piecewise-constant (sample-and-hold) time-weighted average over
+  // [t_lo, t_hi): each sample's value holds until the next sample. This is
+  // the right average for utilization-style series where samples are state
+  // snapshots rather than instantaneous measurements.
+  double time_weighted_mean(double t_lo, double t_hi) const;
+
+  // Down-samples to fixed buckets of width `bucket` covering [t_lo, t_hi),
+  // averaging the samples inside each bucket (empty buckets carry the
+  // previous bucket's value; leading empties carry the first sample). Used to
+  // print compact trend tables for week-long runs.
+  std::vector<TimePoint> resample(double t_lo, double t_hi,
+                                  double bucket) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace coda::util

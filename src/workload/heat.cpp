@@ -1,0 +1,20 @@
+#include "workload/heat.h"
+
+#include "util/assert.h"
+
+namespace coda::workload {
+
+JobSpec make_heat_job(const HeatParams& params, double work_core_s) {
+  CODA_ASSERT(params.threads >= 1);
+  CODA_ASSERT(work_core_s > 0.0);
+  JobSpec spec;
+  spec.kind = JobKind::kCpu;
+  spec.cpu_cores = params.threads;
+  spec.cpu_work_core_s = work_core_s;
+  spec.mem_bw_gbps = params.bw_per_thread_gbps * params.threads;
+  spec.bw_bound_fraction = params.bw_bound_fraction;
+  spec.llc_mb = params.llc_mb_per_thread * params.threads;
+  return spec;
+}
+
+}  // namespace coda::workload

@@ -1,0 +1,25 @@
+// The HEAT memory-intensive antagonist of Sec. IV-C2.
+//
+// The paper inflicts controllable LLC/memory-bandwidth pressure by running
+// HEAT with a varying thread count on the same node as a training job. Our
+// stand-in reproduces its relevant property: each thread streams a fixed
+// bandwidth until the thread count saturates the core budget.
+#pragma once
+
+#include "workload/job.h"
+
+namespace coda::workload {
+
+struct HeatParams {
+  int threads = 1;
+  double bw_per_thread_gbps = 8.0;  // streaming read/write per thread
+  double llc_mb_per_thread = 1.2;   // cache footprint per thread
+  double bw_bound_fraction = 0.9;   // HEAT is almost pure memory traffic
+};
+
+// Builds a CPU JobSpec behaving like HEAT with `params.threads` threads.
+// `work_core_s` controls how long it runs; id/tenant/submit_time are the
+// caller's to assign.
+JobSpec make_heat_job(const HeatParams& params, double work_core_s);
+
+}  // namespace coda::workload

@@ -1,0 +1,28 @@
+#include "workload/job.h"
+
+#include "util/strings.h"
+
+namespace coda::workload {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCpu:
+      return "cpu";
+    case JobKind::kGpuTraining:
+      return "gpu";
+  }
+  return "?";
+}
+
+std::string JobSpec::label() const {
+  if (is_gpu_job()) {
+    return util::strfmt("job%llu[%s %s u%u]",
+                        static_cast<unsigned long long>(id),
+                        perfmodel::to_string(model),
+                        train_config.name().c_str(), tenant);
+  }
+  return util::strfmt("job%llu[cpu x%d u%u]",
+                      static_cast<unsigned long long>(id), cpu_cores, tenant);
+}
+
+}  // namespace coda::workload

@@ -1,0 +1,74 @@
+// Job descriptions: what tenants submit to the cluster.
+//
+// Two kinds exist in the paper's multi-tenant cluster: GPU (DNN-training)
+// jobs that need GPUs plus a CPU-side data pipeline, and CPU-only jobs
+// (inference, auxiliary batch work). A JobSpec is immutable submission-time
+// data; runtime state (allocation, progress) lives in the simulation layer.
+#pragma once
+
+#include <string>
+
+#include "cluster/resources.h"
+#include "perfmodel/dnn_model.h"
+#include "perfmodel/train_perf.h"
+
+namespace coda::workload {
+
+enum class JobKind { kCpu = 0, kGpuTraining = 1 };
+
+const char* to_string(JobKind kind);
+
+// Optional user-supplied hints from Sec. V-B1 — tenants "may provide the
+// following three types of information": model-weight size, pipeline
+// optimization, and inter-iteration processing complexity. The allocator
+// uses them to refine N_start.
+struct UserHints {
+  bool category_known = true;  // worst case: not even the category is given
+  bool pipelined = false;      // implemented with pipeline optimization
+  bool large_weights = false;  // large number of model weights
+  bool complex_prep = false;   // heavy processing between iterations
+};
+
+struct JobSpec {
+  cluster::JobId id = 0;
+  cluster::TenantId tenant = 0;
+  JobKind kind = JobKind::kCpu;
+  double submit_time = 0.0;  // seconds since trace start
+
+  // ---- GPU training jobs ----
+  perfmodel::ModelId model = perfmodel::ModelId::kAlexnet;
+  perfmodel::TrainConfig train_config;
+  double iterations = 0.0;   // total training iterations to run
+  int requested_cpus = 1;    // cores the owner asked for (per node)
+  UserHints hints;
+
+  // ---- CPU jobs ----
+  int cpu_cores = 1;            // cores requested
+  double cpu_work_core_s = 0.0; // total work in core-seconds
+  double mem_bw_gbps = 0.0;     // bandwidth demand at full speed
+  double bw_bound_fraction = 0.0;  // Amdahl fraction that is bandwidth-bound
+  double llc_mb = 0.0;
+  // User-facing inference service (Sec. V-A): the one CPU-job class that
+  // outranks DNN training — never throttled by the eliminator and never
+  // evicted from borrowed cores (it is not allowed to borrow).
+  bool user_facing = false;
+
+  bool is_gpu_job() const { return kind == JobKind::kGpuTraining; }
+
+  // Number of distinct nodes this job must be placed on.
+  int nodes_needed() const {
+    return is_gpu_job() ? train_config.nodes : 1;
+  }
+  // GPUs needed on each of those nodes.
+  int gpus_per_node() const {
+    return is_gpu_job() ? train_config.gpus_per_node : 0;
+  }
+  int total_gpus() const {
+    return is_gpu_job() ? train_config.total_gpus() : 0;
+  }
+
+  // Short description used in logs and drill-down tables.
+  std::string label() const;
+};
+
+}  // namespace coda::workload

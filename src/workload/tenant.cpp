@@ -1,0 +1,63 @@
+#include "workload/tenant.h"
+
+namespace coda::workload {
+
+const char* to_string(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kResearchLab:
+      return "research_lab";
+    case TenantClass::kAiCompany:
+      return "ai_company";
+    case TenantClass::kCpuOnly:
+      return "cpu_only";
+  }
+  return "?";
+}
+
+std::vector<Tenant> standard_tenants() {
+  using perfmodel::ModelId;
+  std::vector<Tenant> tenants;
+  // Research lab (users 0-4): training-heavy, spanning all domains. The lab
+  // "contributes the most to the GPU jobs" (Fig. 2a); most GPU jobs train
+  // NLP and Speech models (Sec. VI-A).
+  const std::vector<std::vector<ModelId>> lab_mixes = {
+      {ModelId::kTransformer, ModelId::kBiAttFlow},
+      {ModelId::kDeepSpeech, ModelId::kWavenet},
+      {ModelId::kResnet50, ModelId::kInceptionV3},
+      {ModelId::kBiAttFlow, ModelId::kDeepSpeech},
+      {ModelId::kWavenet, ModelId::kTransformer},
+  };
+  for (int i = 0; i < 5; ++i) {
+    tenants.push_back(Tenant{static_cast<cluster::TenantId>(i),
+                             TenantClass::kResearchLab,
+                             /*submit_weight=*/i == 0 ? 3.0 : 1.0,
+                             lab_mixes[static_cast<size_t>(i)]});
+  }
+  // AI companies (users 5-14): speech recognition, NLP and CV startups;
+  // user-facing, so their (mostly CPU) load is bursty. A couple of power
+  // users submit disproportionately many jobs.
+  const std::vector<std::vector<ModelId>> company_mixes = {
+      {ModelId::kDeepSpeech}, {ModelId::kWavenet},
+      {ModelId::kTransformer}, {ModelId::kBiAttFlow},
+      {ModelId::kAlexnet, ModelId::kVgg16},
+      {ModelId::kResnet50}, {ModelId::kDeepSpeech, ModelId::kTransformer},
+      {ModelId::kWavenet, ModelId::kDeepSpeech},
+      {ModelId::kInceptionV3}, {ModelId::kTransformer, ModelId::kWavenet},
+  };
+  for (int i = 5; i < 15; ++i) {
+    tenants.push_back(Tenant{static_cast<cluster::TenantId>(i),
+                             TenantClass::kAiCompany,
+                             /*submit_weight=*/(i == 5 || i == 9) ? 4.0 : 1.5,
+                             company_mixes[static_cast<size_t>(i - 5)]});
+  }
+  // CPU-only users (15-19).
+  for (int i = 15; i < 20; ++i) {
+    tenants.push_back(Tenant{static_cast<cluster::TenantId>(i),
+                             TenantClass::kCpuOnly,
+                             /*submit_weight=*/i == 15 ? 3.0 : 1.0,
+                             {}});
+  }
+  return tenants;
+}
+
+}  // namespace coda::workload

@@ -1,0 +1,38 @@
+// The cluster's tenants. The paper's cluster is shared by one AI research
+// institution (GPU-training heavy) and four AI startup companies (CPU /
+// inference heavy, bursty and diurnal); Fig. 12 plots 20 individual users of
+// which ids 15-20 submit only CPU jobs.
+#pragma once
+
+#include <vector>
+
+#include "cluster/resources.h"
+#include "perfmodel/dnn_model.h"
+
+namespace coda::workload {
+
+enum class TenantClass {
+  kResearchLab,  // emphasizes model training: mostly GPU jobs
+  kAiCompany,    // emphasizes inference: mostly CPU jobs, some training
+  kCpuOnly,      // submits CPU jobs exclusively (users 15-20 in Fig. 12)
+};
+
+const char* to_string(TenantClass cls);
+
+struct Tenant {
+  cluster::TenantId id = 0;
+  TenantClass cls = TenantClass::kAiCompany;
+  // Relative submission volume (some users submit far more than others,
+  // which is what makes FIFO unfair in Fig. 12).
+  double submit_weight = 1.0;
+  // Preferred models: users tend to resubmit similar jobs (Sec. V-B1 bases
+  // N_start on the owner's history), so each tenant draws from a small
+  // personal mix instead of the global one.
+  std::vector<perfmodel::ModelId> preferred_models;
+};
+
+// The standard 20-user population used across the evaluation: 5 research-lab
+// users (0-4), 10 AI-company users (5-14), 5 CPU-only users (15-19).
+std::vector<Tenant> standard_tenants();
+
+}  // namespace coda::workload

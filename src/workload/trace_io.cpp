@@ -1,0 +1,143 @@
+#include "workload/trace_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace coda::workload {
+
+namespace {
+
+const std::vector<std::string> kColumns = {
+    "id",        "tenant",      "kind",       "submit_time",
+    "model",     "nodes",       "gpus_per_node", "batch_size",
+    "iterations", "requested_cpus", "hint_category", "hint_pipelined",
+    "hint_weights", "hint_prep",
+    "cpu_cores", "cpu_work_core_s", "mem_bw_gbps", "bw_bound_fraction",
+    "llc_mb",    "user_facing"};
+
+util::Result<perfmodel::ModelId> model_from_string(const std::string& name) {
+  for (perfmodel::ModelId id : perfmodel::kAllModels) {
+    if (name == perfmodel::to_string(id)) {
+      return id;
+    }
+  }
+  return util::Error{util::ErrorCode::kParseError,
+                     "unknown model name '" + name + "'"};
+}
+
+}  // namespace
+
+std::string trace_to_csv(const std::vector<JobSpec>& trace) {
+  util::CsvDocument doc;
+  doc.header = kColumns;
+  doc.rows.reserve(trace.size());
+  for (const auto& j : trace) {
+    doc.rows.push_back({
+        util::strfmt("%llu", static_cast<unsigned long long>(j.id)),
+        util::strfmt("%u", j.tenant),
+        to_string(j.kind),
+        util::strfmt("%.3f", j.submit_time),
+        perfmodel::to_string(j.model),
+        util::strfmt("%d", j.train_config.nodes),
+        util::strfmt("%d", j.train_config.gpus_per_node),
+        util::strfmt("%d", j.train_config.batch_size),
+        util::strfmt("%.1f", j.iterations),
+        util::strfmt("%d", j.requested_cpus),
+        j.hints.category_known ? "1" : "0",
+        j.hints.pipelined ? "1" : "0",
+        j.hints.large_weights ? "1" : "0",
+        j.hints.complex_prep ? "1" : "0",
+        util::strfmt("%d", j.cpu_cores),
+        util::strfmt("%.3f", j.cpu_work_core_s),
+        util::strfmt("%.3f", j.mem_bw_gbps),
+        util::strfmt("%.3f", j.bw_bound_fraction),
+        util::strfmt("%.3f", j.llc_mb),
+        j.user_facing ? "1" : "0",
+    });
+  }
+  return util::to_csv(doc);
+}
+
+util::Result<std::vector<JobSpec>> trace_from_csv(const std::string& text) {
+  auto doc = util::parse_csv(text);
+  if (!doc.ok()) {
+    return doc.error();
+  }
+  if (doc->header != kColumns) {
+    return util::Error{util::ErrorCode::kParseError,
+                       "trace CSV header does not match expected columns"};
+  }
+  std::vector<JobSpec> trace;
+  trace.reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    JobSpec j;
+    j.id = std::strtoull(row[0].c_str(), nullptr, 10);
+    j.tenant = static_cast<cluster::TenantId>(
+        std::strtoul(row[1].c_str(), nullptr, 10));
+    if (row[2] == "gpu") {
+      j.kind = JobKind::kGpuTraining;
+    } else if (row[2] == "cpu") {
+      j.kind = JobKind::kCpu;
+    } else {
+      return util::Error{util::ErrorCode::kParseError,
+                         "unknown job kind '" + row[2] + "'"};
+    }
+    j.submit_time = std::strtod(row[3].c_str(), nullptr);
+    if (j.kind == JobKind::kGpuTraining) {
+      auto model = model_from_string(row[4]);
+      if (!model.ok()) {
+        return model.error();
+      }
+      j.model = *model;
+    }
+    j.train_config.nodes = std::atoi(row[5].c_str());
+    j.train_config.gpus_per_node = std::atoi(row[6].c_str());
+    j.train_config.batch_size = std::atoi(row[7].c_str());
+    j.iterations = std::strtod(row[8].c_str(), nullptr);
+    j.requested_cpus = std::atoi(row[9].c_str());
+    j.hints.category_known = row[10] == "1";
+    j.hints.pipelined = row[11] == "1";
+    j.hints.large_weights = row[12] == "1";
+    j.hints.complex_prep = row[13] == "1";
+    j.cpu_cores = std::atoi(row[14].c_str());
+    j.cpu_work_core_s = std::strtod(row[15].c_str(), nullptr);
+    j.mem_bw_gbps = std::strtod(row[16].c_str(), nullptr);
+    j.bw_bound_fraction = std::strtod(row[17].c_str(), nullptr);
+    j.llc_mb = std::strtod(row[18].c_str(), nullptr);
+    j.user_facing = row[19] == "1";
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+util::Status save_trace(const std::string& path,
+                        const std::vector<JobSpec>& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot open '" + path + "' for write"};
+  }
+  out << trace_to_csv(trace);
+  if (!out) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "write to '" + path + "' failed"};
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<JobSpec>> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot open '" + path + "' for read"};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_csv(buf.str());
+}
+
+}  // namespace coda::workload

@@ -1,0 +1,25 @@
+// CSV serialization of job traces so experiments can archive and replay the
+// exact workload (and so external traces can be imported).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "workload/job.h"
+
+namespace coda::workload {
+
+// Serializes a trace to CSV text (header + one row per job).
+std::string trace_to_csv(const std::vector<JobSpec>& trace);
+
+// Parses a trace from CSV text produced by trace_to_csv (or hand-written
+// with the same columns). Fails with kParseError on malformed rows.
+util::Result<std::vector<JobSpec>> trace_from_csv(const std::string& text);
+
+// File-level convenience wrappers.
+util::Status save_trace(const std::string& path,
+                        const std::vector<JobSpec>& trace);
+util::Result<std::vector<JobSpec>> load_trace(const std::string& path);
+
+}  // namespace coda::workload

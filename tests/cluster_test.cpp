@@ -1,0 +1,148 @@
+// Unit tests for the cluster model: allocation ledger invariants, resize,
+// aggregate rates and fragmentation accounting.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace coda::cluster {
+namespace {
+
+NodeConfig small_node() {
+  NodeConfig cfg;
+  cfg.cores = 8;
+  cfg.gpus = 2;
+  return cfg;
+}
+
+TEST(Node, AllocateReleaseAccounting) {
+  Node node(0, small_node());
+  EXPECT_EQ(node.free_cpus(), 8);
+  EXPECT_EQ(node.free_gpus(), 2);
+  ASSERT_TRUE(node.allocate(1, 3, 1).ok());
+  EXPECT_EQ(node.free_cpus(), 5);
+  EXPECT_EQ(node.free_gpus(), 1);
+  EXPECT_TRUE(node.hosts(1));
+  ASSERT_TRUE(node.release(1).ok());
+  EXPECT_EQ(node.free_cpus(), 8);
+  EXPECT_EQ(node.free_gpus(), 2);
+  EXPECT_FALSE(node.hosts(1));
+}
+
+TEST(Node, RejectsOverAllocation) {
+  Node node(0, small_node());
+  auto status = node.allocate(1, 9, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(node.allocate(1, 1, 3).ok());
+}
+
+TEST(Node, RejectsDoubleAllocation) {
+  Node node(0, small_node());
+  ASSERT_TRUE(node.allocate(1, 1, 0).ok());
+  auto status = node.allocate(1, 1, 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(Node, RejectsZeroAllocation) {
+  Node node(0, small_node());
+  EXPECT_FALSE(node.allocate(1, 0, 0).ok());
+  EXPECT_FALSE(node.allocate(1, -1, 1).ok());
+}
+
+TEST(Node, ResizeCpusGrowAndShrink) {
+  Node node(0, small_node());
+  ASSERT_TRUE(node.allocate(1, 2, 1).ok());
+  ASSERT_TRUE(node.resize_cpus(1, 6).ok());
+  EXPECT_EQ(node.free_cpus(), 2);
+  ASSERT_TRUE(node.resize_cpus(1, 1).ok());
+  EXPECT_EQ(node.free_cpus(), 7);
+  EXPECT_EQ(node.allocation_of(1)->cpus, 1);
+  // Growing past capacity fails and leaves state unchanged.
+  EXPECT_FALSE(node.resize_cpus(1, 9).ok());
+  EXPECT_EQ(node.allocation_of(1)->cpus, 1);
+  // Resizing an unknown job fails.
+  EXPECT_FALSE(node.resize_cpus(99, 2).ok());
+}
+
+TEST(Node, ReleaseUnknownJobFails) {
+  Node node(0, small_node());
+  auto status = node.release(42);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST(Node, JobKindQueries) {
+  Node node(0, small_node());
+  ASSERT_TRUE(node.allocate(1, 2, 1).ok());
+  ASSERT_TRUE(node.allocate(2, 3, 0).ok());
+  EXPECT_EQ(node.gpu_jobs(), (std::vector<JobId>{1}));
+  EXPECT_EQ(node.cpu_only_jobs(), (std::vector<JobId>{2}));
+}
+
+TEST(Cluster, BuildsNodesWithMbaFraction) {
+  ClusterConfig cfg;
+  cfg.node_count = 10;
+  cfg.node = small_node();
+  cfg.mba_fraction = 0.3;
+  Cluster cluster(cfg);
+  ASSERT_EQ(cluster.node_count(), 10u);
+  int mba = 0;
+  for (const auto& node : cluster.nodes()) {
+    mba += node.config().mba_capable ? 1 : 0;
+  }
+  EXPECT_EQ(mba, 3);
+  EXPECT_EQ(cluster.total_cpus(), 80);
+  EXPECT_EQ(cluster.total_gpus(), 20);
+}
+
+TEST(Cluster, ActiveRates) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.node = small_node();
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.node(0).allocate(1, 4, 1).ok());
+  EXPECT_DOUBLE_EQ(cluster.cpu_active_rate(), 4.0 / 16.0);
+  EXPECT_DOUBLE_EQ(cluster.gpu_active_rate(), 1.0 / 4.0);
+  EXPECT_EQ(cluster.used_cpus(), 4);
+  EXPECT_EQ(cluster.used_gpus(), 1);
+}
+
+TEST(Cluster, FragmentationCountsCpuStarvedIdleGpus) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.node = small_node();
+  Cluster cluster(cfg);
+  // Node 0: all 8 cores consumed, 2 GPUs idle -> fragmented.
+  ASSERT_TRUE(cluster.node(0).allocate(1, 8, 0).ok());
+  EXPECT_DOUBLE_EQ(cluster.gpu_fragmentation_rate(2), 2.0 / 4.0);
+  // Node 1 keeps cores, not fragmented.
+  ASSERT_TRUE(cluster.node(1).allocate(2, 2, 0).ok());
+  EXPECT_DOUBLE_EQ(cluster.gpu_fragmentation_rate(2), 2.0 / 4.0);
+}
+
+TEST(Cluster, ReleaseEverywhereHandlesMultiNodeJobs) {
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.node = small_node();
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.node(0).allocate(7, 1, 1).ok());
+  ASSERT_TRUE(cluster.node(2).allocate(7, 1, 1).ok());
+  EXPECT_EQ(cluster.release_everywhere(7), 2);
+  EXPECT_EQ(cluster.used_cpus(), 0);
+  EXPECT_EQ(cluster.release_everywhere(7), 0);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  ResourceVector a{3, 1};
+  ResourceVector b{1, 1};
+  EXPECT_EQ(a + b, (ResourceVector{4, 2}));
+  EXPECT_EQ(a - b, (ResourceVector{2, 0}));
+  EXPECT_TRUE(b.fits_within(a));
+  EXPECT_FALSE(a.fits_within(b));
+  EXPECT_TRUE((a - b).non_negative());
+  EXPECT_FALSE((b - a).non_negative());
+}
+
+}  // namespace
+}  // namespace coda::cluster

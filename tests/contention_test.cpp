@@ -1,0 +1,260 @@
+// Tests for the node contention model, including the Fig. 7 paper facts
+// (HEAT antagonist pressure on each model).
+#include <gtest/gtest.h>
+
+#include "perfmodel/contention.h"
+#include "workload/heat.h"
+
+namespace coda::perfmodel {
+namespace {
+
+cluster::NodeConfig node_config() { return cluster::NodeConfig{}; }
+
+ResourceFootprint gpu_footprint(ModelId m, int gpus = 1) {
+  TrainPerf perf;
+  TrainConfig cfg{1, gpus, 0};
+  const auto& p = model_params(m);
+  ResourceFootprint fp;
+  fp.job = static_cast<cluster::JobId>(m) + 1;
+  fp.is_gpu_job = true;
+  fp.mem_bw_gbps = perf.mem_bw_demand_gbps(m, cfg, perf.optimal_cores(m, cfg));
+  fp.pcie_gbps = perf.pcie_demand_gbps(m, cfg, perf.optimal_cores(m, cfg));
+  fp.llc_mb = perf.llc_demand_mb(m, cfg);
+  fp.bw_latency_sensitivity = p.bw_latency_sensitivity;
+  fp.bw_share_dependence = p.bw_share_dependence;
+  fp.llc_sensitivity = p.llc_sensitivity;
+  return fp;
+}
+
+ResourceFootprint heat_footprint(int threads) {
+  const auto spec =
+      workload::make_heat_job(workload::HeatParams{threads}, 1000.0);
+  ResourceFootprint fp;
+  fp.job = 999;
+  fp.is_gpu_job = false;
+  fp.mem_bw_gbps = spec.mem_bw_gbps;
+  fp.llc_mb = spec.llc_mb;
+  fp.bw_bound_fraction = spec.bw_bound_fraction;
+  return fp;
+}
+
+// Performance of model m co-located with HEAT(threads), normalized to solo.
+double normalized_perf(ModelId m, int heat_threads) {
+  NodeContentionModel model;
+  TrainPerf perf;
+  TrainConfig cfg{1, 1, 0};
+  const int opt = perf.optimal_cores(m, cfg);
+  auto report = model.resolve(
+      node_config(), {gpu_footprint(m), heat_footprint(heat_threads)});
+  const double solo = perf.throughput(m, cfg, opt);
+  const double loaded =
+      perf.throughput(m, cfg, opt, report.jobs[0].factors);
+  return loaded / solo;
+}
+
+TEST(NodeContentionModel, NoContentionWhenUnderCapacity) {
+  NodeContentionModel model;
+  auto report = model.resolve(
+      node_config(), {gpu_footprint(ModelId::kVgg16), heat_footprint(2)});
+  EXPECT_LT(report.mem_pressure, 0.75);
+  for (const auto& jc : report.jobs) {
+    EXPECT_DOUBLE_EQ(jc.factors.prep_inflation, 1.0);
+    EXPECT_DOUBLE_EQ(jc.factors.gpu_inflation, 1.0);
+  }
+  // Achieved bandwidth equals demand below capacity.
+  EXPECT_NEAR(report.jobs[1].achieved_bw_gbps, heat_footprint(2).mem_bw_gbps,
+              1e-9);
+}
+
+TEST(NodeContentionModel, ProportionalSharingAboveCapacity) {
+  NodeContentionModel model;
+  auto big = heat_footprint(28);  // 224 GB/s demand vs 150 capacity
+  auto report = model.resolve(node_config(), {big, big});
+  EXPECT_GT(report.mem_pressure, 1.0);
+  const double total_achieved =
+      report.jobs[0].achieved_bw_gbps + report.jobs[1].achieved_bw_gbps;
+  EXPECT_NEAR(total_achieved, node_config().mem_bw_gbps, 1e-6);
+  EXPECT_NEAR(report.jobs[0].achieved_bw_gbps,
+              report.jobs[1].achieved_bw_gbps, 1e-9);
+}
+
+TEST(NodeContentionModel, MbaCapLimitsDemand) {
+  NodeContentionModel model;
+  auto capped = heat_footprint(28);
+  capped.mem_bw_cap_gbps = 30.0;
+  auto report = model.resolve(node_config(), {capped});
+  EXPECT_NEAR(report.total_demand_gbps, 30.0, 1e-9);
+  EXPECT_NEAR(report.jobs[0].achieved_bw_gbps, 30.0, 1e-9);
+  // The capped job slows down per its bandwidth-bound fraction (Amdahl).
+  EXPECT_LT(report.jobs[0].cpu_rate_factor, 1.0);
+}
+
+TEST(NodeContentionModel, CpuRateFactorFollowsAmdahl) {
+  NodeContentionModel model;
+  auto fp = heat_footprint(10);  // 80 GB/s
+  fp.mem_bw_cap_gbps = 40.0;     // halved
+  auto report = model.resolve(node_config(), {fp});
+  // f = 0.9, ratio = 2 -> rate = 1 / (0.1 + 0.9*2) = 0.526
+  EXPECT_NEAR(report.jobs[0].cpu_rate_factor, 1.0 / (0.1 + 1.8), 1e-6);
+}
+
+// ---- Fig. 7 paper facts ----
+
+TEST(Fig7, NlpModelsLoseAtLeastHalfUnderHeavyPressure) {
+  EXPECT_LE(normalized_perf(ModelId::kBiAttFlow, 28), 0.62);
+  EXPECT_LE(normalized_perf(ModelId::kTransformer, 28), 0.62);
+}
+
+TEST(Fig7, ComplexCvModelsAreInsensitive) {
+  EXPECT_GE(normalized_perf(ModelId::kVgg16, 28), 0.90);
+  EXPECT_GE(normalized_perf(ModelId::kInceptionV3, 28), 0.90);
+  EXPECT_GE(normalized_perf(ModelId::kResnet50, 28), 0.90);
+}
+
+TEST(Fig7, AlexnetIsBandwidthSensitive) {
+  EXPECT_LE(normalized_perf(ModelId::kAlexnet, 28), 0.85);
+}
+
+TEST(Fig7, DeepSpeechMoreSensitiveThanWavenet) {
+  EXPECT_LT(normalized_perf(ModelId::kDeepSpeech, 28),
+            normalized_perf(ModelId::kWavenet, 28));
+}
+
+TEST(Fig7, PressureGrowsWithHeatThreads) {
+  double prev = 1.0;
+  for (int threads : {4, 12, 20, 28}) {
+    const double perf = normalized_perf(ModelId::kTransformer, threads);
+    EXPECT_LE(perf, prev + 1e-9);
+    prev = perf;
+  }
+}
+
+TEST(Fig7, LlcPressureAloneBarelyMatters) {
+  // A cache-hungry but bandwidth-light antagonist: all models insensitive.
+  NodeContentionModel model;
+  ResourceFootprint cache_hog;
+  cache_hog.job = 77;
+  cache_hog.is_gpu_job = false;
+  cache_hog.mem_bw_gbps = 1.0;
+  cache_hog.llc_mb = 80.0;  // well past the 38.5 MB LLC
+  TrainPerf perf;
+  for (ModelId m : kAllModels) {
+    auto report =
+        model.resolve(node_config(), {gpu_footprint(m), cache_hog});
+    const TrainConfig cfg{1, 1, 0};
+    const int opt = perf.optimal_cores(m, cfg);
+    const double ratio = perf.throughput(m, cfg, opt, report.jobs[0].factors) /
+                         perf.throughput(m, cfg, opt);
+    EXPECT_GE(ratio, 0.95) << to_string(m);
+  }
+}
+
+// Sec. IV-C3: co-locating two high-PCIe models (Alexnet/Resnet50) costs
+// 5-10%; low-PCIe pairs are free.
+TEST(Sec4C3, PcieColocationPenalties) {
+  NodeContentionModel model;
+  TrainPerf perf;
+  const TrainConfig cfg{1, 1, 0};
+
+  const auto pair_perf = [&](ModelId a, ModelId b) {
+    auto report =
+        model.resolve(node_config(), {gpu_footprint(a), gpu_footprint(b)});
+    const int opt = perf.optimal_cores(a, cfg);
+    return perf.throughput(a, cfg, opt, report.jobs[0].factors) /
+           perf.throughput(a, cfg, opt);
+  };
+
+  // Two heavy PCIe consumers: noticeable 5-10% degradation.
+  const double heavy = pair_perf(ModelId::kAlexnet, ModelId::kResnet50);
+  EXPECT_LE(heavy, 0.97);
+  EXPECT_GE(heavy, 0.88);
+  // NLP + speech: no degradation.
+  EXPECT_GE(pair_perf(ModelId::kTransformer, ModelId::kDeepSpeech), 0.995);
+  // Heavy + light: light job unaffected by PCIe (below knee).
+  EXPECT_GE(pair_perf(ModelId::kWavenet, ModelId::kVgg16), 0.99);
+}
+
+// Parameterized invariants of the contention model, per model.
+class ContentionInvariants : public testing::TestWithParam<ModelId> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ContentionInvariants,
+                         testing::ValuesIn(kAllModels),
+                         [](const testing::TestParamInfo<ModelId>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST_P(ContentionInvariants, AchievedBandwidthNeverExceedsDemand) {
+  NodeContentionModel model;
+  for (int threads : {0, 8, 16, 24, 28}) {
+    std::vector<ResourceFootprint> fps = {gpu_footprint(GetParam())};
+    if (threads > 0) {
+      fps.push_back(heat_footprint(threads));
+    }
+    const auto report = model.resolve(node_config(), fps);
+    double total = 0.0;
+    for (size_t i = 0; i < fps.size(); ++i) {
+      EXPECT_LE(report.jobs[i].achieved_bw_gbps,
+                fps[i].mem_bw_gbps + 1e-9);
+      EXPECT_GE(report.jobs[i].achieved_bw_gbps, 0.0);
+      total += report.jobs[i].achieved_bw_gbps;
+    }
+    EXPECT_LE(total, node_config().mem_bw_gbps + 1e-6);
+  }
+}
+
+TEST_P(ContentionInvariants, FactorsAreSlowdownsNeverSpeedups) {
+  NodeContentionModel model;
+  const auto report = model.resolve(
+      node_config(), {gpu_footprint(GetParam()), heat_footprint(28)});
+  EXPECT_GE(report.jobs[0].factors.prep_inflation, 1.0);
+  EXPECT_GE(report.jobs[0].factors.gpu_inflation, 1.0);
+  EXPECT_LE(report.jobs[1].cpu_rate_factor, 1.0 + 1e-12);
+  EXPECT_GT(report.jobs[1].cpu_rate_factor, 0.0);
+}
+
+TEST_P(ContentionInvariants, MorePressureNeverHelps) {
+  NodeContentionModel model;
+  double prev_inflation = 0.0;
+  for (int threads : {4, 12, 20, 28}) {
+    const auto report = model.resolve(
+        node_config(), {gpu_footprint(GetParam()), heat_footprint(threads)});
+    EXPECT_GE(report.jobs[0].factors.prep_inflation, prev_inflation - 1e-12);
+    prev_inflation = report.jobs[0].factors.prep_inflation;
+  }
+}
+
+TEST(NodeContentionModel, EmptyNodeResolvesCleanly) {
+  NodeContentionModel model;
+  const auto report = model.resolve(node_config(), {});
+  EXPECT_DOUBLE_EQ(report.total_demand_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(report.mem_pressure, 0.0);
+  EXPECT_TRUE(report.jobs.empty());
+}
+
+TEST(NodeContentionModel, ReportOrderMatchesInputOrder) {
+  NodeContentionModel model;
+  std::vector<ResourceFootprint> fps;
+  for (cluster::JobId id = 10; id < 15; ++id) {
+    auto fp = heat_footprint(2);
+    fp.job = id;
+    fps.push_back(fp);
+  }
+  const auto report = model.resolve(node_config(), fps);
+  ASSERT_EQ(report.jobs.size(), fps.size());
+  for (size_t i = 0; i < fps.size(); ++i) {
+    EXPECT_EQ(report.jobs[i].job, fps[i].job);
+  }
+}
+
+TEST(Heat, JobSpecScalesWithThreads) {
+  workload::HeatParams params;
+  params.threads = 4;
+  const auto spec = workload::make_heat_job(params, 400.0);
+  EXPECT_EQ(spec.cpu_cores, 4);
+  EXPECT_DOUBLE_EQ(spec.mem_bw_gbps, 32.0);
+  EXPECT_DOUBLE_EQ(spec.cpu_work_core_s, 400.0);
+  EXPECT_FALSE(spec.is_gpu_job());
+}
+
+}  // namespace
+}  // namespace coda::perfmodel

@@ -1,0 +1,390 @@
+// Tests for the simulation engine: job lifecycle, exact rate integration,
+// contention coupling, preemption, resize and telemetry probes.
+#include <gtest/gtest.h>
+
+#include "sched/fifo.h"
+#include "sim/engine.h"
+#include "workload/heat.h"
+
+namespace coda::sim {
+namespace {
+
+using perfmodel::ModelId;
+using perfmodel::TrainPerf;
+
+// Scheduler stub that gives tests manual control over the engine callbacks.
+class ProbeScheduler : public sched::Scheduler {
+ public:
+  const char* name() const override { return "probe"; }
+  void submit(const workload::JobSpec& spec) override {
+    submitted.push_back(spec);
+  }
+  void on_job_finished(const workload::JobSpec& spec) override {
+    finished.push_back(spec.id);
+  }
+  void kick() override { ++kicks; }
+  void on_job_evicted(const workload::JobSpec& spec) override {
+    evicted.push_back(spec.id);
+  }
+  size_t pending_jobs() const override { return 0; }
+  size_t pending_gpu_jobs() const override { return 0; }
+  std::optional<PendingGpuDemand> min_pending_gpu_demand() const override {
+    return demand;
+  }
+
+  sched::SchedulerEnv& env() { return env_; }
+
+  std::vector<workload::JobSpec> submitted;
+  std::vector<cluster::JobId> evicted;
+  std::vector<cluster::JobId> finished;
+  std::optional<PendingGpuDemand> demand;
+  int kicks = 0;
+};
+
+EngineConfig small_engine_config(int nodes = 2) {
+  EngineConfig cfg;
+  cfg.cluster.node_count = nodes;
+  return cfg;
+}
+
+workload::JobSpec gpu_spec(cluster::JobId id, ModelId model,
+                           double iterations, int requested = 2) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.kind = workload::JobKind::kGpuTraining;
+  spec.model = model;
+  spec.train_config = perfmodel::TrainConfig{1, 1, 0};
+  spec.iterations = iterations;
+  spec.requested_cpus = requested;
+  return spec;
+}
+
+workload::JobSpec cpu_spec(cluster::JobId id, int cores, double work) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.kind = workload::JobKind::kCpu;
+  spec.cpu_cores = cores;
+  spec.cpu_work_core_s = work;
+  spec.mem_bw_gbps = 1.0;
+  return spec;
+}
+
+sched::Placement on_node(cluster::NodeId node, int cpus, int gpus) {
+  sched::Placement p;
+  p.nodes.push_back(sched::NodePlacement{node, cpus, gpus});
+  return p;
+}
+
+TEST(Engine, GpuJobFinishesAtAnalyticTime) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(), &probe);
+  const double iters = 1000.0;
+  engine.inject(gpu_spec(1, ModelId::kVgg16, iters), 0.0);
+  engine.run_until(0.0);  // arrival fires
+  ASSERT_EQ(probe.submitted.size(), 1u);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 3, 1)).ok());
+  engine.drain(1e7);
+  TrainPerf perf;
+  const double expected = iters * perf.iter_time(ModelId::kVgg16, {}, 3);
+  const auto& record = engine.records().at(1);
+  EXPECT_TRUE(record.completed);
+  EXPECT_NEAR(record.finish_time, expected, 1e-6);
+  EXPECT_EQ(record.final_cpus, 3);
+  EXPECT_EQ(probe.finished, (std::vector<cluster::JobId>{1}));
+  // Resources fully released.
+  EXPECT_EQ(engine.cluster().used_cpus(), 0);
+  EXPECT_EQ(engine.cluster().used_gpus(), 0);
+}
+
+TEST(Engine, CpuJobRateIsCoresTimesFactor) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(), &probe);
+  engine.inject(cpu_spec(1, 4, 400.0), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 4, 0)).ok());
+  engine.drain(1e7);
+  EXPECT_NEAR(engine.records().at(1).finish_time, 100.0, 1e-6);
+}
+
+TEST(Engine, StartRejectsInfeasibleAndUnknownJobs) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(), &probe);
+  engine.inject(cpu_spec(1, 4, 100.0), 0.0);
+  engine.run_until(0.0);
+  EXPECT_FALSE(probe.env().start_job(99, on_node(0, 1, 0)).ok());
+  EXPECT_FALSE(probe.env().start_job(1, on_node(0, 64, 0)).ok());
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 4, 0)).ok());
+  EXPECT_FALSE(probe.env().start_job(1, on_node(1, 4, 0)).ok());
+}
+
+TEST(Engine, MultiNodeStartRollsBackOnFailure) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(2), &probe);
+  auto spec = gpu_spec(1, ModelId::kResnet50, 100.0);
+  spec.train_config = perfmodel::TrainConfig{2, 2, 0};
+  engine.inject(spec, 0.0);
+  engine.run_until(0.0);
+  sched::Placement p;
+  p.nodes.push_back(sched::NodePlacement{0, 2, 2});
+  p.nodes.push_back(sched::NodePlacement{1, 64, 2});  // infeasible second leg
+  EXPECT_FALSE(probe.env().start_job(1, p).ok());
+  EXPECT_EQ(engine.cluster().used_cpus(), 0);
+  EXPECT_EQ(engine.cluster().used_gpus(), 0);
+}
+
+TEST(Engine, ContentionSlowsGpuJob) {
+  // An NLP job co-located with a HEAT hog finishes later than solo.
+  TrainPerf perf;
+  const double iters = 500.0;
+  const auto run_with_heat = [&](bool heat) {
+    ProbeScheduler probe;
+    ClusterEngine engine(small_engine_config(1), &probe);
+    engine.inject(gpu_spec(1, ModelId::kTransformer, iters), 0.0);
+    if (heat) {
+      auto hog = workload::make_heat_job(workload::HeatParams{20}, 1e9);
+      hog.id = 2;
+      engine.inject(hog, 0.0);
+    }
+    engine.run_until(0.0);
+    EXPECT_TRUE(probe.env().start_job(1, on_node(0, 2, 1)).ok());
+    if (heat) {
+      EXPECT_TRUE(probe.env().start_job(2, on_node(0, 20, 0)).ok());
+    }
+    engine.run_until(1e6);
+    return engine.records().at(1).finish_time;
+  };
+  const double solo = run_with_heat(false);
+  const double loaded = run_with_heat(true);
+  EXPECT_NEAR(solo, iters * perf.iter_time(ModelId::kTransformer, {}, 2),
+              1e-6);
+  EXPECT_GT(loaded, solo * 1.2);
+}
+
+TEST(Engine, ResizeChangesRateMidFlight) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  TrainPerf perf;
+  const double iters = 1000.0;
+  engine.inject(gpu_spec(1, ModelId::kWavenet, iters), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 1, 1)).ok());
+  const double t1 = perf.iter_time(ModelId::kWavenet, {}, 1);
+  const double t6 = perf.iter_time(ModelId::kWavenet, {}, 6);
+  // Let half the work run on 1 core, then grow to 6 cores.
+  const double switch_time = (iters / 2.0) * t1;
+  engine.run_until(switch_time);
+  ASSERT_TRUE(probe.env().resize_job(1, 0, 6).ok());
+  engine.drain(1e8);
+  EXPECT_NEAR(engine.records().at(1).finish_time,
+              switch_time + (iters / 2.0) * t6, 1e-5);
+}
+
+TEST(Engine, ResizeFailsWithoutFreeCores) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  engine.inject(cpu_spec(1, 20, 1e6), 0.0);
+  engine.inject(cpu_spec(2, 8, 1e6), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 20, 0)).ok());
+  ASSERT_TRUE(probe.env().start_job(2, on_node(0, 8, 0)).ok());
+  EXPECT_FALSE(probe.env().resize_job(1, 0, 21).ok());
+  EXPECT_TRUE(probe.env().resize_job(1, 0, 10).ok());
+  EXPECT_FALSE(probe.env().resize_job(99, 0, 1).ok());
+}
+
+TEST(Engine, PreemptLosesOrKeepsProgress) {
+  for (bool keep : {false, true}) {
+    ProbeScheduler probe;
+    ClusterEngine engine(small_engine_config(1), &probe);
+    engine.inject(cpu_spec(1, 2, 200.0), 0.0);  // 100 s at 2 cores
+    engine.run_until(0.0);
+    ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+    engine.run_until(50.0);  // half done
+    ASSERT_TRUE(probe.env().preempt_job(1, keep).ok());
+    EXPECT_EQ(engine.cluster().used_cpus(), 0);
+    engine.run_until(60.0);
+    ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+    engine.drain(1e7);
+    const auto& record = engine.records().at(1);
+    EXPECT_EQ(record.preempt_count, 1);
+    const double expected = keep ? 60.0 + 50.0 : 60.0 + 100.0;
+    EXPECT_NEAR(record.finish_time, expected, 1e-6) << "keep=" << keep;
+  }
+}
+
+TEST(Engine, QueueTimeAccountsPreemptions) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  engine.inject(cpu_spec(1, 2, 200.0), 10.0);
+  engine.run_until(20.0);  // waited 10 s already
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.run_until(30.0);
+  ASSERT_TRUE(probe.env().preempt_job(1, true).ok());
+  engine.run_until(45.0);  // 15 s pending again
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.drain(1e7);
+  const auto& record = engine.records().at(1);
+  EXPECT_NEAR(record.initial_queue_time(), 10.0, 1e-9);
+  EXPECT_NEAR(record.queue_time_total, 25.0, 1e-9);
+}
+
+TEST(Engine, BandwidthSampleReportsPerJobTraffic) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  auto hog = workload::make_heat_job(workload::HeatParams{4}, 1e9);
+  hog.id = 1;
+  engine.inject(hog, 0.0);
+  engine.inject(gpu_spec(2, ModelId::kAlexnet, 1e9, 6), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 4, 0)).ok());
+  ASSERT_TRUE(probe.env().start_job(2, on_node(0, 6, 1)).ok());
+  engine.run_until(1.0);
+  const auto sample = probe.env().bandwidth->sample(0);
+  ASSERT_EQ(sample.jobs.size(), 2u);
+  EXPECT_GT(sample.total_gbps, 30.0);  // 32 (HEAT) + ~14 (Alexnet)
+  double heat_bw = 0.0;
+  double gpu_bw = 0.0;
+  for (const auto& jb : sample.jobs) {
+    (jb.is_gpu_job ? gpu_bw : heat_bw) = jb.gbps;
+  }
+  EXPECT_NEAR(heat_bw, 32.0, 1.0);
+  EXPECT_NEAR(gpu_bw, 14.0, 1.5);
+}
+
+TEST(Engine, GpuUtilizationProbe) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  engine.inject(gpu_spec(1, ModelId::kVgg16, 1e9), 0.0);
+  engine.run_until(0.0);
+  EXPECT_LT(probe.env().gpu_util->gpu_utilization(1), 0.0);  // not running
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 3, 1)).ok());
+  engine.run_until(1.0);
+  TrainPerf perf;
+  EXPECT_NEAR(probe.env().gpu_util->gpu_utilization(1),
+              perf.gpu_utilization(ModelId::kVgg16, {}, 3), 1e-9);
+  EXPECT_NEAR(engine.expected_gpu_utilization(1),
+              perf.gpu_utilization(ModelId::kVgg16, {}, 3), 1e-9);
+}
+
+TEST(Engine, MbaCapSlowsCpuJobAndEngineAppliesIt) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  auto hog = workload::make_heat_job(workload::HeatParams{8}, 6400.0);
+  hog.id = 1;  // 64 GB/s demand, 800 s at 8 cores unthrottled
+  engine.inject(hog, 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 8, 0)).ok());
+  ASSERT_TRUE(probe.env().set_bw_cap(0, 1, 32.0).ok());
+  engine.drain(1e7);
+  // Amdahl with f=0.9, bandwidth ratio 2 -> rate factor 1/1.9.
+  EXPECT_NEAR(engine.records().at(1).finish_time, 800.0 * 1.9, 1e-6);
+}
+
+TEST(Engine, MetricsSampledPeriodically) {
+  ProbeScheduler probe;
+  EngineConfig cfg = small_engine_config(1);
+  cfg.metrics_period_s = 10.0;
+  ClusterEngine engine(cfg, &probe);
+  engine.inject(gpu_spec(1, ModelId::kVgg16, 1e9), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 3, 1)).ok());
+  engine.run_until(35.0);
+  const auto& active = engine.metrics().series("gpu_active_rate");
+  ASSERT_EQ(active.size(), 3u);  // t = 10, 20, 30
+  EXPECT_DOUBLE_EQ(active.at(0).value, 1.0 / 5.0);
+  const auto& util = engine.metrics().series("gpu_util_active");
+  TrainPerf perf;
+  EXPECT_NEAR(util.at(0).value,
+              perf.gpu_utilization(ModelId::kVgg16, {}, 3), 1e-9);
+}
+
+TEST(Engine, FragmentationMetricUsesPendingDemand) {
+  ProbeScheduler probe;
+  EngineConfig cfg = small_engine_config(1);
+  cfg.metrics_period_s = 10.0;
+  ClusterEngine engine(cfg, &probe);
+  engine.inject(cpu_spec(1, 27, 1e9), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 27, 0)).ok());
+  // 5 idle GPUs, 1 free core; a pending job needing 2 cores cannot fit.
+  probe.demand = sched::Scheduler::PendingGpuDemand{1, 2};
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(engine.metrics().series("gpu_frag_rate").at(0).value, 1.0);
+  // Without pending demand, idle GPUs are not fragmentation.
+  probe.demand.reset();
+  engine.run_until(20.0);
+  EXPECT_DOUBLE_EQ(engine.metrics().series("gpu_frag_rate").at(1).value, 0.0);
+}
+
+TEST(Engine, NodeFailureEvictsResidentJobs) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(2), &probe);
+  engine.inject(cpu_spec(1, 2, 200.0), 0.0);
+  engine.inject(gpu_spec(2, ModelId::kVgg16, 1e6), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  ASSERT_TRUE(probe.env().start_job(2, on_node(1, 3, 1)).ok());
+  engine.run_until(10.0);
+
+  ASSERT_TRUE(engine.fail_node(0).ok());
+  EXPECT_EQ(probe.evicted, (std::vector<cluster::JobId>{1}));
+  EXPECT_TRUE(engine.cluster().node(0).failed());
+  EXPECT_EQ(engine.cluster().node(0).free_cpus(), 0);
+  EXPECT_FALSE(engine.cluster().node(0).can_fit(1, 0));
+  EXPECT_EQ(engine.node_failures(), 1);
+  // The survivor on node 1 is untouched.
+  EXPECT_TRUE(engine.cluster().node(1).hosts(2));
+  // Restarting on the failed node is rejected; a healthy node works, and
+  // the evicted job lost its progress.
+  EXPECT_FALSE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  ASSERT_TRUE(probe.env().start_job(1, on_node(1, 2, 0)).ok());
+  engine.run_until(200.0);
+  EXPECT_NEAR(engine.records().at(1).finish_time, 10.0 + 100.0, 1e-6);
+
+  // Double-fail and bad-recover are rejected; recovery reopens the node.
+  EXPECT_FALSE(engine.fail_node(0).ok());
+  EXPECT_FALSE(engine.recover_node(1).ok());
+  ASSERT_TRUE(engine.recover_node(0).ok());
+  EXPECT_TRUE(engine.cluster().node(0).can_fit(1, 0));
+}
+
+TEST(Engine, MultiNodeJobDiesWhenOneLegFails) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(2), &probe);
+  auto spec = gpu_spec(1, ModelId::kDeepSpeech, 1e6);
+  spec.train_config = perfmodel::TrainConfig{2, 2, 0};
+  engine.inject(spec, 0.0);
+  engine.run_until(0.0);
+  sched::Placement p;
+  p.nodes.push_back(sched::NodePlacement{0, 2, 2});
+  p.nodes.push_back(sched::NodePlacement{1, 2, 2});
+  ASSERT_TRUE(probe.env().start_job(1, p).ok());
+  engine.run_until(5.0);
+  ASSERT_TRUE(engine.fail_node(1).ok());
+  EXPECT_EQ(probe.evicted, (std::vector<cluster::JobId>{1}));
+  // Both legs released, including the healthy one.
+  EXPECT_FALSE(engine.cluster().node(0).hosts(1));
+  EXPECT_EQ(engine.cluster().node(0).used_cpus(), 0);
+}
+
+TEST(Engine, ScheduledOutageFailsAndRecovers) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  engine.schedule_node_outage(0, 100.0, 50.0);
+  engine.run_until(120.0);
+  EXPECT_TRUE(engine.cluster().node(0).failed());
+  engine.run_until(200.0);
+  EXPECT_FALSE(engine.cluster().node(0).failed());
+  EXPECT_EQ(engine.node_failures(), 1);
+  EXPECT_DOUBLE_EQ(engine.metrics().counter("node_failures"), 1.0);
+}
+
+TEST(Engine, RejectsDuplicateInjection) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  engine.inject(cpu_spec(1, 1, 10.0), 0.0);
+  EXPECT_DEATH(engine.inject(cpu_spec(1, 1, 10.0), 1.0), "duplicate");
+}
+
+}  // namespace
+}  // namespace coda::sim

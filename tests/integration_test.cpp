@@ -1,0 +1,202 @@
+// End-to-end integration tests: full trace replays under FIFO, DRF and CODA
+// and the headline comparisons of the paper's evaluation.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "util/stats.h"
+#include "workload/heat.h"
+
+namespace coda::sim {
+namespace {
+
+std::vector<workload::JobSpec> day_trace(uint64_t seed, double days = 1.0,
+                                         int cpu_per_day = 2500,
+                                         int gpu_per_day = 1250) {
+  auto cfg = standard_week_trace(seed);
+  cfg.duration_s = days * 86400.0;
+  cfg.cpu_jobs = static_cast<int>(cpu_per_day * days);
+  cfg.gpu_jobs = static_cast<int>(gpu_per_day * days);
+  return workload::TraceGenerator(cfg).generate();
+}
+
+TEST(Integration, AllPoliciesCompleteAModestTrace) {
+  const auto trace = day_trace(3, 0.5, 1200, 400);  // light load
+  for (auto policy : {Policy::kFifo, Policy::kDrf, Policy::kCoda}) {
+    const auto report = run_experiment(policy, trace);
+    EXPECT_EQ(report.completed, trace.size()) << report.scheduler;
+    EXPECT_GT(report.gpu_util_active, 0.2) << report.scheduler;
+    EXPECT_EQ(report.records.size(), trace.size());
+  }
+}
+
+TEST(Integration, DeterministicReplay) {
+  const auto trace = day_trace(5, 0.25, 600, 250);
+  const auto a = run_experiment(Policy::kCoda, trace);
+  const auto b = run_experiment(Policy::kCoda, trace);
+  EXPECT_DOUBLE_EQ(a.gpu_util_active, b.gpu_util_active);
+  EXPECT_DOUBLE_EQ(a.gpu_active_rate, b.gpu_active_rate);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].finish_time, b.records[i].finish_time);
+  }
+}
+
+// The paper's headline (Fig. 10): CODA beats FIFO and DRF on GPU
+// utilization by a wide margin at saturation load.
+TEST(Integration, CodaImprovesGpuUtilization) {
+  const auto trace = day_trace(7, 1.0);
+  const auto fifo = run_experiment(Policy::kFifo, trace);
+  const auto drf = run_experiment(Policy::kDrf, trace);
+  const auto coda = run_experiment(Policy::kCoda, trace);
+  EXPECT_GT(coda.gpu_util_active, fifo.gpu_util_active + 0.08);
+  EXPECT_GT(coda.gpu_util_active, drf.gpu_util_active + 0.08);
+  // Within the calibrated band of the paper's numbers.
+  EXPECT_NEAR(fifo.gpu_util_active, 0.454, 0.06);
+  EXPECT_NEAR(coda.gpu_util_active, 0.621, 0.06);
+}
+
+// Sec. VI-C: CODA nearly eliminates fragmentation.
+TEST(Integration, CodaReducesFragmentation) {
+  const auto trace = day_trace(7, 1.0);
+  const auto fifo = run_experiment(Policy::kFifo, trace);
+  const auto coda = run_experiment(Policy::kCoda, trace);
+  EXPECT_LT(coda.frag_rate, fifo.frag_rate);
+  EXPECT_LT(coda.frag_rate, 0.04);
+}
+
+// Fig. 11: the bulk of GPU jobs start without queueing under CODA, while
+// FIFO queues heavily at the same load.
+TEST(Integration, CodaShortensGpuQueueing) {
+  const auto trace = day_trace(7, 1.0);
+  const auto fifo = run_experiment(Policy::kFifo, trace);
+  const auto coda = run_experiment(Policy::kCoda, trace);
+  const auto frac_fast = [](const std::vector<double>& q, double limit) {
+    size_t n = 0;
+    for (double v : q) {
+      n += v <= limit ? 1 : 0;
+    }
+    return q.empty() ? 0.0 : static_cast<double>(n) / q.size();
+  };
+  EXPECT_GT(frac_fast(coda.gpu_queue_times, 1.0), 0.7);
+  EXPECT_LT(frac_fast(fifo.gpu_queue_times, 1.0),
+            frac_fast(coda.gpu_queue_times, 1.0));
+  // CPU jobs are not starved by CODA (Sec. VI-A promise).
+  EXPECT_GT(frac_fast(coda.cpu_queue_times, 180.0), 0.9);
+}
+
+// Fig. 14: CODA both grows under-provisioned jobs and slims over-asking
+// ones.
+TEST(Integration, TuningAdjustsBothDirections) {
+  const auto trace = day_trace(7, 0.5);
+  const auto coda = run_experiment(Policy::kCoda, trace);
+  ASSERT_FALSE(coda.tuning_outcomes.empty());
+  int more = 0;
+  int fewer = 0;
+  for (const auto& outcome : coda.tuning_outcomes) {
+    if (outcome.final_cpus > outcome.requested_cpus) {
+      ++more;
+    } else if (outcome.final_cpus < outcome.requested_cpus) {
+      ++fewer;
+    }
+  }
+  EXPECT_GT(more, 0);
+  EXPECT_GT(fewer, 0);
+  // Most jobs get more cores (they asked for 1-2 per GPU), a solid minority
+  // gets slimmed (the >10-core requesters), matching Fig. 14's split.
+  EXPECT_GT(more, fewer);
+}
+
+// Sec. VI-E: disabling the eliminator hurts DNN jobs when bandwidth-heavy
+// CPU jobs roam free. A focused workload (latency-sensitive NLP trainers +
+// HEAT-grade CPU jobs on a small cluster) makes the effect deterministic.
+TEST(Integration, EliminatorAblation) {
+  std::vector<workload::JobSpec> trace;
+  cluster::JobId next_id = 1;
+  for (int i = 0; i < 6; ++i) {
+    workload::JobSpec gpu;
+    gpu.id = next_id++;
+    gpu.tenant = static_cast<cluster::TenantId>(i % 4);
+    gpu.kind = workload::JobKind::kGpuTraining;
+    gpu.model = i % 2 == 0 ? perfmodel::ModelId::kTransformer
+                           : perfmodel::ModelId::kBiAttFlow;
+    gpu.train_config = perfmodel::TrainConfig{1, 1, 0};
+    gpu.iterations = 3000.0;
+    gpu.requested_cpus = 2;
+    gpu.submit_time = 0.0;
+    trace.push_back(gpu);
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto hog = workload::make_heat_job(workload::HeatParams{8}, 4.0e4);
+    hog.id = next_id++;
+    hog.tenant = static_cast<cluster::TenantId>(10 + i % 5);
+    hog.submit_time = 5.0;
+    trace.push_back(hog);
+  }
+
+  ExperimentConfig on;
+  on.engine.cluster.node_count = 4;
+  on.horizon_s = 1200.0;
+  ExperimentConfig off = on;
+  off.coda.eliminator.enabled = false;
+  const auto with = run_experiment(Policy::kCoda, trace, on);
+  const auto without = run_experiment(Policy::kCoda, trace, off);
+  EXPECT_GT(with.eliminator_stats.mba_throttles +
+                with.eliminator_stats.core_halvings,
+            0);
+  EXPECT_EQ(without.eliminator_stats.mba_throttles, 0);
+  EXPECT_EQ(without.eliminator_stats.core_halvings, 0);
+  // Throttled bandwidth hogs take longer; protected trainers finish sooner.
+  // (Aggregate time-averaged utilization is not a reliable signal here:
+  // faster completions change the later sample composition — the per-job
+  // comparison below is the direct Sec. VI-E effect.)
+  double gpu_time_with = 0.0;
+  double gpu_time_without = 0.0;
+  for (size_t i = 0; i < with.records.size(); ++i) {
+    if (with.records[i].spec.is_gpu_job()) {
+      gpu_time_with += with.records[i].finish_time;
+      gpu_time_without += without.records[i].finish_time;
+    }
+  }
+  EXPECT_LT(gpu_time_with, gpu_time_without);
+}
+
+// Resource-conservation invariant: after draining, nothing is allocated and
+// every record is consistent.
+TEST(Integration, RecordsAreConsistent) {
+  const auto trace = day_trace(13, 0.25, 600, 250);
+  const auto report = run_experiment(Policy::kCoda, trace);
+  for (const auto& record : report.records) {
+    ASSERT_TRUE(record.completed);
+    EXPECT_GE(record.first_start_time, record.submit_time);
+    EXPECT_GT(record.finish_time, record.first_start_time);
+    EXPECT_GE(record.queue_time_total, 0.0);
+    EXPECT_GE(record.initial_queue_time(), 0.0);
+    EXPECT_LE(record.initial_queue_time(), record.queue_time_total + 1e-9);
+    if (record.spec.is_gpu_job()) {
+      EXPECT_GE(record.final_cpus, 1);
+    }
+  }
+}
+
+// Per-user fairness (Fig. 12): every tenant gets queue samples and CODA's
+// worst-tenant tail beats FIFO's.
+TEST(Integration, PerTenantTails) {
+  const auto trace = day_trace(7, 1.0);
+  const auto fifo = run_experiment(Policy::kFifo, trace);
+  const auto coda = run_experiment(Policy::kCoda, trace);
+  ASSERT_EQ(coda.queue_by_tenant.size(), 20u);
+  double fifo_worst = 0.0;
+  double coda_worst = 0.0;
+  for (const auto& [tenant, queues] : fifo.queue_by_tenant) {
+    fifo_worst = std::max(fifo_worst, util::percentile(queues, 0.99));
+  }
+  for (const auto& [tenant, queues] : coda.queue_by_tenant) {
+    coda_worst = std::max(coda_worst, util::percentile(queues, 0.99));
+  }
+  EXPECT_LT(coda_worst, fifo_worst);
+}
+
+}  // namespace
+}  // namespace coda::sim

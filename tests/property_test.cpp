@@ -1,0 +1,225 @@
+// Property-based tests: randomized workloads swept across seeds and
+// policies, checking invariants that must hold for *every* trace —
+// conservation of resources, physical lower bounds on completion times,
+// queue-accounting consistency, metric ranges, and cross-policy sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coda/coda_scheduler.h"
+#include "sched/drf.h"
+#include "sched/fifo.h"
+#include "sim/experiment.h"
+#include "workload/trace_gen.h"
+
+namespace coda::sim {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  Policy policy;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  return std::string(to_string(info.param.policy)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class ReplayProperties : public testing::TestWithParam<Case> {
+ protected:
+  static std::vector<workload::JobSpec> trace_for(uint64_t seed) {
+    auto cfg = standard_week_trace(seed);
+    cfg.duration_s = 0.25 * 86400.0;
+    cfg.cpu_jobs = 500;
+    cfg.gpu_jobs = 220;
+    return workload::TraceGenerator(cfg).generate();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplayProperties,
+    testing::Values(Case{101, Policy::kFifo}, Case{101, Policy::kDrf},
+                    Case{101, Policy::kCoda}, Case{202, Policy::kFifo},
+                    Case{202, Policy::kDrf}, Case{202, Policy::kCoda},
+                    Case{303, Policy::kCoda}, Case{404, Policy::kCoda},
+                    Case{505, Policy::kCoda}),
+    case_name);
+
+TEST_P(ReplayProperties, InvariantsHoldOnRandomTraces) {
+  const auto trace = trace_for(GetParam().seed);
+  const auto report = run_experiment(GetParam().policy, trace);
+  perfmodel::TrainPerf perf;
+
+  // Every job completes at this load, exactly once, with consistent
+  // bookkeeping.
+  EXPECT_EQ(report.completed, trace.size());
+  ASSERT_EQ(report.records.size(), trace.size());
+
+  for (const auto& record : report.records) {
+    ASSERT_TRUE(record.completed) << record.spec.label();
+    // Causality.
+    EXPECT_GE(record.first_start_time, record.submit_time - 1e-9);
+    EXPECT_GT(record.finish_time, record.first_start_time - 1e-9);
+    EXPECT_GE(record.queue_time_total, -1e-9);
+    EXPECT_LE(record.initial_queue_time(),
+              record.queue_time_total + 1e-9);
+    EXPECT_GE(record.preempt_count, 0);
+
+    // Physical lower bound on processing time: no scheduler can run a job
+    // faster than its work at the best possible allocation with zero
+    // contention.
+    const double processing =
+        record.finish_time - record.first_start_time;
+    if (record.spec.is_gpu_job()) {
+      const double floor_iter = perf.iter_time(
+          record.spec.model, record.spec.train_config, /*cores=*/26);
+      EXPECT_GE(processing,
+                record.spec.iterations * floor_iter * (1.0 - 1e-9))
+          << record.spec.label();
+      EXPECT_GE(record.final_cpus, 1);
+      EXPECT_LE(record.final_cpus, 26);
+    } else {
+      EXPECT_GE(processing, record.spec.cpu_work_core_s /
+                                    std::max(1, record.spec.cpu_cores) -
+                                1e-6)
+          << record.spec.label();
+    }
+  }
+
+  // Metric samples stay in range.
+  for (const auto& p : report.gpu_active_series.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  for (const auto& p : report.gpu_util_series.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  EXPECT_GE(report.frag_rate, 0.0);
+  EXPECT_LE(report.frag_rate + report.frag_case2_rate, 1.0 + 1e-9);
+
+  // Queue samples cover every job exactly once.
+  EXPECT_EQ(report.gpu_queue_times.size() + report.cpu_queue_times.size(),
+            trace.size());
+  size_t by_tenant = 0;
+  for (const auto& [tenant, queues] : report.queue_by_tenant) {
+    by_tenant += queues.size();
+  }
+  EXPECT_EQ(by_tenant, trace.size());
+}
+
+TEST_P(ReplayProperties, WorkConservationAcrossPreemptions) {
+  // A preempted-without-progress CPU job still finishes with at least its
+  // full work worth of processing accumulated over its runs; this is
+  // implied by the lower-bound check above plus preempt accounting, but
+  // here we verify the queue/processing decomposition sums to the
+  // end-to-end latency.
+  const auto trace = trace_for(GetParam().seed);
+  const auto report = run_experiment(GetParam().policy, trace);
+  for (const auto& record : report.records) {
+    if (record.preempt_count == 0) {
+      const double decomposition =
+          record.initial_queue_time() +
+          (record.finish_time - record.first_start_time);
+      EXPECT_NEAR(decomposition, record.end_to_end_latency(), 1e-6)
+          << record.spec.label();
+    } else {
+      // With preemptions, total pending + total running spans the latency.
+      EXPECT_LE(record.queue_time_total,
+                record.end_to_end_latency() + 1e-6);
+    }
+  }
+}
+
+TEST_P(ReplayProperties, SurvivesNodeOutages) {
+  // Inject rolling outages (one node down every 2 simulated hours for 30
+  // minutes); every job must still complete, with consistent records.
+  const auto trace = trace_for(GetParam().seed);
+  std::unique_ptr<sched::Scheduler> scheduler;
+  switch (GetParam().policy) {
+    case Policy::kFifo:
+      scheduler = std::make_unique<sched::FifoScheduler>();
+      break;
+    case Policy::kDrf:
+      scheduler = std::make_unique<sched::DrfScheduler>();
+      break;
+    case Policy::kCoda:
+      scheduler = std::make_unique<core::CodaScheduler>(core::CodaConfig{});
+      break;
+  }
+  ClusterEngine engine(EngineConfig{}, scheduler.get());
+  engine.load_trace(trace);
+  for (int i = 0; i < 6; ++i) {
+    engine.schedule_node_outage(
+        static_cast<cluster::NodeId>((GetParam().seed + 13 * i) % 80),
+        3600.0 + i * 7200.0, 1800.0);
+  }
+  engine.drain(6.0 * 86400.0);
+  EXPECT_EQ(engine.finished_jobs(), trace.size());
+  EXPECT_EQ(engine.node_failures(), 6);
+  for (const auto& [id, record] : engine.records()) {
+    EXPECT_TRUE(record.completed) << record.spec.label();
+    EXPECT_GE(record.preempt_count, 0);
+  }
+  // No node left in the failed state, nothing still allocated.
+  for (const auto& node : engine.cluster().nodes()) {
+    EXPECT_FALSE(node.failed());
+  }
+  EXPECT_EQ(engine.cluster().used_cpus(), 0);
+  EXPECT_EQ(engine.cluster().used_gpus(), 0);
+}
+
+// CODA-specific properties over random traces.
+class CodaProperties : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodaProperties,
+                         testing::Values(11, 22, 33, 44));
+
+TEST_P(CodaProperties, TuningOutcomesAreSane) {
+  auto cfg = standard_week_trace(GetParam());
+  cfg.duration_s = 0.25 * 86400.0;
+  cfg.cpu_jobs = 300;
+  cfg.gpu_jobs = 250;
+  const auto trace = workload::TraceGenerator(cfg).generate();
+  const auto report = run_experiment(Policy::kCoda, trace);
+  perfmodel::TrainPerf perf;
+
+  size_t gpu_jobs = 0;
+  for (const auto& spec : trace) {
+    gpu_jobs += spec.is_gpu_job() ? 1 : 0;
+  }
+  // Every completed GPU job produces exactly one tuning outcome — a
+  // migration cancels the session and the restart opens a fresh one, so
+  // the count is invariant to migrations.
+  EXPECT_EQ(report.tuning_outcomes.size(), gpu_jobs);
+  for (const auto& outcome : report.tuning_outcomes) {
+    EXPECT_GE(outcome.start_cpus, 1);
+    EXPECT_LE(outcome.start_cpus, 26);
+    EXPECT_GE(outcome.final_cpus, 1);
+    EXPECT_LE(outcome.final_cpus, 26);
+    EXPECT_GE(outcome.profile_steps, 0);
+    EXPECT_LE(outcome.profile_steps, 10);
+  }
+
+  // Jobs that ran long enough to converge end close to the model optimum.
+  int converged = 0;
+  int near_opt = 0;
+  for (const auto& outcome : report.tuning_outcomes) {
+    if (outcome.profile_steps < 2) {
+      continue;  // finished before the tuner had a chance
+    }
+    ++converged;
+    // Look the job's config up from the trace.
+    const auto& spec = trace[static_cast<size_t>(outcome.job - 1)];
+    const int opt = perf.optimal_cores(spec.model, spec.train_config);
+    if (std::abs(outcome.final_cpus - opt) <= 2) {
+      ++near_opt;
+    }
+  }
+  if (converged >= 10) {
+    EXPECT_GE(static_cast<double>(near_opt) / converged, 0.7);
+  }
+}
+
+}  // namespace
+}  // namespace coda::sim

@@ -1,0 +1,147 @@
+// Tests for the analysis outputs: the scheduling event log and the CSV
+// report exporter.
+#include <gtest/gtest.h>
+
+#include "sched/fifo.h"
+#include "sim/engine.h"
+#include "sim/event_log.h"
+#include "sim/experiment.h"
+#include "sim/report_io.h"
+#include "util/csv.h"
+#include "workload/trace_gen.h"
+
+namespace coda::sim {
+namespace {
+
+workload::JobSpec cpu_spec(cluster::JobId id, int cores, double work) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.kind = workload::JobKind::kCpu;
+  spec.cpu_cores = cores;
+  spec.cpu_work_core_s = work;
+  spec.mem_bw_gbps = 1.0;
+  return spec;
+}
+
+TEST(EventLog, DisabledRecordsNothing) {
+  EventLog log(false);
+  log.record(1.0, EventKind::kArrival, 1);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_FALSE(log.enabled());
+}
+
+TEST(EventLog, CountsAndPerJobFilter) {
+  EventLog log(true);
+  log.record(1.0, EventKind::kArrival, 1);
+  log.record(2.0, EventKind::kStart, 1, 0, 4);
+  log.record(3.0, EventKind::kArrival, 2);
+  log.record(4.0, EventKind::kFinish, 1);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.count(EventKind::kArrival), 2u);
+  EXPECT_EQ(log.count(EventKind::kFinish), 1u);
+  EXPECT_EQ(log.count(EventKind::kEvict), 0u);
+  const auto job1 = log.for_job(1);
+  ASSERT_EQ(job1.size(), 3u);
+  EXPECT_EQ(job1[1].kind, EventKind::kStart);
+  EXPECT_DOUBLE_EQ(job1[1].value, 4.0);
+}
+
+TEST(EventLog, EngineRecordsFullLifecycle) {
+  sched::FifoScheduler fifo;
+  EngineConfig config;
+  config.cluster.node_count = 2;
+  config.record_events = true;
+  ClusterEngine engine(config, &fifo);
+  engine.inject(cpu_spec(1, 2, 100.0), 5.0);
+  engine.schedule_node_outage(1, 10.0, 20.0);
+  engine.drain(1e5);
+
+  const auto& log = engine.event_log();
+  EXPECT_EQ(log.count(EventKind::kArrival), 1u);
+  EXPECT_EQ(log.count(EventKind::kStart), 1u);
+  EXPECT_EQ(log.count(EventKind::kFinish), 1u);
+  EXPECT_EQ(log.count(EventKind::kNodeFail), 1u);
+  EXPECT_EQ(log.count(EventKind::kNodeRecover), 1u);
+  const auto job = log.for_job(1);
+  ASSERT_GE(job.size(), 3u);
+  EXPECT_EQ(job.front().kind, EventKind::kArrival);
+  EXPECT_DOUBLE_EQ(job.front().t, 5.0);
+  EXPECT_EQ(job.back().kind, EventKind::kFinish);
+}
+
+TEST(EventLog, EvictionRecordedOnFailure) {
+  sched::FifoScheduler fifo;
+  EngineConfig config;
+  config.cluster.node_count = 1;
+  config.record_events = true;
+  ClusterEngine engine(config, &fifo);
+  engine.inject(cpu_spec(1, 2, 1e6), 0.0);
+  engine.run_until(1.0);
+  ASSERT_TRUE(engine.fail_node(0).ok());
+  const auto& log = engine.event_log();
+  EXPECT_EQ(log.count(EventKind::kEvict), 1u);
+  // The evicted job restarts after recovery.
+  ASSERT_TRUE(engine.recover_node(0).ok());
+  engine.run_until(2.0);
+  EXPECT_EQ(log.count(EventKind::kStart), 2u);
+}
+
+TEST(EventLog, SaveCsvRoundTrips) {
+  EventLog log(true);
+  log.record(1.5, EventKind::kStart, 7, 3, 12.0);
+  log.record(2.5, EventKind::kBwCap, 8, 0, 25.5);
+  const std::string path = testing::TempDir() + "/coda_events.csv";
+  ASSERT_TRUE(log.save_csv(path).ok());
+  auto doc = util::read_csv_file(path);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][1], "start");
+  EXPECT_EQ(doc->rows[0][2], "7");
+  EXPECT_EQ(doc->rows[1][1], "bw_cap");
+  EXPECT_EQ(doc->rows[1][4], "25.500");
+}
+
+TEST(EventKindNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(EventKind::kNodeRecover); ++k) {
+    names.insert(to_string(static_cast<EventKind>(k)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(EventKind::kNodeRecover) + 1);
+}
+
+TEST(ReportIo, SavesThreeCsvFiles) {
+  auto cfg = standard_week_trace(3);
+  cfg.duration_s = 0.1 * 86400.0;
+  cfg.cpu_jobs = 100;
+  cfg.gpu_jobs = 60;
+  const auto trace = workload::TraceGenerator(cfg).generate();
+  const auto report = run_experiment(Policy::kCoda, trace);
+
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(save_report_csv(report, dir, "t").ok());
+
+  auto summary = util::read_csv_file(dir + "/t_summary.csv");
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->rows.size(), 1u);
+  EXPECT_EQ(summary->rows[0][0], "CODA");
+  EXPECT_EQ(summary->rows[0][1], std::to_string(trace.size()));
+
+  auto series = util::read_csv_file(dir + "/t_series.csv");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->rows.size(), report.gpu_active_series.size());
+  ASSERT_TRUE(series->column("gpu_util").ok());
+
+  auto jobs = util::read_csv_file(dir + "/t_jobs.csv");
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(jobs->rows.size(), trace.size());
+  ASSERT_TRUE(jobs->column("queue_s").ok());
+}
+
+TEST(ReportIo, FailsOnUnwritableDirectory) {
+  ExperimentReport report;
+  EXPECT_FALSE(save_report_csv(report, "/nonexistent_dir_xyz", "t").ok());
+}
+
+}  // namespace
+}  // namespace coda::sim

@@ -1,0 +1,147 @@
+// Unit tests for the discrete-event core: ordering, cancellation, periodic
+// events and clock semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.h"
+#include "simcore/simulator.h"
+
+namespace coda::simcore {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  int fired = 0;
+  auto h1 = q.push(1.0, [&] { ++fired; });
+  auto h2 = q.push(2.0, [&] { fired += 10; });
+  EXPECT_TRUE(h1.pending());
+  h1.cancel();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_EQ(q.live_count(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  q.pop().fn();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(h2.pending());  // fired events report not-pending
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.push(1.0, [&] { ++fired; });
+  q.pop().fn();
+  h.cancel();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(5.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_after(2.0, [&] { times.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(sim.dispatched(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.schedule_at(10.5, [&] { ++fired; });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.run_until(11.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, EventsScheduledDuringDispatchRun) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_after(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{2.0}));
+}
+
+TEST(Simulator, PeriodicFiresRepeatedlyUntilCancelled) {
+  Simulator sim;
+  int ticks = 0;
+  auto handle = sim.schedule_periodic(10.0, [&] { ++ticks; });
+  sim.run_until(35.0);
+  EXPECT_EQ(ticks, 3);  // t = 10, 20, 30
+  handle.cancel();
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, PeriodicCancelFromInsideCallback) {
+  Simulator sim;
+  int ticks = 0;
+  EventHandle handle;
+  handle = sim.schedule_periodic(1.0, [&] {
+    if (++ticks == 2) {
+      handle.cancel();
+    }
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulator, TwoPeriodicsInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_periodic(2.0, [&] { order.push_back(1); });
+  sim.schedule_periodic(2.0, [&] { order.push_back(2); });
+  sim.run_until(4.0);
+  // Same period, first registered fires first at each tick.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(Simulator, ScheduleAfterZeroDelayRunsAtNow) {
+  Simulator sim;
+  double when = -1.0;
+  sim.schedule_at(3.0, [&] {
+    sim.schedule_after(0.0, [&] { when = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(when, 3.0);
+}
+
+}  // namespace
+}  // namespace coda::simcore

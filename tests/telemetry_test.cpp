@@ -1,0 +1,85 @@
+// Tests for the simulated MBA controller and the metric registry.
+#include <gtest/gtest.h>
+
+#include "telemetry/mba.h"
+#include "telemetry/mbm.h"
+#include "telemetry/metrics.h"
+
+namespace coda::telemetry {
+namespace {
+
+cluster::Cluster make_cluster() {
+  cluster::ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.mba_fraction = 0.5;  // nodes 0,1 have MBA; 2,3 do not
+  return cluster::Cluster(cfg);
+}
+
+TEST(Mba, SetAndClearCaps) {
+  auto cluster = make_cluster();
+  MbaController mba(&cluster);
+  EXPECT_LT(mba.cap(0, 1), 0.0);  // uncapped by default
+  ASSERT_TRUE(mba.set_cap(0, 1, 12.5).ok());
+  EXPECT_DOUBLE_EQ(mba.cap(0, 1), 12.5);
+  EXPECT_EQ(mba.active_caps(), 1u);
+  mba.clear_cap(0, 1);
+  EXPECT_LT(mba.cap(0, 1), 0.0);
+  mba.clear_cap(0, 1);  // idempotent
+}
+
+TEST(Mba, RejectsNonMbaNodes) {
+  auto cluster = make_cluster();
+  MbaController mba(&cluster);
+  auto status = mba.set_cap(3, 1, 10.0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(mba.active_caps(), 0u);
+}
+
+TEST(Mba, RejectsNegativeCap) {
+  auto cluster = make_cluster();
+  MbaController mba(&cluster);
+  EXPECT_FALSE(mba.set_cap(0, 1, -1.0).ok());
+}
+
+TEST(Mba, ClearJobRemovesAllCaps) {
+  auto cluster = make_cluster();
+  MbaController mba(&cluster);
+  ASSERT_TRUE(mba.set_cap(0, 7, 5.0).ok());
+  ASSERT_TRUE(mba.set_cap(1, 7, 6.0).ok());
+  ASSERT_TRUE(mba.set_cap(1, 8, 7.0).ok());
+  mba.clear_job(7);
+  EXPECT_LT(mba.cap(0, 7), 0.0);
+  EXPECT_LT(mba.cap(1, 7), 0.0);
+  EXPECT_DOUBLE_EQ(mba.cap(1, 8), 7.0);
+}
+
+TEST(NodeBandwidthSample, PressureComputation) {
+  NodeBandwidthSample s;
+  s.capacity_gbps = 150.0;
+  s.total_gbps = 120.0;
+  EXPECT_DOUBLE_EQ(s.pressure(), 0.8);
+  s.capacity_gbps = 0.0;
+  EXPECT_DOUBLE_EQ(s.pressure(), 0.0);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  MetricRegistry m;
+  EXPECT_DOUBLE_EQ(m.counter("x"), 0.0);
+  m.increment("x");
+  m.increment("x", 2.5);
+  EXPECT_DOUBLE_EQ(m.counter("x"), 3.5);
+  EXPECT_EQ(m.counters().size(), 1u);
+}
+
+TEST(Metrics, SeriesRecordSamples) {
+  MetricRegistry m;
+  m.sample("s", 1.0, 10.0);
+  m.sample("s", 2.0, 20.0);
+  EXPECT_EQ(m.series("s").size(), 2u);
+  EXPECT_DOUBLE_EQ(m.series("s").mean(), 15.0);
+  EXPECT_TRUE(m.series("unknown").empty());
+}
+
+}  // namespace
+}  // namespace coda::telemetry
