@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiarray.dir/bench_ablation_multiarray.cpp.o"
+  "CMakeFiles/bench_ablation_multiarray.dir/bench_ablation_multiarray.cpp.o.d"
+  "bench_ablation_multiarray"
+  "bench_ablation_multiarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nstart.dir/bench_ablation_nstart.cpp.o"
+  "CMakeFiles/bench_ablation_nstart.dir/bench_ablation_nstart.cpp.o.d"
+  "bench_ablation_nstart"
+  "bench_ablation_nstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_throttle_release.dir/bench_ext_throttle_release.cpp.o"
+  "CMakeFiles/bench_ext_throttle_release.dir/bench_ext_throttle_release.cpp.o.d"
+  "bench_ext_throttle_release"
+  "bench_ext_throttle_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_throttle_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

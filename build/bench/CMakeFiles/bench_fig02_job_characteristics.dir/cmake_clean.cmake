@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_job_characteristics.dir/bench_fig02_job_characteristics.cpp.o"
+  "CMakeFiles/bench_fig02_job_characteristics.dir/bench_fig02_job_characteristics.cpp.o.d"
+  "bench_fig02_job_characteristics"
+  "bench_fig02_job_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_job_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_bandwidth_demand.dir/bench_fig06_bandwidth_demand.cpp.o"
+  "CMakeFiles/bench_fig06_bandwidth_demand.dir/bench_fig06_bandwidth_demand.cpp.o.d"
+  "bench_fig06_bandwidth_demand"
+  "bench_fig06_bandwidth_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_bandwidth_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

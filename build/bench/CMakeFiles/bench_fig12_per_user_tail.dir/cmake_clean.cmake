@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_per_user_tail.dir/bench_fig12_per_user_tail.cpp.o"
+  "CMakeFiles/bench_fig12_per_user_tail.dir/bench_fig12_per_user_tail.cpp.o.d"
+  "bench_fig12_per_user_tail"
+  "bench_fig12_per_user_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_per_user_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tuning_dist.dir/bench_fig14_tuning_dist.cpp.o"
+  "CMakeFiles/bench_fig14_tuning_dist.dir/bench_fig14_tuning_dist.cpp.o.d"
+  "bench_fig14_tuning_dist"
+  "bench_fig14_tuning_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tuning_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

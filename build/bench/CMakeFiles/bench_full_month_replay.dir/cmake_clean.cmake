@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_month_replay.dir/bench_full_month_replay.cpp.o"
+  "CMakeFiles/bench_full_month_replay.dir/bench_full_month_replay.cpp.o.d"
+  "bench_full_month_replay"
+  "bench_full_month_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_month_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

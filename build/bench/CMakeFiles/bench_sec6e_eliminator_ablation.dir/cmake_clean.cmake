@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6e_eliminator_ablation.dir/bench_sec6e_eliminator_ablation.cpp.o"
+  "CMakeFiles/bench_sec6e_eliminator_ablation.dir/bench_sec6e_eliminator_ablation.cpp.o.d"
+  "bench_sec6e_eliminator_ablation"
+  "bench_sec6e_eliminator_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6e_eliminator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

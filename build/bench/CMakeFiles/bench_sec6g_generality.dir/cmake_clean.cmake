@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6g_generality.dir/bench_sec6g_generality.cpp.o"
+  "CMakeFiles/bench_sec6g_generality.dir/bench_sec6g_generality.cpp.o.d"
+  "bench_sec6g_generality"
+  "bench_sec6g_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6g_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

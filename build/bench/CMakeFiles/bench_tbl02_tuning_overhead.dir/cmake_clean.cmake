@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl02_tuning_overhead.dir/bench_tbl02_tuning_overhead.cpp.o"
+  "CMakeFiles/bench_tbl02_tuning_overhead.dir/bench_tbl02_tuning_overhead.cpp.o.d"
+  "bench_tbl02_tuning_overhead"
+  "bench_tbl02_tuning_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl02_tuning_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/coda_bench_common.dir/bench_common.cpp.o.d"
+  "libcoda_bench_common.a"
+  "libcoda_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

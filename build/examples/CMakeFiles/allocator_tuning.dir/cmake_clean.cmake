@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_tuning.dir/allocator_tuning.cpp.o"
+  "CMakeFiles/allocator_tuning.dir/allocator_tuning.cpp.o.d"
+  "allocator_tuning"
+  "allocator_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

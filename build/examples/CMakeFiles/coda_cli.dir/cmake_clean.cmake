@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_cli.dir/coda_cli.cpp.o"
+  "CMakeFiles/coda_cli.dir/coda_cli.cpp.o.d"
+  "coda_cli"
+  "coda_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_lab.dir/contention_lab.cpp.o"
+  "CMakeFiles/contention_lab.dir/contention_lab.cpp.o.d"
+  "contention_lab"
+  "contention_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

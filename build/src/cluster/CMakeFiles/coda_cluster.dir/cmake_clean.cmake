@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/coda_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/coda_cluster.dir/node.cpp.o"
+  "CMakeFiles/coda_cluster.dir/node.cpp.o.d"
+  "libcoda_cluster.a"
+  "libcoda_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_core.dir/allocator.cpp.o"
+  "CMakeFiles/coda_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/coda_core.dir/coda_scheduler.cpp.o"
+  "CMakeFiles/coda_core.dir/coda_scheduler.cpp.o.d"
+  "CMakeFiles/coda_core.dir/eliminator.cpp.o"
+  "CMakeFiles/coda_core.dir/eliminator.cpp.o.d"
+  "CMakeFiles/coda_core.dir/history.cpp.o"
+  "CMakeFiles/coda_core.dir/history.cpp.o.d"
+  "libcoda_core.a"
+  "libcoda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/characterization.cpp" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/characterization.cpp.o" "gcc" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/characterization.cpp.o.d"
+  "/root/repo/src/perfmodel/contention.cpp" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/contention.cpp.o" "gcc" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/contention.cpp.o.d"
+  "/root/repo/src/perfmodel/model_zoo.cpp" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/model_zoo.cpp.o" "gcc" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/perfmodel/train_perf.cpp" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/train_perf.cpp.o" "gcc" "src/perfmodel/CMakeFiles/coda_perfmodel.dir/train_perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/coda_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

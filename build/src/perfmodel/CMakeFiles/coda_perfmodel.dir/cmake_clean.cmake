@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_perfmodel.dir/characterization.cpp.o"
+  "CMakeFiles/coda_perfmodel.dir/characterization.cpp.o.d"
+  "CMakeFiles/coda_perfmodel.dir/contention.cpp.o"
+  "CMakeFiles/coda_perfmodel.dir/contention.cpp.o.d"
+  "CMakeFiles/coda_perfmodel.dir/model_zoo.cpp.o"
+  "CMakeFiles/coda_perfmodel.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/coda_perfmodel.dir/train_perf.cpp.o"
+  "CMakeFiles/coda_perfmodel.dir/train_perf.cpp.o.d"
+  "libcoda_perfmodel.a"
+  "libcoda_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

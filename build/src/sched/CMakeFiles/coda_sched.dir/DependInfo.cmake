@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/drf.cpp" "src/sched/CMakeFiles/coda_sched.dir/drf.cpp.o" "gcc" "src/sched/CMakeFiles/coda_sched.dir/drf.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/coda_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/coda_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/placement.cpp" "src/sched/CMakeFiles/coda_sched.dir/placement.cpp.o" "gcc" "src/sched/CMakeFiles/coda_sched.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/coda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/coda_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/coda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/coda_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

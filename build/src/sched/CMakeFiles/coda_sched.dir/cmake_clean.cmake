@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_sched.dir/drf.cpp.o"
+  "CMakeFiles/coda_sched.dir/drf.cpp.o.d"
+  "CMakeFiles/coda_sched.dir/fifo.cpp.o"
+  "CMakeFiles/coda_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/coda_sched.dir/placement.cpp.o"
+  "CMakeFiles/coda_sched.dir/placement.cpp.o.d"
+  "libcoda_sched.a"
+  "libcoda_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/coda_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/coda_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event_log.cpp" "src/sim/CMakeFiles/coda_sim.dir/event_log.cpp.o" "gcc" "src/sim/CMakeFiles/coda_sim.dir/event_log.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/coda_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/coda_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/report_io.cpp" "src/sim/CMakeFiles/coda_sim.dir/report_io.cpp.o" "gcc" "src/sim/CMakeFiles/coda_sim.dir/report_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/coda_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/coda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/coda_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/coda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coda_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/coda/CMakeFiles/coda_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

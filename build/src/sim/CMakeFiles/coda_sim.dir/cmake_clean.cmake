@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_sim.dir/engine.cpp.o"
+  "CMakeFiles/coda_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/coda_sim.dir/event_log.cpp.o"
+  "CMakeFiles/coda_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/coda_sim.dir/experiment.cpp.o"
+  "CMakeFiles/coda_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/coda_sim.dir/report_io.cpp.o"
+  "CMakeFiles/coda_sim.dir/report_io.cpp.o.d"
+  "libcoda_sim.a"
+  "libcoda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/coda_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/coda_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/coda_simcore.dir/simulator.cpp.o.d"
+  "libcoda_simcore.a"
+  "libcoda_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_telemetry.dir/mba.cpp.o"
+  "CMakeFiles/coda_telemetry.dir/mba.cpp.o.d"
+  "CMakeFiles/coda_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/coda_telemetry.dir/metrics.cpp.o.d"
+  "libcoda_telemetry.a"
+  "libcoda_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_util.dir/csv.cpp.o"
+  "CMakeFiles/coda_util.dir/csv.cpp.o.d"
+  "CMakeFiles/coda_util.dir/logging.cpp.o"
+  "CMakeFiles/coda_util.dir/logging.cpp.o.d"
+  "CMakeFiles/coda_util.dir/result.cpp.o"
+  "CMakeFiles/coda_util.dir/result.cpp.o.d"
+  "CMakeFiles/coda_util.dir/rng.cpp.o"
+  "CMakeFiles/coda_util.dir/rng.cpp.o.d"
+  "CMakeFiles/coda_util.dir/stats.cpp.o"
+  "CMakeFiles/coda_util.dir/stats.cpp.o.d"
+  "CMakeFiles/coda_util.dir/strings.cpp.o"
+  "CMakeFiles/coda_util.dir/strings.cpp.o.d"
+  "CMakeFiles/coda_util.dir/table.cpp.o"
+  "CMakeFiles/coda_util.dir/table.cpp.o.d"
+  "CMakeFiles/coda_util.dir/timeseries.cpp.o"
+  "CMakeFiles/coda_util.dir/timeseries.cpp.o.d"
+  "libcoda_util.a"
+  "libcoda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

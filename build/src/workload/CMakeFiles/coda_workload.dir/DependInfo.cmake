@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/heat.cpp" "src/workload/CMakeFiles/coda_workload.dir/heat.cpp.o" "gcc" "src/workload/CMakeFiles/coda_workload.dir/heat.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/coda_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/coda_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/tenant.cpp" "src/workload/CMakeFiles/coda_workload.dir/tenant.cpp.o" "gcc" "src/workload/CMakeFiles/coda_workload.dir/tenant.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/coda_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/coda_workload.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/coda_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/coda_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/coda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/coda_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

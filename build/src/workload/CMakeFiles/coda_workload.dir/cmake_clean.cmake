@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_workload.dir/heat.cpp.o"
+  "CMakeFiles/coda_workload.dir/heat.cpp.o.d"
+  "CMakeFiles/coda_workload.dir/job.cpp.o"
+  "CMakeFiles/coda_workload.dir/job.cpp.o.d"
+  "CMakeFiles/coda_workload.dir/tenant.cpp.o"
+  "CMakeFiles/coda_workload.dir/tenant.cpp.o.d"
+  "CMakeFiles/coda_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/coda_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/coda_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/coda_workload.dir/trace_io.cpp.o.d"
+  "libcoda_workload.a"
+  "libcoda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

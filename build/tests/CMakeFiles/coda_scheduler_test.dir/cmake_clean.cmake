@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coda_scheduler_test.dir/coda_scheduler_test.cpp.o"
+  "CMakeFiles/coda_scheduler_test.dir/coda_scheduler_test.cpp.o.d"
+  "coda_scheduler_test"
+  "coda_scheduler_test.pdb"
+  "coda_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coda_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

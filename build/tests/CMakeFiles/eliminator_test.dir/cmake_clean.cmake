@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eliminator_test.dir/eliminator_test.cpp.o"
+  "CMakeFiles/eliminator_test.dir/eliminator_test.cpp.o.d"
+  "eliminator_test"
+  "eliminator_test.pdb"
+  "eliminator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eliminator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

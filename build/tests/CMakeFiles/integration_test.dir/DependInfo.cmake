@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coda/CMakeFiles/coda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/coda_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/coda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/coda_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/coda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/coda_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
