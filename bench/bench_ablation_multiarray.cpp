@@ -32,22 +32,21 @@ int main() {
                     "fragmentation", "gpu jobs no-queue", "cpu jobs <3min",
                     "preempt/migr"});
 
-  sim::ExperimentConfig full;
-  add_row(table, "multi-array + preemption (CODA)",
-          bench::run_standard(sim::Policy::kCoda, full));
+  // The whole ablation as one parallel, cache-aware batch.
+  std::vector<sim::Runner::Job> jobs(4);
+  for (auto& job : jobs) {
+    job.policy = sim::Policy::kCoda;
+    job.trace = &bench::standard_trace();
+  }
+  jobs[1].config.coda.cpu_preemption_enabled = false;
+  jobs[2].config.coda.multi_array_enabled = false;
+  jobs[3].policy = sim::Policy::kDrf;
+  const auto reports = bench::run_batch(jobs);
 
-  sim::ExperimentConfig no_preempt;
-  no_preempt.coda.cpu_preemption_enabled = false;
-  add_row(table, "multi-array, no CPU preemption",
-          bench::run_standard(sim::Policy::kCoda, no_preempt));
-
-  sim::ExperimentConfig flat;
-  flat.coda.multi_array_enabled = false;
-  add_row(table, "flat array (no reservation/sub-arrays)",
-          bench::run_standard(sim::Policy::kCoda, flat));
-
-  add_row(table, "DRF baseline (no CODA parts at all)",
-          bench::standard_report(sim::Policy::kDrf));
+  add_row(table, "multi-array + preemption (CODA)", reports[0]);
+  add_row(table, "multi-array, no CPU preemption", reports[1]);
+  add_row(table, "flat array (no reservation/sub-arrays)", reports[2]);
+  add_row(table, "DRF baseline (no CODA parts at all)", reports[3]);
 
   table.add_note("paper Sec. V-C/VI-C: the multi-array design is what "
                  "removes GPU fragmentation and shields GPU jobs from CPU "

@@ -43,12 +43,18 @@ int main() {
   util::Table table("threshold sweep");
   table.set_header({"threshold", "gpu util", "mean gpu proc", "mean cpu proc",
                     "throttles (MBA/halve)"});
-  for (double threshold : {0.55, 0.65, 0.75, 0.85, 0.95}) {
-    sim::ExperimentConfig cfg;
-    cfg.coda.eliminator.bw_threshold = threshold;
-    const auto report = sim::run_experiment(sim::Policy::kCoda, trace, cfg);
+  const std::vector<double> thresholds = {0.55, 0.65, 0.75, 0.85, 0.95};
+  std::vector<sim::Runner::Job> jobs(thresholds.size());
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    jobs[i].policy = sim::Policy::kCoda;
+    jobs[i].trace = &trace;
+    jobs[i].config.coda.eliminator.bw_threshold = thresholds[i];
+  }
+  const auto reports = bench::run_batch(jobs);  // whole sweep in parallel
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    const auto& report = reports[i];
     table.add_row(
-        {bench::pct(threshold), bench::pct(report.gpu_util_active),
+        {bench::pct(thresholds[i]), bench::pct(report.gpu_util_active),
          bench::dur(mean_gpu_processing(report)),
          bench::dur(mean_cpu_processing(report)),
          util::strfmt("%d / %d", report.eliminator_stats.mba_throttles,

@@ -1,30 +1,103 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 
 namespace coda::bench {
 
+namespace {
+
+sim::ReportCache& shared_cache() {
+  static sim::ReportCache cache;
+  return cache;
+}
+
+// In-process report cache for the standard trace (keyed by policy only;
+// custom-config runs go through the disk cache instead).
+std::map<sim::Policy, sim::ExperimentReport>& process_cache() {
+  static std::map<sim::Policy, sim::ExperimentReport> cache;
+  return cache;
+}
+
+bool argv_has_fast_flag() {
+#ifdef __linux__
+  // Benches keep argument-free mains; recover argv from procfs so --fast
+  // works without threading argc/argv through every binary.
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  std::string arg;
+  while (std::getline(cmdline, arg, '\0')) {
+    if (arg == "--fast") {
+      return true;
+    }
+  }
+#endif
+  return false;
+}
+
+}  // namespace
+
+bool fast_mode() {
+  static const bool kFast = [] {
+    const char* env = std::getenv("CODA_FAST");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      return true;
+    }
+    return argv_has_fast_flag();
+  }();
+  return kFast;
+}
+
 const std::vector<workload::JobSpec>& standard_trace() {
-  static const std::vector<workload::JobSpec> kTrace =
-      workload::TraceGenerator(sim::standard_week_trace()).generate();
+  static const std::vector<workload::JobSpec> kTrace = [] {
+    auto cfg = sim::standard_week_trace();
+    if (fast_mode()) {
+      cfg.duration_s = 86400.0;  // one day instead of seven
+      cfg.cpu_jobs /= 7;
+      cfg.gpu_jobs /= 7;
+    }
+    return workload::TraceGenerator(cfg).generate();
+  }();
   return kTrace;
 }
 
-const sim::ExperimentReport& standard_report(sim::Policy policy) {
-  static std::map<sim::Policy, sim::ExperimentReport> cache;
-  auto it = cache.find(policy);
-  if (it == cache.end()) {
-    it = cache.emplace(policy,
-                       sim::run_experiment(policy, standard_trace()))
-             .first;
+void prefetch_standard_reports(const std::vector<sim::Policy>& policies) {
+  std::vector<sim::Runner::Job> jobs;
+  std::vector<sim::Policy> missing;
+  for (sim::Policy policy : policies) {
+    if (process_cache().count(policy) > 0) {
+      continue;
+    }
+    sim::Runner::Job job;
+    job.policy = policy;
+    job.trace = &standard_trace();
+    jobs.push_back(job);
+    missing.push_back(policy);
   }
-  return it->second;
+  auto reports = sim::Runner().run(jobs, &shared_cache());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    process_cache().emplace(missing[i], std::move(reports[i]));
+  }
+}
+
+const sim::ExperimentReport& standard_report(sim::Policy policy) {
+  prefetch_standard_reports({policy});
+  return process_cache().at(policy);
 }
 
 sim::ExperimentReport run_standard(sim::Policy policy,
                                    const sim::ExperimentConfig& config) {
-  return sim::run_experiment(policy, standard_trace(), config);
+  sim::Runner::Job job;
+  job.policy = policy;
+  job.trace = &standard_trace();
+  job.config = config;
+  return std::move(run_batch({job}).front());
+}
+
+std::vector<sim::ExperimentReport> run_batch(
+    const std::vector<sim::Runner::Job>& jobs) {
+  return sim::Runner().run(jobs, &shared_cache());
 }
 
 double fraction_at_most(const std::vector<double>& values, double limit) {
@@ -42,6 +115,10 @@ void print_banner(const std::string& experiment_id,
                   const std::string& description) {
   std::printf("#\n# CODA reproduction | %s\n# %s\n#\n", experiment_id.c_str(),
               description.c_str());
+  if (fast_mode()) {
+    std::printf("# [fast mode] 1-day smoke trace — numbers are NOT the "
+                "paper comparison\n#\n");
+  }
 }
 
 }  // namespace coda::bench

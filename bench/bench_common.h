@@ -2,29 +2,50 @@
 // tables and figures. Every binary prints util::Table blocks with our
 // measured values next to the paper's published numbers so the shape
 // comparison is immediate.
+//
+// Replays are cache-aware and batched: standard_report()/run_batch() first
+// consult the shared on-disk ReportCache (so the ~24 binaries simulate each
+// distinct configuration once, ever) and execute the remaining misses in
+// parallel on a sim::Runner thread pool (CODA_JOBS workers).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/runner.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace coda::bench {
 
-// The standard evaluation trace (one week, paper-calibrated marginals),
-// generated once per process.
+// Smoke mode for CI: ~1 day of trace with 1/7th of the jobs, so every bench
+// binary finishes in seconds. Enabled by CODA_FAST=1 or a --fast argv flag
+// (benches that take no arguments still honor the environment variable).
+bool fast_mode();
+
+// The standard evaluation trace (one week, paper-calibrated marginals — or
+// the 1-day smoke variant under fast_mode()), generated once per process.
 const std::vector<workload::JobSpec>& standard_trace();
 
-// Replays the standard trace under `policy` (cached per policy within the
-// process so benches can share runs).
+// Replays the standard trace under `policy`. Consults the in-process cache,
+// then the on-disk ReportCache; only a full miss simulates.
 const sim::ExperimentReport& standard_report(sim::Policy policy);
 
-// Runs the standard trace with a custom experiment config (not cached).
+// Resolves several policies at once: cache hits load from disk, the misses
+// replay as one parallel Runner batch. Later standard_report() calls on the
+// same policies are in-process hits. Multi-policy benches call this first.
+void prefetch_standard_reports(const std::vector<sim::Policy>& policies);
+
+// Runs the standard trace with a custom experiment config (cache-aware).
 sim::ExperimentReport run_standard(sim::Policy policy,
                                    const sim::ExperimentConfig& config);
+
+// Cache-aware parallel execution of an arbitrary batch (sweeps with custom
+// traces/configs). results[i] corresponds to jobs[i].
+std::vector<sim::ExperimentReport> run_batch(
+    const std::vector<sim::Runner::Job>& jobs);
 
 // Fraction of `values` less than or equal to `limit`.
 double fraction_at_most(const std::vector<double>& values, double limit);

@@ -25,10 +25,18 @@ int main() {
   util::Table table("probe-noise sweep (1-day CODA replay)");
   table.set_header({"noise stddev", "gpu util", "mean |final-opt| cores",
                     "within +/-1 of opt", "mean profile steps"});
-  for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.10}) {
-    sim::ExperimentConfig cfg;
-    cfg.engine.util_noise_stddev = sigma;
-    const auto report = sim::run_experiment(sim::Policy::kCoda, trace, cfg);
+  // The whole sigma sweep replays as one parallel, cache-aware batch.
+  const std::vector<double> sigmas = {0.0, 0.01, 0.02, 0.05, 0.10};
+  std::vector<sim::Runner::Job> jobs(sigmas.size());
+  for (size_t i = 0; i < sigmas.size(); ++i) {
+    jobs[i].policy = sim::Policy::kCoda;
+    jobs[i].trace = &trace;
+    jobs[i].config.engine.util_noise_stddev = sigmas[i];
+  }
+  const auto reports = bench::run_batch(jobs);
+  for (size_t i = 0; i < sigmas.size(); ++i) {
+    const double sigma = sigmas[i];
+    const auto& report = reports[i];
 
     util::RunningStats deviation;
     util::RunningStats steps;

@@ -51,11 +51,18 @@ int main() {
   variants[1].cfg.coda.static_bw_cap_gbps = 10.0;
   variants[2].label = "reactive eliminator (CODA)";
 
-  for (const auto& variant : variants) {
-    const auto report =
-        sim::run_experiment(sim::Policy::kCoda, trace, variant.cfg);
+  // All three strategies replay as one parallel, cache-aware batch.
+  std::vector<sim::Runner::Job> jobs(variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    jobs[i].policy = sim::Policy::kCoda;
+    jobs[i].trace = &trace;
+    jobs[i].config = variants[i].cfg;
+  }
+  const auto reports = bench::run_batch(jobs);
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const auto& report = reports[i];
     table.add_row(
-        {variant.label, bench::pct(report.gpu_util_active),
+        {variants[i].label, bench::pct(report.gpu_util_active),
          bench::dur(mean_processing(report, true)),
          bench::dur(mean_processing(report, false)),
          util::strfmt("%d MBA / %d halvings",

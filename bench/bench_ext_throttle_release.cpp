@@ -35,23 +35,21 @@ int main() {
                     "jobs)");
   table.set_header({"configuration", "gpu util", "mean gpu proc",
                     "mean cpu proc", "throttles", "releases"});
-  for (int mode = 0; mode < 3; ++mode) {
-    sim::ExperimentConfig cfg;
-    std::string label;
-    switch (mode) {
-      case 0:
-        cfg.coda.eliminator.enabled = false;
-        label = "eliminator off";
-        break;
-      case 1:
-        label = "paper: permanent throttles";
-        break;
-      case 2:
-        cfg.coda.eliminator.release_when_calm = true;
-        label = "extension: release when calm";
-        break;
-    }
-    const auto report = sim::run_experiment(sim::Policy::kCoda, trace, cfg);
+  // All three configurations replay as one parallel, cache-aware batch.
+  const std::vector<std::string> labels = {"eliminator off",
+                                           "paper: permanent throttles",
+                                           "extension: release when calm"};
+  std::vector<sim::Runner::Job> jobs(labels.size());
+  for (auto& job : jobs) {
+    job.policy = sim::Policy::kCoda;
+    job.trace = &trace;
+  }
+  jobs[0].config.coda.eliminator.enabled = false;
+  jobs[2].config.coda.eliminator.release_when_calm = true;
+  const auto reports = bench::run_batch(jobs);
+  for (size_t mode = 0; mode < labels.size(); ++mode) {
+    const std::string& label = labels[mode];
+    const auto& report = reports[mode];
     table.add_row(
         {label, bench::pct(report.gpu_util_active),
          bench::dur(mean_processing(report, true)),

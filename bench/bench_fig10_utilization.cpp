@@ -13,6 +13,9 @@ int main() {
   bench::print_banner("Fig. 10 + Sec. VI-C",
                       "GPU active rate, utilization and fragmentation under "
                       "FIFO / DRF / CODA");
+  // One parallel, cache-aware batch for the whole sweep.
+  bench::prefetch_standard_reports(
+      {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda});
   const auto& fifo = bench::standard_report(sim::Policy::kFifo);
   const auto& drf = bench::standard_report(sim::Policy::kDrf);
   const auto& coda = bench::standard_report(sim::Policy::kCoda);

@@ -34,6 +34,8 @@ void print_cdf(const std::string& title,
 
 int main() {
   bench::print_banner("Fig. 11", "CDF of job queueing time");
+  bench::prefetch_standard_reports(
+      {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda});
   const auto& fifo = bench::standard_report(sim::Policy::kFifo);
   const auto& drf = bench::standard_report(sim::Policy::kDrf);
   const auto& coda = bench::standard_report(sim::Policy::kCoda);

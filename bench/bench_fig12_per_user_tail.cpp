@@ -13,6 +13,8 @@ using namespace coda;
 
 int main() {
   bench::print_banner("Fig. 12", "99th-percentile queueing time per user");
+  bench::prefetch_standard_reports(
+      {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda});
   const auto& fifo = bench::standard_report(sim::Policy::kFifo);
   const auto& drf = bench::standard_report(sim::Policy::kDrf);
   const auto& coda = bench::standard_report(sim::Policy::kCoda);

@@ -14,6 +14,7 @@ using namespace coda;
 int main() {
   bench::print_banner("Fig. 13",
                       "end-to-end latency of representative GPU jobs");
+  bench::prefetch_standard_reports({sim::Policy::kFifo, sim::Policy::kCoda});
   const auto& fifo = bench::standard_report(sim::Policy::kFifo);
   const auto& coda = bench::standard_report(sim::Policy::kCoda);
 

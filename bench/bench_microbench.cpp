@@ -4,6 +4,7 @@
 // performance — a week-long 26k-job replay must stay in the seconds range.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "perfmodel/contention.h"
 #include "perfmodel/train_perf.h"
 #include "sched/placement.h"
@@ -29,6 +30,23 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+// The handle-free fast path (post): no per-event control-block allocation.
+// items_per_second here is the queue's raw events/sec ceiling.
+void BM_EventQueuePostPop(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    simcore::EventQueue queue;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.post(rng.uniform(), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePostPop)->Arg(1000)->Arg(10000);
 
 void BM_SimulatorDispatch(benchmark::State& state) {
   for (auto _ : state) {
@@ -67,7 +85,6 @@ BENCHMARK(BM_OptimalCores);
 
 void BM_ContentionResolve(benchmark::State& state) {
   perfmodel::NodeContentionModel model;
-  perfmodel::TrainPerf perf;
   std::vector<perfmodel::ResourceFootprint> footprints;
   for (int i = 0; i < state.range(0); ++i) {
     perfmodel::ResourceFootprint fp;
@@ -119,6 +136,26 @@ void BM_SmallTraceReplay(benchmark::State& state) {
   state.SetLabel(sim::to_string(policy));
 }
 BENCHMARK(BM_SmallTraceReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// The headline number behind every figure bench: wall-clock of one standard
+// week replay (26,250 jobs). items_per_second is the engine's end-to-end
+// events/sec (dispatched simulator events over real time).
+void BM_StandardWeekReplay(benchmark::State& state) {
+  const auto& trace = bench::standard_trace();
+  const auto policy = static_cast<sim::Policy>(state.range(0));
+  int64_t events = 0;
+  for (auto _ : state) {
+    const auto report = sim::run_experiment(policy, trace);
+    events += static_cast<int64_t>(report.events_dispatched);
+  }
+  state.SetLabel(sim::to_string(policy));
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_StandardWeekReplay)
+    ->Arg(0)
+    ->Arg(2)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 }  // namespace
 

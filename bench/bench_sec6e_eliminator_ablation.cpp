@@ -16,17 +16,6 @@ struct Row {
   sim::ExperimentReport off;
 };
 
-Row run_pair(double heavy_fraction) {
-  auto trace_cfg = sim::standard_week_trace();
-  trace_cfg.heavy_bw_cpu_fraction = heavy_fraction;
-  const auto trace = workload::TraceGenerator(trace_cfg).generate();
-  sim::ExperimentConfig on;
-  sim::ExperimentConfig off;
-  off.coda.eliminator.enabled = false;
-  return Row{sim::run_experiment(sim::Policy::kCoda, trace, on),
-             sim::run_experiment(sim::Policy::kCoda, trace, off)};
-}
-
 double mean_gpu_processing(const sim::ExperimentReport& report) {
   util::RunningStats s;
   for (const auto& record : report.records) {
@@ -52,8 +41,26 @@ double mean_pending(const sim::ExperimentReport& report) {
 int main() {
   bench::print_banner("Sec. VI-E",
                       "contention eliminator ablation (CODA +/- eliminator)");
-  for (double heavy : {0.005, 0.05}) {
-    const auto pair = run_pair(heavy);
+  // All four replays (two heavy-BW mixes x eliminator on/off) run as one
+  // parallel, cache-aware batch.
+  const std::vector<double> heavy_fractions = {0.005, 0.05};
+  std::vector<std::vector<workload::JobSpec>> traces;
+  for (double heavy : heavy_fractions) {
+    auto trace_cfg = sim::standard_week_trace();
+    trace_cfg.heavy_bw_cpu_fraction = heavy;
+    traces.push_back(workload::TraceGenerator(trace_cfg).generate());
+  }
+  std::vector<sim::Runner::Job> jobs(2 * heavy_fractions.size());
+  for (size_t i = 0; i < heavy_fractions.size(); ++i) {
+    jobs[2 * i].policy = sim::Policy::kCoda;
+    jobs[2 * i].trace = &traces[i];
+    jobs[2 * i + 1] = jobs[2 * i];
+    jobs[2 * i + 1].config.coda.eliminator.enabled = false;
+  }
+  const auto reports = bench::run_batch(jobs);
+  for (size_t i = 0; i < heavy_fractions.size(); ++i) {
+    const double heavy = heavy_fractions[i];
+    const Row pair{reports[2 * i], reports[2 * i + 1]};
     util::Table table(util::strfmt(
         "Sec. VI-E | %.1f%% of CPU jobs are bandwidth-heavy", heavy * 100));
     table.set_header({"metric", "eliminator ON", "eliminator OFF", "paper"});

@@ -73,9 +73,17 @@ int main() {
   table.set_header({"scheduler", "gpu util", "gpu active", "frag",
                     "cpu jobs <3min", "mixed-tenant cpu p99",
                     "cpu-only-tenant cpu p99"});
-  for (auto policy :
-       {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda}) {
-    const auto report = sim::run_experiment(policy, trace, config);
+  // All three policies replay as one parallel, cache-aware batch.
+  const std::vector<sim::Policy> policies = {
+      sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda};
+  std::vector<sim::Runner::Job> jobs(policies.size());
+  for (size_t i = 0; i < policies.size(); ++i) {
+    jobs[i].policy = policies[i];
+    jobs[i].trace = &trace;
+    jobs[i].config = config;
+  }
+  const auto reports = bench::run_batch(jobs);
+  for (const auto& report : reports) {
     const auto split = split_cpu_queues(report);
     table.add_row(
         {report.scheduler, bench::pct(report.gpu_util_active),

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Times the figure/table bench suite cold (empty report cache) and warm
+# (cache populated by the cold pass), and writes per-binary wall-clocks to
+# BENCH_runtime.json at the repo root.
+#
+# Usage: scripts/run_benches.sh [build-dir]
+#   build-dir    defaults to build-bench (configured as Release)
+#
+# Environment:
+#   CODA_JOBS       worker threads per bench process (default: all cores)
+#   CODA_FAST=1     smoke mode — ~1-day traces at 1/7 the jobs
+#   SKIP_SLOW=1     skip bench_full_month_replay and bench_microbench
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+OUT="BENCH_runtime.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" > /dev/null
+
+# Every bench binary that replays experiments (bench_microbench is timed too,
+# but its google-benchmark output is its own report).
+BENCHES=(
+  bench_fig01_cluster_trend
+  bench_fig02_job_characteristics
+  bench_fig03_cores_sweep
+  bench_fig05_optimal_cores
+  bench_fig06_bandwidth_demand
+  bench_fig07_contention
+  bench_fig10_utilization
+  bench_fig11_queueing_cdf
+  bench_fig12_per_user_tail
+  bench_fig13_end_to_end
+  bench_fig14_tuning_dist
+  bench_tbl02_tuning_overhead
+  bench_ablation_multiarray
+  bench_ablation_nstart
+  bench_ablation_search_mode
+  bench_ablation_threshold
+  bench_sec6e_eliminator_ablation
+  bench_sec6g_generality
+  bench_ext_failure_resilience
+  bench_ext_noise_robustness
+  bench_ext_static_partition
+  bench_ext_throttle_release
+)
+if [[ "${SKIP_SLOW:-0}" != "1" ]]; then
+  BENCHES+=(bench_full_month_replay)
+fi
+
+# The suite's shared cache lives next to the binaries so reruns of the
+# script reuse it; the cold pass starts from scratch.
+export CODA_CACHE_DIR="$BUILD_DIR/.report_cache"
+rm -rf "$CODA_CACHE_DIR"
+
+now_ms() { date +%s%3N; }
+
+run_pass() {
+  local label="$1"
+  declare -g -A "TIMES_$label"
+  local -n times="TIMES_$label"
+  for b in "${BENCHES[@]}"; do
+    local bin="$BUILD_DIR/bench/$b"
+    if [[ ! -x "$bin" ]]; then
+      echo "missing bench binary: $bin" >&2
+      exit 1
+    fi
+    local t0 t1
+    t0=$(now_ms)
+    "$bin" > /dev/null
+    t1=$(now_ms)
+    times[$b]=$((t1 - t0))
+    printf '  %-34s %8.2f s\n' "$b" "$(awk "BEGIN{print (${times[$b]})/1000}")"
+  done
+}
+
+echo "== cold pass (empty report cache) =="
+run_pass cold
+echo "== warm pass (cache hits) =="
+run_pass warm
+
+total() {
+  local -n times="TIMES_$1"
+  local sum=0
+  for b in "${BENCHES[@]}"; do sum=$((sum + times[$b])); done
+  echo "$sum"
+}
+COLD_MS=$(total cold)
+WARM_MS=$(total warm)
+
+# Microbench numbers (events/sec + week-replay wall-clock) in their own run;
+# cache off so the replay benchmark actually simulates.
+MICRO_JSON="$BUILD_DIR/microbench.json"
+CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_microbench" \
+  --benchmark_format=json > "$MICRO_JSON" 2> /dev/null || true
+
+{
+  echo "{"
+  echo "  \"build_type\": \"Release\","
+  echo "  \"fast_mode\": \"${CODA_FAST:-0}\","
+  echo "  \"coda_jobs\": \"${CODA_JOBS:-auto}\","
+  echo "  \"cold_total_s\": $(awk "BEGIN{print $COLD_MS/1000}"),"
+  echo "  \"warm_total_s\": $(awk "BEGIN{print $WARM_MS/1000}"),"
+  echo "  \"benches\": {"
+  declare -n cold=TIMES_cold warm=TIMES_warm
+  sep=""
+  for b in "${BENCHES[@]}"; do
+    printf '%s    "%s": {"cold_s": %s, "warm_s": %s}' "$sep" "$b" \
+      "$(awk "BEGIN{print ${cold[$b]}/1000}")" \
+      "$(awk "BEGIN{print ${warm[$b]}/1000}")"
+    sep=$',\n'
+  done
+  echo ""
+  echo "  }"
+  echo "}"
+} > "$OUT"
+
+echo ""
+echo "cold total: $(awk "BEGIN{print $COLD_MS/1000}") s"
+echo "warm total: $(awk "BEGIN{print $WARM_MS/1000}") s"
+echo "wrote $OUT (microbench details: $MICRO_JSON)"

@@ -19,6 +19,20 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
       event_log_(config.record_events) {
   jobs_on_node_.resize(cluster_.node_count());
   node_reports_.resize(cluster_.node_count());
+  for (auto& list : jobs_on_node_) {
+    list.reserve(16);  // a 28-core node rarely hosts more residents
+  }
+  footprints_scratch_.reserve(32);
+
+  series_.gpu_active = &metrics_.series_mut("gpu_active_rate");
+  series_.cpu_active = &metrics_.series_mut("cpu_active_rate");
+  series_.gpu_frag = &metrics_.series_mut("gpu_frag_rate");
+  series_.gpu_frag_case2 = &metrics_.series_mut("gpu_frag_case2_rate");
+  series_.pending_jobs = &metrics_.series_mut("pending_jobs");
+  series_.pending_gpu_jobs = &metrics_.series_mut("pending_gpu_jobs");
+  series_.gpu_util_active = &metrics_.series_mut("gpu_util_active");
+  series_.cpu_util_active = &metrics_.series_mut("cpu_util_active");
+  series_.mem_pressure = &metrics_.series_mut("mem_pressure_mean");
 
   sched::SchedulerEnv env;
   env.sim = &sim_;
@@ -74,7 +88,7 @@ void ClusterEngine::inject(const workload::JobSpec& spec, double t) {
   record.submit_time = t;
   records_[spec.id] = std::move(record);
   const cluster::JobId id = spec.id;
-  sim_.schedule_at(t, [this, id] { on_arrival(id); });
+  sim_.post_at(t, [this, id] { on_arrival(id); });
 }
 
 void ClusterEngine::on_arrival(cluster::JobId id) {
@@ -280,8 +294,8 @@ util::Status ClusterEngine::recover_node(cluster::NodeId node_id) {
 void ClusterEngine::schedule_node_outage(cluster::NodeId node, double at,
                                          double outage_s) {
   CODA_ASSERT(outage_s > 0.0);
-  sim_.schedule_at(at, [this, node] { (void)fail_node(node); });
-  sim_.schedule_at(at + outage_s, [this, node] { (void)recover_node(node); });
+  sim_.post_at(at, [this, node] { (void)fail_node(node); });
+  sim_.post_at(at + outage_s, [this, node] { (void)recover_node(node); });
 }
 
 void ClusterEngine::finish_job(cluster::JobId id) {
@@ -349,8 +363,8 @@ void ClusterEngine::rebuild_footprint(RunningJob& job, cluster::NodeId node) {
 }
 
 void ClusterEngine::recompute_node(cluster::NodeId node) {
-  std::vector<perfmodel::ResourceFootprint> footprints;
-  footprints.reserve(jobs_on_node_[node].size());
+  std::vector<perfmodel::ResourceFootprint>& footprints = footprints_scratch_;
+  footprints.clear();
   for (cluster::JobId id : jobs_on_node_[node]) {
     auto it = running_.find(id);
     CODA_ASSERT(it != running_.end());
@@ -472,8 +486,8 @@ double ClusterEngine::expected_gpu_utilization(cluster::JobId job) const {
 
 void ClusterEngine::sample_metrics() {
   const double t = sim_.now();
-  metrics_.sample("gpu_active_rate", t, cluster_.gpu_active_rate());
-  metrics_.sample("cpu_active_rate", t, cluster_.cpu_active_rate());
+  series_.gpu_active->add(t, cluster_.gpu_active_rate());
+  series_.cpu_active->add(t, cluster_.cpu_active_rate());
 
   // Fragmentation (Sec. VI-C): idle GPUs that cannot serve even the most
   // easily placed pending GPU job. The paper's headline numbers are
@@ -501,12 +515,12 @@ void ClusterEngine::sample_metrics() {
     frag_cpu = static_cast<double>(cpu_starved) / cluster_.total_gpus();
     frag_adjacency = static_cast<double>(adjacency) / cluster_.total_gpus();
   }
-  metrics_.sample("gpu_frag_rate", t, frag_cpu);
-  metrics_.sample("gpu_frag_case2_rate", t, frag_adjacency);
-  metrics_.sample("pending_jobs", t,
-                  static_cast<double>(scheduler_->pending_jobs()));
-  metrics_.sample("pending_gpu_jobs", t,
-                  static_cast<double>(scheduler_->pending_gpu_jobs()));
+  series_.gpu_frag->add(t, frag_cpu);
+  series_.gpu_frag_case2->add(t, frag_adjacency);
+  series_.pending_jobs->add(
+      t, static_cast<double>(scheduler_->pending_jobs()));
+  series_.pending_gpu_jobs->add(
+      t, static_cast<double>(scheduler_->pending_gpu_jobs()));
 
   // GPU utilization averaged over *active* GPUs (the paper's definition);
   // CPU utilization over active cores.
@@ -533,17 +547,17 @@ void ClusterEngine::sample_metrics() {
       active_cores += st.cpus;
     }
   }
-  metrics_.sample("gpu_util_active", t,
-                  active_gpus > 0 ? gpu_util_weighted / active_gpus : 0.0);
-  metrics_.sample("cpu_util_active", t,
-                  active_cores > 0 ? cpu_busy / active_cores : 0.0);
+  series_.gpu_util_active->add(
+      t, active_gpus > 0 ? gpu_util_weighted / active_gpus : 0.0);
+  series_.cpu_util_active->add(
+      t, active_cores > 0 ? cpu_busy / active_cores : 0.0);
 
   double pressure = 0.0;
   for (const auto& report : node_reports_) {
     pressure += std::min(1.0, report.mem_pressure);
   }
-  metrics_.sample("mem_pressure_mean", t,
-                  pressure / static_cast<double>(node_reports_.size()));
+  series_.mem_pressure->add(
+      t, pressure / static_cast<double>(node_reports_.size()));
 }
 
 }  // namespace coda::sim

@@ -188,6 +188,25 @@ class ClusterEngine : public telemetry::BandwidthSource,
   std::map<cluster::JobId, double> pending_since_;
   std::map<cluster::JobId, double> remaining_work_;  // preserved on migration
 
+  // Scratch buffer for recompute_node (reused across calls to avoid a
+  // per-event allocation on the hottest engine path).
+  std::vector<perfmodel::ResourceFootprint> footprints_scratch_;
+
+  // Metric series resolved once at construction; sample_metrics runs every
+  // tick and must not pay a map<string> lookup per series.
+  struct MetricSeries {
+    util::TimeSeries* gpu_active = nullptr;
+    util::TimeSeries* cpu_active = nullptr;
+    util::TimeSeries* gpu_frag = nullptr;
+    util::TimeSeries* gpu_frag_case2 = nullptr;
+    util::TimeSeries* pending_jobs = nullptr;
+    util::TimeSeries* pending_gpu_jobs = nullptr;
+    util::TimeSeries* gpu_util_active = nullptr;
+    util::TimeSeries* cpu_util_active = nullptr;
+    util::TimeSeries* mem_pressure = nullptr;
+  };
+  MetricSeries series_;
+
   size_t finished_count_ = 0;
   size_t submitted_count_ = 0;
   int node_failures_ = 0;

@@ -71,6 +71,7 @@ ExperimentReport run_experiment(Policy policy,
   report.horizon_s = horizon;
   report.submitted = trace.size();
   report.completed = engine.finished_jobs();
+  report.events_dispatched = engine.sim().dispatched();
 
   const auto& metrics = engine.metrics();
   report.gpu_active_series = metrics.series("gpu_active_rate");

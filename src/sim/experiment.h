@@ -30,6 +30,8 @@ struct ExperimentReport {
   std::string scheduler;
   size_t submitted = 0;
   size_t completed = 0;
+  // Simulator events this replay dispatched; perf accounting (events/sec).
+  size_t events_dispatched = 0;
   double horizon_s = 0.0;
 
   // Fig. 10 headline metrics, time-weighted over the trace window.

@@ -1,0 +1,245 @@
+#include "sim/report_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "sim/report_io.h"
+#include "util/strings.h"
+
+namespace coda::sim {
+
+namespace {
+
+constexpr const char* kCacheMagic = "CODA_REPORT_CACHE";
+
+uint64_t fnv1a(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void mix_node_config(CacheKeyHasher& h, const cluster::NodeConfig& node) {
+  h.mix(node.cores);
+  h.mix(node.gpus);
+  h.mix(node.mem_bw_gbps);
+  h.mix(node.pcie_gbps);
+  h.mix(node.llc_mb);
+  h.mix(node.mba_capable);
+}
+
+void mix_engine_config(CacheKeyHasher& h, const EngineConfig& cfg) {
+  h.mix(cfg.cluster.node_count);
+  mix_node_config(h, cfg.cluster.node);
+  h.mix(cfg.cluster.mba_fraction);
+  h.mix(cfg.cluster.cpu_only_node_count);
+  mix_node_config(h, cfg.cluster.cpu_only_node);
+  h.mix(cfg.metrics_period_s);
+  h.mix(cfg.frag_min_cpus);
+  h.mix(cfg.util_noise_stddev);
+  h.mix(cfg.noise_seed);
+  h.mix(cfg.record_events);
+}
+
+void mix_coda_config(CacheKeyHasher& h, const core::CodaConfig& cfg) {
+  h.mix(static_cast<int>(cfg.allocator.search_mode));
+  h.mix(cfg.allocator.profile_step_s);
+  h.mix(cfg.allocator.max_profile_steps);
+  h.mix(cfg.allocator.improvement_eps);
+  h.mix(cfg.allocator.plateau_util);
+  h.mix(cfg.allocator.min_cores);
+  h.mix(cfg.allocator.max_cores);
+  h.mix(cfg.eliminator.enabled);
+  h.mix(cfg.eliminator.check_period_s);
+  h.mix(cfg.eliminator.bw_threshold);
+  h.mix(cfg.eliminator.util_drop_tolerance);
+  h.mix(cfg.eliminator.mba_throttle_factor);
+  h.mix(cfg.eliminator.release_when_calm);
+  h.mix(cfg.eliminator.release_threshold);
+  h.mix(cfg.reserved_cores_per_node);
+  h.mix(cfg.four_gpu_node_fraction);
+  h.mix(cfg.reservation_update_period_s);
+  h.mix(cfg.multi_array_enabled);
+  h.mix(cfg.cpu_preemption_enabled);
+  h.mix(cfg.static_bw_cap_gbps);
+}
+
+void mix_spec(CacheKeyHasher& h, const workload::JobSpec& spec) {
+  h.mix(spec.id);
+  h.mix(static_cast<uint64_t>(spec.tenant));
+  h.mix(static_cast<int>(spec.kind));
+  h.mix(spec.submit_time);
+  h.mix(static_cast<int>(spec.model));
+  h.mix(spec.train_config.nodes);
+  h.mix(spec.train_config.gpus_per_node);
+  h.mix(spec.train_config.batch_size);
+  h.mix(spec.train_config.net_gbps);
+  h.mix(spec.iterations);
+  h.mix(spec.requested_cpus);
+  h.mix(spec.hints.category_known);
+  h.mix(spec.hints.pipelined);
+  h.mix(spec.hints.large_weights);
+  h.mix(spec.hints.complex_prep);
+  h.mix(spec.cpu_cores);
+  h.mix(spec.cpu_work_core_s);
+  h.mix(spec.mem_bw_gbps);
+  h.mix(spec.bw_bound_fraction);
+  h.mix(spec.llc_mb);
+  h.mix(spec.user_facing);
+}
+
+}  // namespace
+
+void CacheKeyHasher::mix_bytes(const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state_ ^= bytes[i];
+    state_ *= 0x100000001b3ull;
+  }
+}
+
+void CacheKeyHasher::mix(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(bits);
+}
+
+void CacheKeyHasher::mix(const std::string& s) {
+  mix(s.size());
+  mix_bytes(s.data(), s.size());
+}
+
+std::string CacheKeyHasher::hex() const {
+  return util::strfmt("%016llx", static_cast<unsigned long long>(state_));
+}
+
+std::string experiment_cache_key(Policy policy,
+                                 const std::vector<workload::JobSpec>& trace,
+                                 const ExperimentConfig& config) {
+  CacheKeyHasher h;
+  h.mix(kReportFormatVersion);
+  h.mix(static_cast<int>(policy));
+  mix_engine_config(h, config.engine);
+  mix_coda_config(h, config.coda);
+  h.mix(config.horizon_s);
+  h.mix(config.drain_slack_s);
+  h.mix(trace.size());
+  for (const auto& spec : trace) {
+    mix_spec(h, spec);
+  }
+  return h.hex();
+}
+
+ReportCache::ReportCache(std::string directory) : dir_(std::move(directory)) {
+  if (dir_.empty()) {
+    dir_ = default_dir();
+  }
+  const char* off = std::getenv("CODA_NO_CACHE");
+  if (off != nullptr && off[0] != '\0' && off[0] != '0') {
+    enabled_ = false;
+  }
+}
+
+std::string ReportCache::default_dir() {
+  const char* env = std::getenv("CODA_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return ".report_cache";
+}
+
+std::string ReportCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".report";
+}
+
+std::optional<ExperimentReport> ReportCache::load(
+    const std::string& key) const {
+  if (!enabled_) {
+    return std::nullopt;
+  }
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string file = buffer.str();
+
+  // Header: "CODA_REPORT_CACHE <schema> <payload-bytes> <payload-fnv1a>\n".
+  const size_t header_end = file.find('\n');
+  bool valid = header_end != std::string::npos;
+  if (valid) {
+    std::istringstream header(file.substr(0, header_end));
+    std::string magic;
+    int schema = -1;
+    size_t payload_bytes = 0;
+    unsigned long long checksum = 0;
+    header >> magic >> schema >> payload_bytes >> std::hex >> checksum;
+    const char* payload = file.c_str() + header_end + 1;
+    const size_t actual_bytes = file.size() - header_end - 1;
+    valid = !header.fail() && magic == kCacheMagic &&
+            schema == kReportFormatVersion && payload_bytes == actual_bytes &&
+            checksum == fnv1a(payload, actual_bytes);
+    if (valid) {
+      auto report = deserialize_report(file.substr(header_end + 1));
+      if (report.ok()) {
+        return std::move(report).value();
+      }
+    }
+  }
+  // Corrupt or stale: drop the entry so the recomputed report replaces it.
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return std::nullopt;
+}
+
+util::Status ReportCache::store(const std::string& key,
+                                const ExperimentReport& report) const {
+  if (!enabled_) {
+    return util::Status::Ok();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot create cache dir " + dir_};
+  }
+  const std::string payload = serialize_report(report);
+  const std::string header = util::strfmt(
+      "%s %d %zu %016llx\n", kCacheMagic, kReportFormatVersion, payload.size(),
+      static_cast<unsigned long long>(fnv1a(payload.data(), payload.size())));
+
+  // Write-then-rename keeps concurrent readers (other bench binaries) from
+  // ever seeing a partial entry.
+  const std::string tmp = util::strfmt(
+      "%s.tmp.%d", path_for(key).c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::Error{util::ErrorCode::kIoError, "cannot write " + tmp};
+    }
+    out << header << payload;
+    if (!out) {
+      return util::Error{util::ErrorCode::kIoError, "short write to " + tmp};
+    }
+  }
+  std::filesystem::rename(tmp, path_for(key), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot publish cache entry for " + key};
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace coda::sim

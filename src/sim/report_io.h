@@ -1,6 +1,7 @@
-// CSV export of experiment reports: plot-ready files for the time series,
-// the per-job queueing samples and the headline summary. Lets users
-// regenerate the paper's figures with their plotting tool of choice.
+// Report persistence: CSV export of experiment reports (plot-ready files
+// for the time series, the per-job queueing samples and the headline
+// summary) plus a lossless text (de)serialization of the whole
+// ExperimentReport used by the on-disk report cache (report_cache.h).
 #pragma once
 
 #include <string>
@@ -18,5 +19,20 @@ namespace coda::sim {
 util::Status save_report_csv(const ExperimentReport& report,
                              const std::string& directory,
                              const std::string& prefix);
+
+// Version of the full-report text format below. Bump whenever the
+// serialized field set changes; the report cache treats version mismatches
+// as misses and recomputes.
+inline constexpr int kReportFormatVersion = 1;
+
+// Serializes every field of `report` into a line-oriented text blob.
+// Doubles are written as C hexfloats, so deserialize_report() round-trips
+// bit-for-bit: serialize(deserialize(s)) == s and two reports are equal iff
+// their serializations are byte-identical.
+std::string serialize_report(const ExperimentReport& report);
+
+// Parses a blob produced by serialize_report. Fails with kParseError on any
+// structural damage (wrong magic/version, truncation, malformed fields).
+util::Result<ExperimentReport> deserialize_report(const std::string& text);
 
 }  // namespace coda::sim

@@ -1,0 +1,50 @@
+// Thread-pool experiment runner: executes a batch of independent
+// (policy, config, trace) replays on worker threads and returns the reports
+// in submission order.
+//
+// Each run_experiment() is fully self-contained (own engine, own RNG
+// streams), so a parallel batch is byte-identical to running the same jobs
+// serially — tests assert this on serialized reports. Worker count defaults
+// to std::thread::hardware_concurrency(), overridable with the CODA_JOBS
+// environment variable; CODA_JOBS=1 degenerates to inline serial execution
+// with no threads spawned.
+//
+// When given a ReportCache the runner resolves hits up front, simulates
+// only the misses, and persists their reports afterwards.
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/report_cache.h"
+
+namespace coda::sim {
+
+class Runner {
+ public:
+  struct Job {
+    Policy policy = Policy::kFifo;
+    // Not owned; must outlive run(). Shared across jobs in the common
+    // many-policies-one-trace sweep, so the batch holds one trace copy.
+    const std::vector<workload::JobSpec>* trace = nullptr;
+    ExperimentConfig config;
+  };
+
+  // workers <= 0 selects default_workers().
+  explicit Runner(int workers = 0);
+
+  // CODA_JOBS if set (clamped to >= 1), else hardware_concurrency().
+  static int default_workers();
+
+  int workers() const { return workers_; }
+
+  // Executes every job; results[i] corresponds to jobs[i]. With a cache,
+  // hits skip simulation entirely and misses are stored after running.
+  std::vector<ExperimentReport> run(const std::vector<Job>& jobs,
+                                    ReportCache* cache = nullptr) const;
+
+ private:
+  int workers_ = 1;
+};
+
+}  // namespace coda::sim

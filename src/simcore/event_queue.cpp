@@ -1,54 +1,54 @@
 #include "simcore/event_queue.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace coda::simcore {
 
+void EventQueue::push_entry(Entry entry) {
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++*live_;
+}
+
 EventHandle EventQueue::push(SimTime t, EventFn fn) {
   auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{t, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  push_entry(Entry{t, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled), live_);
+}
+
+void EventQueue::post(SimTime t, EventFn fn) {
+  push_entry(Entry{t, next_seq_++, std::move(fn), nullptr});
 }
 
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+  // Cancelled entries already left the live count (EventHandle::cancel);
+  // here they just get evicted from the heap.
+  while (!heap_.empty() && heap_.front().cancelled &&
+         *heap_.front().cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
-}
-
-bool EventQueue::empty() {
-  drop_cancelled();
-  return heap_.empty();
 }
 
 SimTime EventQueue::next_time() {
   drop_cancelled();
   CODA_ASSERT(!heap_.empty());
-  return heap_.top().t;
+  return heap_.front().t;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   CODA_ASSERT(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small parts and move the functor by re-wrapping.
-  Entry top = heap_.top();
-  heap_.pop();
-  *top.cancelled = true;  // mark fired so handles report !pending()
-  return Popped{top.t, std::move(top.fn)};
-}
-
-size_t EventQueue::live_count() const {
-  // Count non-cancelled entries; requires copying the heap (tests only).
-  auto copy = heap_;
-  size_t n = 0;
-  while (!copy.empty()) {
-    if (!*copy.top().cancelled) {
-      ++n;
-    }
-    copy.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
+  if (top.cancelled) {
+    *top.cancelled = true;  // mark fired so handles report !pending()
   }
-  return n;
+  --*live_;
+  return Popped{top.t, std::move(top.fn)};
 }
 
 }  // namespace coda::simcore

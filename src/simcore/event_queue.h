@@ -4,12 +4,15 @@
 // resolve in schedule order, which keeps runs bit-for-bit deterministic.
 // Cancellation is lazy — a cancelled entry stays in the heap and is skipped
 // at pop time — so cancel is O(1) and pop stays O(log n) amortized.
+//
+// Two scheduling paths exist: push() hands back an EventHandle (one shared
+// control block per event), while post() is for the common fire-and-forget
+// case and allocates no per-event state beyond the functor itself.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 namespace coda::simcore {
@@ -29,8 +32,11 @@ class EventHandle {
 
   // Cancels the event if still pending; no-op otherwise.
   void cancel() {
-    if (state_) {
+    if (state_ && !*state_) {
       *state_ = true;
+      if (live_) {
+        --*live_;
+      }
     }
   }
 
@@ -39,8 +45,13 @@ class EventHandle {
   friend class Simulator;
   explicit EventHandle(std::shared_ptr<bool> state)
       : state_(std::move(state)) {}
+  EventHandle(std::shared_ptr<bool> state, std::shared_ptr<size_t> live)
+      : state_(std::move(state)), live_(std::move(live)) {}
 
   std::shared_ptr<bool> state_;  // true once cancelled or fired
+  // Owning queue's live-event counter; decremented on a successful cancel.
+  // Shared so a handle outliving its queue stays harmless.
+  std::shared_ptr<size_t> live_;
 };
 
 class EventQueue {
@@ -49,8 +60,12 @@ class EventQueue {
   // but must not precede the last popped time (checked by the Simulator).
   EventHandle push(SimTime t, EventFn fn);
 
+  // Enqueues `fn` at `t` with no cancellation handle: the event will fire
+  // exactly once. Avoids the per-event control-block allocation.
+  void post(SimTime t, EventFn fn);
+
   // True when no live (non-cancelled) events remain.
-  bool empty();
+  bool empty() const { return *live_ == 0; }
 
   // Time of the earliest live event; requires !empty().
   SimTime next_time();
@@ -62,15 +77,15 @@ class EventQueue {
   };
   Popped pop();
 
-  // Number of live events (O(n): debugging/tests only).
-  size_t live_count() const;
+  // Number of live events; O(1).
+  size_t live_count() const { return *live_; }
 
  private:
   struct Entry {
     SimTime t;
     uint64_t seq;
     EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> cancelled;  // null for post()ed events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -82,9 +97,11 @@ class EventQueue {
   };
 
   void drop_cancelled();
+  void push_entry(Entry entry);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  // min-heap via std::push_heap/pop_heap + Later
   uint64_t next_seq_ = 0;
+  std::shared_ptr<size_t> live_ = std::make_shared<size_t>(0);
 };
 
 }  // namespace coda::simcore

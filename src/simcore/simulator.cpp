@@ -17,6 +17,16 @@ EventHandle Simulator::schedule_after(SimTime delay, EventFn fn) {
   return queue_.push(now_ + delay, std::move(fn));
 }
 
+void Simulator::post_at(SimTime t, EventFn fn) {
+  CODA_ASSERT_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  queue_.post(t, std::move(fn));
+}
+
+void Simulator::post_after(SimTime delay, EventFn fn) {
+  CODA_ASSERT(delay >= 0.0);
+  queue_.post(now_ + delay, std::move(fn));
+}
+
 EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
   CODA_ASSERT(period > 0.0);
   // The chain re-arms itself after each tick. One shared `dead` flag stops
@@ -31,10 +41,10 @@ EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
     }
     (*user_fn)();
     if (!*dead) {
-      queue_.push(now_ + period, *tick);
+      queue_.post(now_ + period, *tick);
     }
   };
-  queue_.push(now_ + period, *tick);
+  queue_.post(now_ + period, *tick);
   return EventHandle(std::move(dead));
 }
 

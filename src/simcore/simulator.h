@@ -23,6 +23,12 @@ class Simulator {
   // Schedules `fn` after `delay` (>= 0) seconds of simulated time.
   EventHandle schedule_after(SimTime delay, EventFn fn);
 
+  // Fire-and-forget variants: no cancellation handle, no per-event
+  // control-block allocation. Use for events that always run (arrivals,
+  // metric ticks).
+  void post_at(SimTime t, EventFn fn);
+  void post_after(SimTime delay, EventFn fn);
+
   // Schedules `fn` every `period` seconds starting at now() + period, until
   // the returned handle is cancelled or the run ends. The callback observes
   // the tick time via Simulator::now().
@@ -42,7 +48,7 @@ class Simulator {
   // Number of events dispatched since construction.
   size_t dispatched() const { return dispatched_; }
 
-  bool queue_empty() { return queue_.empty(); }
+  bool queue_empty() const { return queue_.empty(); }
 
  private:
   SimTime now_ = 0.0;

@@ -12,7 +12,17 @@ double MetricRegistry::counter(const std::string& name) const {
 }
 
 void MetricRegistry::sample(const std::string& name, double t, double value) {
-  series_[name].add(t, value);
+  series_mut(name).add(t, value);
+}
+
+util::TimeSeries& MetricRegistry::series_mut(const std::string& name) {
+  auto [it, inserted] = series_.try_emplace(name);
+  if (inserted) {
+    // A week-long replay at the default 60 s period lands ~10k samples;
+    // start large enough that doubling reallocates only a couple of times.
+    it->second.reserve(4096);
+  }
+  return it->second;
 }
 
 const util::TimeSeries& MetricRegistry::series(const std::string& name) const {

@@ -19,6 +19,10 @@ class MetricRegistry {
   void sample(const std::string& name, double t, double value);
   // Series accessor; returns an empty series for unknown names.
   const util::TimeSeries& series(const std::string& name) const;
+  // Mutable accessor, creating (and pre-sizing) the series on first use.
+  // Returned references stay valid for the registry's lifetime; hot paths
+  // grab them once instead of paying a name lookup per sample.
+  util::TimeSeries& series_mut(const std::string& name);
 
   const std::map<std::string, double>& counters() const { return counters_; }
   const std::map<std::string, util::TimeSeries>& all_series() const {

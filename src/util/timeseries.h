@@ -17,6 +17,10 @@ class TimeSeries {
  public:
   void add(double t, double value);
 
+  // Pre-sizes the backing storage (amortizes away reallocation for series
+  // whose sample count is known up front, e.g. fixed-period metric ticks).
+  void reserve(size_t n) { points_.reserve(n); }
+
   bool empty() const { return points_.empty(); }
   size_t size() const { return points_.size(); }
   const std::vector<TimePoint>& points() const { return points_; }

@@ -1,0 +1,155 @@
+// Tests for the thread-pool experiment runner: parallel batches must be
+// byte-identical to serial execution, results must come back in submission
+// order, and the CODA_JOBS=1 path must degenerate to inline execution.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/report_cache.h"
+#include "sim/report_io.h"
+#include "sim/runner.h"
+#include "workload/trace_gen.h"
+
+namespace coda::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A deliberately small replay (minutes of simulated time, dozens of jobs)
+// so the suite stays fast while still exercising every report field.
+std::vector<workload::JobSpec> tiny_trace(uint64_t seed) {
+  auto cfg = standard_week_trace(seed);
+  cfg.duration_s = 4.0 * 3600.0;
+  cfg.cpu_jobs = 60;
+  cfg.gpu_jobs = 30;
+  return workload::TraceGenerator(cfg).generate();
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.engine.cluster.node_count = 8;
+  cfg.drain_slack_s = 86400.0;
+  return cfg;
+}
+
+std::vector<Runner::Job> mixed_batch(
+    const std::vector<workload::JobSpec>& trace) {
+  std::vector<Runner::Job> jobs(4);
+  jobs[0].policy = Policy::kFifo;
+  jobs[1].policy = Policy::kDrf;
+  jobs[2].policy = Policy::kCoda;
+  jobs[3].policy = Policy::kCoda;
+  jobs[3].config.coda.cpu_preemption_enabled = false;
+  for (auto& job : jobs) {
+    job.trace = &trace;
+    auto base = tiny_config();
+    base.coda = job.config.coda;
+    job.config = base;
+  }
+  return jobs;
+}
+
+TEST(Runner, ParallelMatchesSerialByteForByte) {
+  const auto trace = tiny_trace(7);
+  const auto jobs = mixed_batch(trace);
+
+  const auto serial = Runner(1).run(jobs);
+  const auto parallel = Runner(4).run(jobs);
+
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    // Serialization is lossless (hexfloat doubles), so byte equality of the
+    // serialized form is full equality of the reports.
+    EXPECT_EQ(serialize_report(serial[i]), serialize_report(parallel[i]))
+        << "job " << i << " diverged between serial and parallel execution";
+  }
+}
+
+TEST(Runner, ResultsArriveInSubmissionOrder) {
+  const auto trace = tiny_trace(11);
+  const auto jobs = mixed_batch(trace);
+  const auto reports = Runner(4).run(jobs);
+  ASSERT_EQ(reports.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(reports[i].scheduler, to_string(jobs[i].policy)) << "slot " << i;
+    EXPECT_EQ(reports[i].submitted, trace.size());
+  }
+}
+
+TEST(Runner, MoreWorkersThanJobsIsFine) {
+  const auto trace = tiny_trace(13);
+  std::vector<Runner::Job> jobs(1);
+  jobs[0].policy = Policy::kFifo;
+  jobs[0].trace = &trace;
+  jobs[0].config = tiny_config();
+  const auto reports = Runner(16).run(jobs);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_GT(reports[0].completed, 0u);
+}
+
+TEST(Runner, CodaJobsEnvControlsDefaultWorkers) {
+  const char* saved = std::getenv("CODA_JOBS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("CODA_JOBS", "1", 1), 0);
+  EXPECT_EQ(Runner::default_workers(), 1);
+  EXPECT_EQ(Runner().workers(), 1);
+
+  ASSERT_EQ(setenv("CODA_JOBS", "7", 1), 0);
+  EXPECT_EQ(Runner::default_workers(), 7);
+
+  // Garbage and non-positive values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("CODA_JOBS", "0", 1), 0);
+  EXPECT_GE(Runner::default_workers(), 1);
+  ASSERT_EQ(setenv("CODA_JOBS", "banana", 1), 0);
+  EXPECT_GE(Runner::default_workers(), 1);
+
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("CODA_JOBS", saved_value.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("CODA_JOBS"), 0);
+  }
+}
+
+TEST(Runner, SingleWorkerRunsInline) {
+  // CODA_JOBS=1 must produce the same reports as any other worker count.
+  const auto trace = tiny_trace(17);
+  const auto jobs = mixed_batch(trace);
+  const auto inline_reports = Runner(1).run(jobs);
+  const auto pooled_reports = Runner(3).run(jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serialize_report(inline_reports[i]),
+              serialize_report(pooled_reports[i]));
+  }
+}
+
+TEST(Runner, CacheTurnsRerunsIntoHits) {
+  const fs::path dir =
+      fs::temp_directory_path() / "coda_runner_cache_test";
+  fs::remove_all(dir);
+  ReportCache cache(dir.string());
+
+  const auto trace = tiny_trace(19);
+  const auto jobs = mixed_batch(trace);
+
+  const auto cold = Runner(2).run(jobs, &cache);
+  // Every job should now have a cache entry on disk.
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    entries += e.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(entries, jobs.size());
+
+  const auto warm = Runner(2).run(jobs, &cache);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serialize_report(cold[i]), serialize_report(warm[i]));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace coda::sim
