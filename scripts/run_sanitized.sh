@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the tree under ASan and UBSan and runs the full ctest suite under
+# each. Eviction/rollback/retry paths shuffle jobs between containers and
+# maps; a sanitizer pass is the cheapest way to keep memory bugs from
+# landing silently.
+#
+# Usage: scripts/run_sanitized.sh [address|undefined]...
+#   No arguments runs both sanitizers. Build trees live in
+#   build-asan/ and build-ubsan/ next to the plain build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address)   dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    *) echo "unknown sanitizer '$san' (want address or undefined)" >&2
+       exit 2 ;;
+  esac
+  echo "==> configuring $dir (CODA_SANITIZE=$san)"
+  cmake -B "$dir" -S . -DCODA_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> building $dir"
+  cmake --build "$dir" -j "$(nproc)"
+  echo "==> ctest under $san sanitizer"
+  # halt_on_error makes ASan failures fail the test instead of just logging;
+  # fast smoke traces keep the instrumented replays affordable.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  CODA_FAST=1 \
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  echo "==> $san pass clean"
+done

@@ -372,6 +372,10 @@ bool CodaScheduler::evict_cpu_borrowers_for(cluster::NodeId node_id,
     cpu_array_.usage[spec.tenant] -= borrowers[i]->cores;
     note_cpu_job_gone(*borrowers[i]);
     running_cpu_.erase(job);
+    // The job leaves the node, so any eliminator throttle on it (MBA cap or
+    // halved cores) is void; a stale record would otherwise shadow the job
+    // when it restarts and corrupt the release projection.
+    eliminator_->forget_job(job);
     // "The suspended CPU job re-enters the array head."
     cpu_array_.push_front(spec);
     ++preemptions_;
@@ -646,8 +650,9 @@ void CodaScheduler::update_reservation_from_history() {
 
 void CodaScheduler::on_job_evicted(const workload::JobSpec& spec) {
   // Node failure killed the job mid-flight: drop every piece of live
-  // bookkeeping (no tuning outcome, no history record — the run is void)
-  // and re-queue at the head of its array.
+  // bookkeeping (no tuning outcome, no history record — the run is void),
+  // then re-queue at the head of its array or hand the job to the retry
+  // policy (delayed resubmission through the normal submit() path).
   if (spec.is_gpu_job()) {
     auto it = running_gpu_.find(spec.id);
     CODA_ASSERT(it != running_gpu_.end());
@@ -662,7 +667,9 @@ void CodaScheduler::on_job_evicted(const workload::JobSpec& spec) {
     }
     pending_outcomes_.erase(spec.id);
     running_gpu_.erase(it);
-    gpu_array_for(spec).push_front(spec);
+    if (retry_after_eviction(spec)) {
+      gpu_array_for(spec).push_front(spec);
+    }
   } else {
     auto it = running_cpu_.find(spec.id);
     CODA_ASSERT(it != running_cpu_.end());
@@ -670,7 +677,9 @@ void CodaScheduler::on_job_evicted(const workload::JobSpec& spec) {
     note_cpu_job_gone(it->second);
     running_cpu_.erase(it);
     eliminator_->forget_job(spec.id);
-    cpu_array_.push_front(spec);
+    if (retry_after_eviction(spec)) {
+      cpu_array_.push_front(spec);
+    }
   }
 }
 

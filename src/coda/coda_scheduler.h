@@ -66,6 +66,7 @@ class CodaScheduler : public sched::Scheduler {
   const EliminatorStats& eliminator_stats() const {
     return eliminator_->stats();
   }
+  const ContentionEliminator& eliminator() const { return *eliminator_; }
   const AdaptiveCpuAllocator& allocator() const { return allocator_; }
 
   // Audit of the adaptive allocation, one entry per started GPU job

@@ -22,7 +22,20 @@ void ContentionEliminator::check_all(
 }
 
 void ContentionEliminator::forget_job(cluster::JobId job) {
-  throttled_.erase(job);
+  auto it = throttled_.find(job);
+  if (it == throttled_.end()) {
+    return;
+  }
+  // Never let an MBA cap outlive its throttle record: when the job is
+  // aborted by the scheduler mid-throttle, a surviving cap would shadow the
+  // job's next run on that node. The engine's own stop paths clear a job's
+  // caps themselves, so only clear one that is still live (avoids spurious
+  // clear events on the ordinary finish path).
+  if (it->second.via_mba && env_->bw_cap && env_->clear_bw_cap &&
+      env_->bw_cap(it->second.node, job) >= 0.0) {
+    env_->clear_bw_cap(it->second.node, job);
+  }
+  throttled_.erase(it);
 }
 
 void ContentionEliminator::release_node(const cluster::Node& node) {
@@ -49,8 +62,18 @@ void ContentionEliminator::release_node(const cluster::Node& node) {
       continue;
     }
     const cluster::JobId job = it->first;
-    const double restored_delta =
-        achieved_of(job) / node.config().mem_bw_gbps;
+    double restored_delta = achieved_of(job) / node.config().mem_bw_gbps;
+    if (!it->second.via_mba) {
+      // The achieved bandwidth was measured on *halved* cores; restoring
+      // original_cores scales the job's traffic back up proportionally.
+      // Without this the projection undercounts and releases too eagerly.
+      const auto alloc = node.allocation_of(job);
+      if (alloc.ok() && alloc->cpus > 0 &&
+          it->second.original_cores > alloc->cpus) {
+        restored_delta *=
+            static_cast<double>(it->second.original_cores) / alloc->cpus;
+      }
+    }
     if (projected + restored_delta >= config_.bw_threshold) {
       ++it;
       continue;
@@ -135,7 +158,14 @@ void ContentionEliminator::check_node(
     const auto status = env_->set_bw_cap(node.id(), jb.job, cap);
     if (status.ok()) {
       ++stats_.mba_throttles;
-      throttled_.emplace(jb.job, ThrottleRecord{node.id(), true, 0});
+      // emplace keeps an existing same-node record (re-tightening a cap is
+      // still one throttle), but a record pointing at a *different* node is
+      // stale state from a previous life of the job — replace it.
+      auto [t_it, inserted] =
+          throttled_.emplace(jb.job, ThrottleRecord{node.id(), true, 0});
+      if (!inserted && t_it->second.node != node.id()) {
+        t_it->second = ThrottleRecord{node.id(), true, 0};
+      }
       excess -= jb.gbps - cap;
       CODA_LOG_DEBUG("eliminator: MBA cap %.1f GB/s on job %llu node %u",
                      cap, static_cast<unsigned long long>(jb.job), node.id());
@@ -150,9 +180,13 @@ void ContentionEliminator::check_node(
     const auto resize = env_->resize_job(jb.job, node.id(), new_cores);
     if (resize.ok()) {
       ++stats_.core_halvings;
-      // Remember the first (largest) allocation for a later release.
-      throttled_.emplace(jb.job,
-                         ThrottleRecord{node.id(), false, alloc->cpus});
+      // Remember the first (largest) allocation for a later release; as
+      // above, a record left over from another node must not survive.
+      auto [t_it, inserted] = throttled_.emplace(
+          jb.job, ThrottleRecord{node.id(), false, alloc->cpus});
+      if (!inserted && t_it->second.node != node.id()) {
+        t_it->second = ThrottleRecord{node.id(), false, alloc->cpus};
+      }
       if (on_cpu_resize_) {
         on_cpu_resize_(jb.job, node.id(), new_cores);
       }

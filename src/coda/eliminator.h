@@ -74,9 +74,16 @@ class ContentionEliminator {
   void check_all(
       const std::function<double(cluster::JobId)>& expected_util);
 
-  // Forgets per-job bookkeeping when a job ends (call from the scheduler's
-  // on_job_finished).
+  // Forgets per-job bookkeeping when a job leaves its node for any reason
+  // (finish, failure eviction, scheduler abort). Clears a still-live MBA
+  // cap so no throttle outlives the job.
   void forget_job(cluster::JobId job);
+
+  // Whether the eliminator currently holds a throttle record for `job` —
+  // test hook for the eviction/cleanup paths.
+  bool is_throttled(cluster::JobId job) const {
+    return throttled_.count(job) > 0;
+  }
 
  private:
   void check_node(const cluster::Node& node,

@@ -25,8 +25,11 @@ void DrfScheduler::on_job_finished(const workload::JobSpec& spec) {
 
 void DrfScheduler::on_job_evicted(const workload::JobSpec& spec) {
   // Release the accounting exactly like a finish, then re-queue at the
-  // tenant's head.
+  // tenant's head (or hand the job to the retry policy).
   on_job_finished(spec);
+  if (!retry_after_eviction(spec)) {
+    return;
+  }
   tenants_[spec.tenant].queue.push_front(spec);
   if (spec.is_gpu_job()) {
     ++gpu_pending_;

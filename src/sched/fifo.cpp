@@ -14,6 +14,10 @@ void FifoScheduler::submit(const workload::JobSpec& spec) {
 void FifoScheduler::on_job_finished(const workload::JobSpec&) {}
 
 void FifoScheduler::on_job_evicted(const workload::JobSpec& spec) {
+  if (!retry_after_eviction(spec)) {
+    // Delayed resubmission (or abandonment) handled by the retry policy.
+    return;
+  }
   // Victims of a node failure go back to the head of the queue.
   queue_.push_front(spec);
   if (spec.is_gpu_job()) {

@@ -9,8 +9,11 @@
 // can swap policies without touching the engine.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -26,6 +29,21 @@ struct NodePlacement {
   cluster::NodeId node = 0;
   int cpus = 0;
   int gpus = 0;
+};
+
+// How a scheduler re-admits jobs evicted by node failures. Disabled by
+// default: victims re-enter the queue immediately (the legacy behavior,
+// byte-identical for failure-free runs). Enabled, each eviction of a job
+// delays its resubmission by backoff_base_s * 2^(evictions-1), clamped to
+// backoff_max_s; past max_retries the job is abandoned via
+// SchedulerEnv::abandon_job. Gang semantics come for free: the engine
+// already evicts a multi-node job wholesale when any of its nodes fails,
+// so the whole gang backs off and resubmits as one unit.
+struct RetryPolicy {
+  bool enabled = false;
+  double backoff_base_s = 30.0;   // delay before the first retry
+  double backoff_max_s = 3600.0;  // cap on exponential growth
+  int max_retries = 8;            // restarts allowed before abandoning
 };
 
 struct Placement {
@@ -79,6 +97,15 @@ struct SchedulerEnv {
   std::function<util::Status(cluster::NodeId, cluster::JobId, double)>
       set_bw_cap;
   std::function<void(cluster::NodeId, cluster::JobId)> clear_bw_cap;
+  // Current cap for (node, job); < 0 means uncapped. Lets components tell a
+  // live cap from one the engine already dropped (job stop paths clear all
+  // of a job's caps) without emitting spurious clear events.
+  std::function<double(cluster::NodeId, cluster::JobId)> bw_cap;
+
+  // Permanently gives up on an evicted job whose retry budget is exhausted.
+  // The engine closes the job's accounting and reports it as abandoned; the
+  // scheduler must already have dropped it from its own queues.
+  std::function<void(cluster::JobId)> abandon_job;
 };
 
 class Scheduler {
@@ -134,8 +161,46 @@ class Scheduler {
   // cannot reclaim anything.
   virtual int reclaimable_cpus(cluster::NodeId /*node*/) const { return 0; }
 
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Evictions survived so far by one job (0 if never evicted) — test hook.
+  int eviction_count(cluster::JobId id) const {
+    auto it = evictions_.find(id);
+    return it == evictions_.end() ? 0 : it->second;
+  }
+
  protected:
+  // Routes an engine-forced eviction through the retry policy. Returns true
+  // when the caller should requeue the job immediately (policy disabled).
+  // Otherwise the job either resubmits itself after an exponential-backoff
+  // delay — through the implementation's normal submit()+kick() path — or,
+  // past the retry cap, is abandoned via env_.abandon_job.
+  bool retry_after_eviction(const workload::JobSpec& spec) {
+    if (!retry_.enabled) {
+      return true;
+    }
+    const int attempt = ++evictions_[spec.id];
+    if (attempt > retry_.max_retries) {
+      evictions_.erase(spec.id);
+      if (env_.abandon_job) {
+        env_.abandon_job(spec.id);
+      }
+      return false;
+    }
+    const double delay = std::min(
+        retry_.backoff_base_s * std::ldexp(1.0, attempt - 1),
+        retry_.backoff_max_s);
+    env_.sim->post_after(delay, [this, spec] {
+      submit(spec);
+      kick();
+    });
+    return false;
+  }
+
   SchedulerEnv env_;
+  RetryPolicy retry_;
+  std::unordered_map<cluster::JobId, int> evictions_;
 };
 
 }  // namespace coda::sched

@@ -63,6 +63,10 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
                       static_cast<int>(node));
     recompute_node(node);
   };
+  env.bw_cap = [this](cluster::NodeId node, cluster::JobId id) {
+    return mba_.cap(node, id);
+  };
+  env.abandon_job = [this](cluster::JobId id) { abandon_job(id); };
   scheduler_->attach(env);
 
   sim_.schedule_periodic(config_.metrics_period_s,
@@ -105,8 +109,10 @@ void ClusterEngine::run_until(double until) { sim_.run_until(until); }
 
 void ClusterEngine::drain(double hard_cap) {
   // Periodic metric/eliminator events keep the queue non-empty forever, so
-  // advance in chunks and stop once every submitted job completed.
-  while (sim_.now() < hard_cap && finished_count_ < records_.size()) {
+  // advance in chunks and stop once every submitted job completed or was
+  // abandoned by the retry policy.
+  while (sim_.now() < hard_cap &&
+         finished_count_ + abandoned_count_ < records_.size()) {
     sim_.run_until(std::min(hard_cap, sim_.now() + 6.0 * 3600.0));
   }
 }
@@ -151,6 +157,9 @@ util::Status ClusterEngine::start_job(cluster::JobId id,
   job.remaining = rem_it != remaining_work_.end()
                       ? rem_it->second
                       : total_work_of(record.spec);
+  // The start state is durable: a fresh job restarts from zero anyway, and
+  // a restarted one resumes from persisted (checkpointed) progress.
+  job.ckpt_remaining = job.remaining;
   job.last_update = sim_.now();
   auto [it, inserted] = running_.emplace(id, std::move(job));
   CODA_ASSERT(inserted);
@@ -170,6 +179,11 @@ util::Status ClusterEngine::start_job(cluster::JobId id,
   record.queue_time_total += sim_.now() - pend_it->second;
   if (record.first_start_time < 0.0) {
     record.first_start_time = sim_.now();
+  }
+  if (record.evict_count > record.restart_count) {
+    // This start is the recovery from a node-failure eviction (migrations
+    // and scheduler preemptions do not count as restarts).
+    ++record.restart_count;
   }
   pending_since_.erase(pend_it);
   event_log_.record(sim_.now(), EventKind::kStart, id,
@@ -196,10 +210,22 @@ util::Status ClusterEngine::stop_running_job(cluster::JobId id,
   }
   RunningJob& job = it->second;
   advance_progress(job);
+  JobRecord& record = records_[id];
+  record.busy_core_s += job.busy_core_s;
+  record.busy_gpu_s += job.busy_gpu_s;
   if (keep_progress) {
     remaining_work_[id] = job.remaining;
   } else {
-    remaining_work_.erase(id);
+    // Everything computed since the last durable point is discarded:
+    // charge it as wasted work and roll back to the checkpoint (or to
+    // nothing for a job that never checkpoints).
+    record.wasted_core_s += job.ckpt_busy_core_s;
+    record.wasted_gpu_s += job.ckpt_busy_gpu_s;
+    if (job.spec->checkpointing()) {
+      remaining_work_[id] = job.ckpt_remaining;
+    } else {
+      remaining_work_.erase(id);
+    }
   }
   job.finish_event.cancel();
   std::vector<cluster::NodeId> affected;
@@ -215,7 +241,7 @@ util::Status ClusterEngine::stop_running_job(cluster::JobId id,
   for (cluster::NodeId node : affected) {
     recompute_node(node);
   }
-  records_[id].preempt_count += 1;
+  record.preempt_count += 1;
   pending_since_[id] = sim_.now();
   return util::Status::Ok();
 }
@@ -265,6 +291,7 @@ util::Status ClusterEngine::fail_node(cluster::NodeId node_id) {
     const workload::JobSpec spec = records_.at(id).spec;
     auto status = stop_running_job(id, /*keep_progress=*/false);
     CODA_ASSERT(status.ok());
+    records_.at(id).evict_count += 1;
     event_log_.record(sim_.now(), EventKind::kEvict, id,
                       static_cast<int>(node_id));
     scheduler_->on_job_evicted(spec);
@@ -308,6 +335,8 @@ void ClusterEngine::finish_job(cluster::JobId id) {
   record.finish_time = sim_.now();
   record.completed = true;
   record.final_cpus = job.placement.nodes.front().cpus;
+  record.busy_core_s += job.busy_core_s;
+  record.busy_gpu_s += job.busy_gpu_s;
 
   std::vector<cluster::NodeId> affected;
   for (const auto& np : job.placement.nodes) {
@@ -327,6 +356,25 @@ void ClusterEngine::finish_job(cluster::JobId id) {
   }
   scheduler_->on_job_finished(record.spec);
   scheduler_->kick();
+}
+
+void ClusterEngine::abandon_job(cluster::JobId id) {
+  auto it = records_.find(id);
+  CODA_ASSERT_MSG(it != records_.end(), "abandoning an unknown job");
+  JobRecord& record = it->second;
+  CODA_ASSERT_MSG(!record.completed && !record.abandoned,
+                  "abandoning a finished job");
+  CODA_ASSERT_MSG(running_.count(id) == 0, "abandoning a running job");
+  record.abandoned = true;
+  auto pend_it = pending_since_.find(id);
+  if (pend_it != pending_since_.end()) {
+    record.queue_time_total += sim_.now() - pend_it->second;
+    pending_since_.erase(pend_it);
+  }
+  remaining_work_.erase(id);
+  ++abandoned_count_;
+  event_log_.record(sim_.now(), EventKind::kAbandon, id);
+  metrics_.increment("jobs_abandoned");
 }
 
 // ----------------------------------------------------- contention and rates
@@ -392,6 +440,26 @@ void ClusterEngine::advance_progress(RunningJob& job) {
   const double dt = sim_.now() - job.last_update;
   if (dt > 0.0) {
     job.remaining = std::max(0.0, job.remaining - job.rate * dt);
+    const double cores = static_cast<double>(job.placement.total_cpus());
+    const double gpus = static_cast<double>(job.spec->total_gpus());
+    job.busy_core_s += dt * cores;
+    job.busy_gpu_s += dt * gpus;
+    job.ckpt_busy_core_s += dt * cores;
+    job.ckpt_busy_gpu_s += dt * gpus;
+    if (job.spec->checkpointing()) {
+      // Rates are piecewise constant between advance_progress calls, so the
+      // last checkpoint boundary inside this segment can be reconstructed
+      // exactly: `since` seconds ago, when `rate * since` less work was done.
+      job.time_since_ckpt += dt;
+      const double interval = job.spec->checkpoint_interval_s;
+      if (job.time_since_ckpt >= interval) {
+        const double since = std::fmod(job.time_since_ckpt, interval);
+        job.ckpt_remaining = job.remaining + job.rate * since;
+        job.time_since_ckpt = since;
+        job.ckpt_busy_core_s = since * cores;
+        job.ckpt_busy_gpu_s = since * gpus;
+      }
+    }
   }
   job.last_update = sim_.now();
 }
@@ -418,6 +486,12 @@ void ClusterEngine::update_rate(RunningJob& job) {
     const auto& st = job.nodes.begin()->second;
     job.rate = std::max(1, st.cpus) * st.cpu_rate_factor;
     job.gpu_util = 0.0;
+  }
+  if (spec.checkpointing() && spec.checkpoint_overhead_s > 0.0) {
+    // Writing a checkpoint stalls compute for overhead_s out of every
+    // interval_s of wall time; amortize the stall into the rate.
+    job.rate *= spec.checkpoint_interval_s /
+                (spec.checkpoint_interval_s + spec.checkpoint_overhead_s);
   }
   reschedule_finish(job);
 }

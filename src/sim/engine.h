@@ -62,6 +62,18 @@ struct JobRecord {
   int final_cpus = 0;              // cores per node at finish
   bool completed = false;
 
+  // ---- failure/recovery accounting ----
+  int evict_count = 0;      // engine-forced evictions (node failures)
+  int restart_count = 0;    // starts that followed an eviction
+  bool abandoned = false;   // retry budget exhausted; never completed
+  // Resource-seconds consumed while running, and the subset whose progress
+  // was discarded by evictions (rolled back past a checkpoint, or lost
+  // entirely without one). goodput = 1 - wasted / busy.
+  double busy_core_s = 0.0;
+  double busy_gpu_s = 0.0;
+  double wasted_core_s = 0.0;
+  double wasted_gpu_s = 0.0;
+
   // Queueing delay until the first start (the paper's queuing time).
   double initial_queue_time() const {
     return first_start_time >= 0.0 ? first_start_time - submit_time : -1.0;
@@ -88,10 +100,11 @@ class ClusterEngine : public telemetry::BandwidthSource,
   void inject(const workload::JobSpec& spec, double t);
 
   // ---- failure injection ----
-  // Fails a node now: every resident job is evicted (progress lost), the
+  // Fails a node now: every resident job is evicted (progress rolls back to
+  // its last checkpoint, or to zero for non-checkpointing jobs), the
   // scheduler is notified per job via on_job_evicted, and the node accepts
-  // no allocations until recover_node. Fails with kFailedPrecondition if
-  // the node is already down.
+  // no allocations until recover_node. Multi-node jobs die wholesale (gang
+  // semantics). Fails with kFailedPrecondition if the node is already down.
   util::Status fail_node(cluster::NodeId node);
   // Brings a failed node back and kicks the scheduler.
   util::Status recover_node(cluster::NodeId node);
@@ -102,7 +115,8 @@ class ClusterEngine : public telemetry::BandwidthSource,
 
   // Runs the simulation until simulated time `until`.
   void run_until(double until);
-  // Keeps running until every submitted job finished or `hard_cap` is hit.
+  // Keeps running until every submitted job finished (or was abandoned by
+  // the retry policy) or `hard_cap` is hit.
   void drain(double hard_cap);
 
   simcore::Simulator& sim() { return sim_; }
@@ -114,6 +128,7 @@ class ClusterEngine : public telemetry::BandwidthSource,
   }
   size_t running_jobs() const { return running_.size(); }
   size_t finished_jobs() const { return finished_count_; }
+  size_t abandoned_jobs() const { return abandoned_count_; }
   const EventLog& event_log() const { return event_log_; }
 
   // ---- telemetry interfaces (simulated MBM / nvidia-smi) ----
@@ -143,6 +158,18 @@ class ClusterEngine : public telemetry::BandwidthSource,
     double last_update = 0.0;
     double gpu_util = 0.0;     // cached, refreshed on every rate update
     simcore::EventHandle finish_event;
+
+    // ---- checkpoint state (per running stint) ----
+    // `remaining` at the last durable point: the stint's start, or the most
+    // recent checkpoint boundary crossed since. Eviction rolls back here.
+    double ckpt_remaining = 0.0;
+    double time_since_ckpt = 0.0;  // running seconds past that point
+    // Resource-seconds this stint (flushed into the JobRecord at stop),
+    // and since the last durable point (the wasted-work charge on evict).
+    double busy_core_s = 0.0;
+    double busy_gpu_s = 0.0;
+    double ckpt_busy_core_s = 0.0;
+    double ckpt_busy_gpu_s = 0.0;
   };
 
   // Scheduler-facing callbacks (wired into SchedulerEnv).
@@ -155,6 +182,8 @@ class ClusterEngine : public telemetry::BandwidthSource,
 
   void on_arrival(cluster::JobId id);
   void finish_job(cluster::JobId id);
+  // Scheduler gave up on an evicted job (retry cap). Closes accounting.
+  void abandon_job(cluster::JobId id);
 
   // Rebuilds the job's shared-resource footprint on one node (after a start
   // or a core-count change there).
@@ -208,6 +237,7 @@ class ClusterEngine : public telemetry::BandwidthSource,
   MetricSeries series_;
 
   size_t finished_count_ = 0;
+  size_t abandoned_count_ = 0;
   size_t submitted_count_ = 0;
   int node_failures_ = 0;
 };

@@ -27,6 +27,8 @@ const char* to_string(EventKind kind) {
       return "node_fail";
     case EventKind::kNodeRecover:
       return "node_recover";
+    case EventKind::kAbandon:
+      return "abandon";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class EventKind {
   kBwCapClear,   // MBA cap removed
   kNodeFail,
   kNodeRecover,
+  kAbandon,      // retry cap exhausted; job permanently given up
 };
 
 const char* to_string(EventKind kind);

@@ -5,6 +5,7 @@
 #include "sched/drf.h"
 #include "sched/fifo.h"
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace coda::sim {
 
@@ -54,6 +55,7 @@ ExperimentReport run_experiment(Policy policy,
     }
   }
 
+  scheduler->set_retry_policy(config.retry);
   ClusterEngine engine(config.engine, scheduler.get());
   engine.load_trace(trace);
 
@@ -63,6 +65,22 @@ ExperimentReport run_experiment(Policy policy,
       horizon = std::max(horizon, spec.submit_time);
     }
   }
+
+  if (config.failures.enabled()) {
+    // Poisson node churn over the trace window. Overlapping outages on one
+    // node collapse harmlessly: fail_node/recover_node reject the redundant
+    // transition and schedule_node_outage ignores the status.
+    util::Rng rng(config.failures.seed);
+    const int nodes = config.engine.cluster.node_count;
+    double t = rng.exponential(1.0 / config.failures.node_mtbf_s);
+    while (t < horizon) {
+      const auto node = static_cast<cluster::NodeId>(
+          rng.uniform_int(0, nodes - 1));
+      engine.schedule_node_outage(node, t, config.failures.outage_s);
+      t += rng.exponential(1.0 / config.failures.node_mtbf_s);
+    }
+  }
+
   engine.run_until(horizon);
   engine.drain(horizon + config.drain_slack_s);
 
@@ -71,6 +89,8 @@ ExperimentReport run_experiment(Policy policy,
   report.horizon_s = horizon;
   report.submitted = trace.size();
   report.completed = engine.finished_jobs();
+  report.abandoned = engine.abandoned_jobs();
+  report.node_failures = engine.node_failures();
   report.events_dispatched = engine.sim().dispatched();
 
   const auto& metrics = engine.metrics();
@@ -125,6 +145,12 @@ ExperimentReport run_experiment(Policy policy,
   const double end = engine.sim().now();
   for (const auto& [id, record] : engine.records()) {
     report.records.push_back(record);
+    report.evictions += record.evict_count;
+    report.restarts += record.restart_count;
+    report.busy_gpu_s += record.busy_gpu_s;
+    report.busy_core_s += record.busy_core_s;
+    report.wasted_gpu_s += record.wasted_gpu_s;
+    report.wasted_core_s += record.wasted_core_s;
     // Queueing time until first start; censor at the end of the run for
     // jobs that never started.
     const double queue = record.first_start_time >= 0.0
@@ -136,6 +162,13 @@ ExperimentReport run_experiment(Policy policy,
       report.cpu_queue_times.push_back(queue);
     }
     report.queue_by_tenant[record.spec.tenant].push_back(queue);
+  }
+
+  if (report.busy_gpu_s > 0.0) {
+    report.gpu_goodput = 1.0 - report.wasted_gpu_s / report.busy_gpu_s;
+  }
+  if (report.busy_core_s > 0.0) {
+    report.cpu_goodput = 1.0 - report.wasted_core_s / report.busy_core_s;
   }
 
   if (coda != nullptr) {

@@ -18,11 +18,24 @@ enum class Policy { kFifo = 0, kDrf, kCoda };
 
 const char* to_string(Policy policy);
 
+// Random node-outage injection over the trace window. Failure instants are
+// Poisson (cluster-wide MTBF), the struck node uniform, and everything is
+// drawn from `seed` — the same config replays identically.
+struct FailureConfig {
+  double node_mtbf_s = 0.0;  // mean time between failures; 0 disables
+  double outage_s = 600.0;   // downtime per failure
+  uint64_t seed = 2024;
+
+  bool enabled() const { return node_mtbf_s > 0.0; }
+};
+
 struct ExperimentConfig {
   EngineConfig engine;
   core::CodaConfig coda;     // used when policy == kCoda
   double horizon_s = 0.0;    // trace window end; 0 => max submit time
   double drain_slack_s = 2.0 * 86400.0;  // extra time to let jobs finish
+  sched::RetryPolicy retry;  // eviction backoff/abandon (any policy)
+  FailureConfig failures;    // node churn injected over [0, horizon]
 };
 
 // Aggregated outcome of one replay.
@@ -33,6 +46,18 @@ struct ExperimentReport {
   // Simulator events this replay dispatched; perf accounting (events/sec).
   size_t events_dispatched = 0;
   double horizon_s = 0.0;
+
+  // Failure & recovery accounting — all zero (goodput 1) without failures.
+  size_t abandoned = 0;    // retry budget exhausted, never completed
+  int node_failures = 0;
+  int evictions = 0;       // engine-forced job evictions
+  int restarts = 0;        // successful post-eviction starts
+  double busy_gpu_s = 0.0;     // GPU-seconds spent running
+  double busy_core_s = 0.0;    // core-seconds spent running
+  double wasted_gpu_s = 0.0;   // subset discarded by evictions
+  double wasted_core_s = 0.0;
+  double gpu_goodput = 1.0;    // 1 - wasted_gpu_s / busy_gpu_s
+  double cpu_goodput = 1.0;    // 1 - wasted_core_s / busy_core_s
 
   // Fig. 10 headline metrics, time-weighted over the trace window.
   double gpu_active_rate = 0.0;

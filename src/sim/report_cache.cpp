@@ -94,6 +94,8 @@ void mix_spec(CacheKeyHasher& h, const workload::JobSpec& spec) {
   h.mix(spec.bw_bound_fraction);
   h.mix(spec.llc_mb);
   h.mix(spec.user_facing);
+  h.mix(spec.checkpoint_interval_s);
+  h.mix(spec.checkpoint_overhead_s);
 }
 
 }  // namespace
@@ -132,6 +134,13 @@ std::string experiment_cache_key(Policy policy,
   mix_coda_config(h, config.coda);
   h.mix(config.horizon_s);
   h.mix(config.drain_slack_s);
+  h.mix(config.retry.enabled);
+  h.mix(config.retry.backoff_base_s);
+  h.mix(config.retry.backoff_max_s);
+  h.mix(config.retry.max_retries);
+  h.mix(config.failures.node_mtbf_s);
+  h.mix(config.failures.outage_s);
+  h.mix(config.failures.seed);
   h.mix(trace.size());
   for (const auto& spec : trace) {
     mix_spec(h, spec);

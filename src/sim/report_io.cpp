@@ -24,7 +24,10 @@ util::Status save_report_csv(const ExperimentReport& report,
                     "cpu_util_active", "frag_rate",
                     "frag_case2_rate", "gpu_active_when_queued",
                     "preemptions",     "migrations",
-                    "mba_throttles",   "core_halvings"};
+                    "mba_throttles",   "core_halvings",
+                    "abandoned",       "node_failures",
+                    "evictions",       "restarts",
+                    "gpu_goodput",     "cpu_goodput"};
   summary.rows.push_back({
       report.scheduler,
       util::strfmt("%zu", report.submitted),
@@ -42,6 +45,12 @@ util::Status save_report_csv(const ExperimentReport& report,
       util::strfmt("%d", report.migrations),
       util::strfmt("%d", report.eliminator_stats.mba_throttles),
       util::strfmt("%d", report.eliminator_stats.core_halvings),
+      util::strfmt("%zu", report.abandoned),
+      util::strfmt("%d", report.node_failures),
+      util::strfmt("%d", report.evictions),
+      util::strfmt("%d", report.restarts),
+      util::strfmt("%.4f", report.gpu_goodput),
+      util::strfmt("%.4f", report.cpu_goodput),
   });
   if (auto status = util::write_csv_file(base + "_summary.csv", summary);
       !status.ok()) {
@@ -70,7 +79,8 @@ util::Status save_report_csv(const ExperimentReport& report,
   util::CsvDocument jobs;
   jobs.header = {"job",        "kind",       "tenant",     "submit_s",
                  "queue_s",    "processing_s", "latency_s", "preempts",
-                 "final_cpus", "completed"};
+                 "final_cpus", "completed",  "evictions",  "restarts",
+                 "abandoned",  "wasted_core_s", "wasted_gpu_s"};
   for (const auto& record : report.records) {
     const double processing =
         record.completed ? record.finish_time - record.first_start_time
@@ -87,6 +97,11 @@ util::Status save_report_csv(const ExperimentReport& report,
         util::strfmt("%d", record.preempt_count),
         util::strfmt("%d", record.final_cpus),
         record.completed ? "1" : "0",
+        util::strfmt("%d", record.evict_count),
+        util::strfmt("%d", record.restart_count),
+        record.abandoned ? "1" : "0",
+        util::strfmt("%.1f", record.wasted_core_s),
+        util::strfmt("%.1f", record.wasted_gpu_s),
     });
   }
   return util::write_csv_file(base + "_jobs.csv", jobs);
@@ -282,6 +297,8 @@ void write_spec(Writer& w, const workload::JobSpec& spec) {
   w.d(spec.bw_bound_fraction);
   w.d(spec.llc_mb);
   w.i(spec.user_facing ? 1 : 0);
+  w.d(spec.checkpoint_interval_s);
+  w.d(spec.checkpoint_overhead_s);
 }
 
 workload::JobSpec read_spec(Cursor& c) {
@@ -307,6 +324,8 @@ workload::JobSpec read_spec(Cursor& c) {
   spec.bw_bound_fraction = c.d();
   spec.llc_mb = c.d();
   spec.user_facing = c.b();
+  spec.checkpoint_interval_s = c.d();
+  spec.checkpoint_overhead_s = c.d();
   return spec;
 }
 
@@ -335,6 +354,10 @@ std::string serialize_report(const ExperimentReport& report) {
   w.zu(report.events_dispatched);
   w.i(report.preemptions);
   w.i(report.migrations);
+  w.zu(report.abandoned);
+  w.i(report.node_failures);
+  w.i(report.evictions);
+  w.i(report.restarts);
   w.nl();
   w.word("scalars");
   w.d(report.horizon_s);
@@ -348,6 +371,12 @@ std::string serialize_report(const ExperimentReport& report) {
   w.d(report.gpu_active_when_queued);
   w.d(report.frag_when_queued);
   w.d(report.queued_time_fraction);
+  w.d(report.busy_gpu_s);
+  w.d(report.busy_core_s);
+  w.d(report.wasted_gpu_s);
+  w.d(report.wasted_core_s);
+  w.d(report.gpu_goodput);
+  w.d(report.cpu_goodput);
   w.nl();
   w.word("eliminator");
   w.i(report.eliminator_stats.checks);
@@ -385,6 +414,13 @@ std::string serialize_report(const ExperimentReport& report) {
     w.i(record.preempt_count);
     w.i(record.final_cpus);
     w.i(record.completed ? 1 : 0);
+    w.i(record.evict_count);
+    w.i(record.restart_count);
+    w.i(record.abandoned ? 1 : 0);
+    w.d(record.busy_core_s);
+    w.d(record.busy_gpu_s);
+    w.d(record.wasted_core_s);
+    w.d(record.wasted_gpu_s);
     w.nl();
   }
 
@@ -432,6 +468,10 @@ util::Result<ExperimentReport> deserialize_report(const std::string& text) {
   report.events_dispatched = c.zu();
   report.preemptions = c.i();
   report.migrations = c.i();
+  report.abandoned = c.zu();
+  report.node_failures = c.i();
+  report.evictions = c.i();
+  report.restarts = c.i();
   if (!c.expect("scalars")) {
     return parse_error("missing scalars");
   }
@@ -446,6 +486,12 @@ util::Result<ExperimentReport> deserialize_report(const std::string& text) {
   report.gpu_active_when_queued = c.d();
   report.frag_when_queued = c.d();
   report.queued_time_fraction = c.d();
+  report.busy_gpu_s = c.d();
+  report.busy_core_s = c.d();
+  report.wasted_gpu_s = c.d();
+  report.wasted_core_s = c.d();
+  report.gpu_goodput = c.d();
+  report.cpu_goodput = c.d();
   if (!c.expect("eliminator")) {
     return parse_error("missing eliminator stats");
   }
@@ -492,6 +538,13 @@ util::Result<ExperimentReport> deserialize_report(const std::string& text) {
     record.preempt_count = c.i();
     record.final_cpus = c.i();
     record.completed = c.b();
+    record.evict_count = c.i();
+    record.restart_count = c.i();
+    record.abandoned = c.b();
+    record.busy_core_s = c.d();
+    record.busy_gpu_s = c.d();
+    record.wasted_core_s = c.d();
+    record.wasted_gpu_s = c.d();
     report.records.push_back(std::move(record));
   }
 

@@ -23,7 +23,9 @@ util::Status save_report_csv(const ExperimentReport& report,
 // Version of the full-report text format below. Bump whenever the
 // serialized field set changes; the report cache treats version mismatches
 // as misses and recomputes.
-inline constexpr int kReportFormatVersion = 1;
+// v2: checkpoint fields in JobSpec; failure/recovery accounting (evictions,
+// restarts, abandoned, busy/wasted resource-seconds, goodput).
+inline constexpr int kReportFormatVersion = 2;
 
 // Serializes every field of `report` into a line-oriented text blob.
 // Doubles are written as C hexfloats, so deserialize_report() round-trips

@@ -29,22 +29,30 @@ void Simulator::post_after(SimTime delay, EventFn fn) {
 
 EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
   CODA_ASSERT(period > 0.0);
-  // The chain re-arms itself after each tick. One shared `dead` flag stops
-  // the whole chain: EventHandle::cancel() sets it, and the next tick (or a
-  // not-yet-fired one) bails out without re-arming.
+  // The chain re-arms itself after each tick: the queued closure owns the
+  // shared state and enqueues a copy of itself, so exactly one link is alive
+  // at a time and destroying the queue frees the chain (a lambda capturing a
+  // shared_ptr to its own std::function would cycle and leak). One shared
+  // `dead` flag stops the whole chain: EventHandle::cancel() sets it, and
+  // the next tick bails out without re-arming.
   auto dead = std::make_shared<bool>(false);
   auto user_fn = std::make_shared<EventFn>(std::move(fn));
-  auto tick = std::make_shared<EventFn>();
-  *tick = [this, dead, user_fn, tick, period]() {
-    if (*dead) {
-      return;
-    }
-    (*user_fn)();
-    if (!*dead) {
-      queue_.post(now_ + period, *tick);
+  struct Tick {
+    Simulator* sim;
+    std::shared_ptr<bool> dead;
+    std::shared_ptr<EventFn> user_fn;
+    SimTime period;
+    void operator()() const {
+      if (*dead) {
+        return;
+      }
+      (*user_fn)();
+      if (!*dead) {
+        sim->queue_.post(sim->now_ + period, Tick{*this});
+      }
     }
   };
-  queue_.post(now_ + period, *tick);
+  queue_.post(now_ + period, Tick{this, dead, user_fn, period});
   return EventHandle(std::move(dead));
 }
 

@@ -53,6 +53,17 @@ struct JobSpec {
   // evicted from borrowed cores (it is not allowed to borrow).
   bool user_facing = false;
 
+  // ---- Checkpointing (both kinds) ----
+  // Every checkpoint_interval_s seconds of *running* time the job persists
+  // its progress; an eviction rolls back to the last checkpoint boundary
+  // instead of zero. Writing a checkpoint costs checkpoint_overhead_s of
+  // stalled compute, amortized into the progress rate. 0 disables
+  // checkpointing: evictions lose all progress (the pre-existing behavior).
+  double checkpoint_interval_s = 0.0;
+  double checkpoint_overhead_s = 0.0;
+
+  bool checkpointing() const { return checkpoint_interval_s > 0.0; }
+
   bool is_gpu_job() const { return kind == JobKind::kGpuTraining; }
 
   // Number of distinct nodes this job must be placed on.

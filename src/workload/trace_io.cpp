@@ -1,7 +1,9 @@
 #include "workload/trace_io.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
@@ -17,7 +19,8 @@ const std::vector<std::string> kColumns = {
     "iterations", "requested_cpus", "hint_category", "hint_pipelined",
     "hint_weights", "hint_prep",
     "cpu_cores", "cpu_work_core_s", "mem_bw_gbps", "bw_bound_fraction",
-    "llc_mb",    "user_facing"};
+    "llc_mb",    "user_facing",
+    "ckpt_interval_s", "ckpt_overhead_s"};
 
 util::Result<perfmodel::ModelId> model_from_string(const std::string& name) {
   for (perfmodel::ModelId id : perfmodel::kAllModels) {
@@ -27,6 +30,62 @@ util::Result<perfmodel::ModelId> model_from_string(const std::string& name) {
   }
   return util::Error{util::ErrorCode::kParseError,
                      "unknown model name '" + name + "'"};
+}
+
+util::Error field_error(size_t row, const char* column,
+                        const std::string& value, const char* why) {
+  return util::Error{
+      util::ErrorCode::kParseError,
+      util::strfmt("trace row %zu: column '%s' value '%s' %s", row + 1,
+                   column, value.c_str(), why)};
+}
+
+// Checked replacements for the old atoi/strtod calls, which silently turned
+// malformed fields into 0 (a GPU job with 0 nodes/GPUs would "load" fine).
+// Each one demands the whole field parse and rejects range overflow.
+util::Result<long long> parse_int(const std::string& s, size_t row,
+                                  const char* column) {
+  if (s.empty()) {
+    return field_error(row, column, s, "is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return field_error(row, column, s, "is not an integer");
+  }
+  if (errno == ERANGE) {
+    return field_error(row, column, s, "is out of range");
+  }
+  return v;
+}
+
+util::Result<double> parse_real(const std::string& s, size_t row,
+                                const char* column) {
+  if (s.empty()) {
+    return field_error(row, column, s, "is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return field_error(row, column, s, "is not a number");
+  }
+  if (errno == ERANGE) {
+    return field_error(row, column, s, "is out of range");
+  }
+  return v;
+}
+
+util::Result<bool> parse_flag(const std::string& s, size_t row,
+                              const char* column) {
+  if (s == "1") {
+    return true;
+  }
+  if (s == "0") {
+    return false;
+  }
+  return field_error(row, column, s, "is not 0 or 1");
 }
 
 }  // namespace
@@ -57,6 +116,8 @@ std::string trace_to_csv(const std::vector<JobSpec>& trace) {
         util::strfmt("%.3f", j.bw_bound_fraction),
         util::strfmt("%.3f", j.llc_mb),
         j.user_facing ? "1" : "0",
+        util::strfmt("%.3f", j.checkpoint_interval_s),
+        util::strfmt("%.3f", j.checkpoint_overhead_s),
     });
   }
   return util::to_csv(doc);
@@ -73,11 +134,27 @@ util::Result<std::vector<JobSpec>> trace_from_csv(const std::string& text) {
   }
   std::vector<JobSpec> trace;
   trace.reserve(doc->rows.size());
-  for (const auto& row : doc->rows) {
+  for (size_t r = 0; r < doc->rows.size(); ++r) {
+    const auto& row = doc->rows[r];
     JobSpec j;
-    j.id = std::strtoull(row[0].c_str(), nullptr, 10);
-    j.tenant = static_cast<cluster::TenantId>(
-        std::strtoul(row[1].c_str(), nullptr, 10));
+#define CODA_PARSE(result_expr, target)       \
+  do {                                        \
+    auto parsed_ = (result_expr);             \
+    if (!parsed_.ok()) return parsed_.error(); \
+    target = *parsed_;                        \
+  } while (0)
+    long long id = 0;
+    CODA_PARSE(parse_int(row[0], r, "id"), id);
+    if (id < 0) {
+      return field_error(r, "id", row[0], "is negative");
+    }
+    j.id = static_cast<cluster::JobId>(id);
+    long long tenant = 0;
+    CODA_PARSE(parse_int(row[1], r, "tenant"), tenant);
+    if (tenant < 0 || tenant > std::numeric_limits<cluster::TenantId>::max()) {
+      return field_error(r, "tenant", row[1], "is out of range");
+    }
+    j.tenant = static_cast<cluster::TenantId>(tenant);
     if (row[2] == "gpu") {
       j.kind = JobKind::kGpuTraining;
     } else if (row[2] == "cpu") {
@@ -86,7 +163,10 @@ util::Result<std::vector<JobSpec>> trace_from_csv(const std::string& text) {
       return util::Error{util::ErrorCode::kParseError,
                          "unknown job kind '" + row[2] + "'"};
     }
-    j.submit_time = std::strtod(row[3].c_str(), nullptr);
+    CODA_PARSE(parse_real(row[3], r, "submit_time"), j.submit_time);
+    if (j.submit_time < 0.0) {
+      return field_error(r, "submit_time", row[3], "is negative");
+    }
     if (j.kind == JobKind::kGpuTraining) {
       auto model = model_from_string(row[4]);
       if (!model.ok()) {
@@ -94,21 +174,72 @@ util::Result<std::vector<JobSpec>> trace_from_csv(const std::string& text) {
       }
       j.model = *model;
     }
-    j.train_config.nodes = std::atoi(row[5].c_str());
-    j.train_config.gpus_per_node = std::atoi(row[6].c_str());
-    j.train_config.batch_size = std::atoi(row[7].c_str());
-    j.iterations = std::strtod(row[8].c_str(), nullptr);
-    j.requested_cpus = std::atoi(row[9].c_str());
-    j.hints.category_known = row[10] == "1";
-    j.hints.pipelined = row[11] == "1";
-    j.hints.large_weights = row[12] == "1";
-    j.hints.complex_prep = row[13] == "1";
-    j.cpu_cores = std::atoi(row[14].c_str());
-    j.cpu_work_core_s = std::strtod(row[15].c_str(), nullptr);
-    j.mem_bw_gbps = std::strtod(row[16].c_str(), nullptr);
-    j.bw_bound_fraction = std::strtod(row[17].c_str(), nullptr);
-    j.llc_mb = std::strtod(row[18].c_str(), nullptr);
-    j.user_facing = row[19] == "1";
+    long long tmp = 0;
+    CODA_PARSE(parse_int(row[5], r, "nodes"), tmp);
+    j.train_config.nodes = static_cast<int>(tmp);
+    CODA_PARSE(parse_int(row[6], r, "gpus_per_node"), tmp);
+    j.train_config.gpus_per_node = static_cast<int>(tmp);
+    CODA_PARSE(parse_int(row[7], r, "batch_size"), tmp);
+    j.train_config.batch_size = static_cast<int>(tmp);
+    if (j.train_config.batch_size < 0) {
+      return field_error(r, "batch_size", row[7], "is negative");
+    }
+    CODA_PARSE(parse_real(row[8], r, "iterations"), j.iterations);
+    CODA_PARSE(parse_int(row[9], r, "requested_cpus"), tmp);
+    j.requested_cpus = static_cast<int>(tmp);
+    CODA_PARSE(parse_flag(row[10], r, "hint_category"),
+               j.hints.category_known);
+    CODA_PARSE(parse_flag(row[11], r, "hint_pipelined"), j.hints.pipelined);
+    CODA_PARSE(parse_flag(row[12], r, "hint_weights"),
+               j.hints.large_weights);
+    CODA_PARSE(parse_flag(row[13], r, "hint_prep"), j.hints.complex_prep);
+    CODA_PARSE(parse_int(row[14], r, "cpu_cores"), tmp);
+    j.cpu_cores = static_cast<int>(tmp);
+    CODA_PARSE(parse_real(row[15], r, "cpu_work_core_s"), j.cpu_work_core_s);
+    CODA_PARSE(parse_real(row[16], r, "mem_bw_gbps"), j.mem_bw_gbps);
+    CODA_PARSE(parse_real(row[17], r, "bw_bound_fraction"),
+               j.bw_bound_fraction);
+    CODA_PARSE(parse_real(row[18], r, "llc_mb"), j.llc_mb);
+    CODA_PARSE(parse_flag(row[19], r, "user_facing"), j.user_facing);
+    CODA_PARSE(parse_real(row[20], r, "ckpt_interval_s"),
+               j.checkpoint_interval_s);
+    CODA_PARSE(parse_real(row[21], r, "ckpt_overhead_s"),
+               j.checkpoint_overhead_s);
+#undef CODA_PARSE
+    // Semantic checks: a job that parses must also be runnable. The old
+    // atoi-based reader accepted "gpu job on 0 nodes" rows wholesale.
+    if (j.is_gpu_job()) {
+      if (j.train_config.nodes < 1) {
+        return field_error(r, "nodes", row[5], "must be >= 1 for a gpu job");
+      }
+      if (j.train_config.gpus_per_node < 1) {
+        return field_error(r, "gpus_per_node", row[6],
+                           "must be >= 1 for a gpu job");
+      }
+      if (j.iterations < 0.0) {
+        return field_error(r, "iterations", row[8], "is negative");
+      }
+      if (j.requested_cpus < 1) {
+        return field_error(r, "requested_cpus", row[9], "must be >= 1");
+      }
+    } else {
+      if (j.cpu_cores < 1) {
+        return field_error(r, "cpu_cores", row[14],
+                           "must be >= 1 for a cpu job");
+      }
+      if (j.cpu_work_core_s < 0.0) {
+        return field_error(r, "cpu_work_core_s", row[15], "is negative");
+      }
+      if (j.mem_bw_gbps < 0.0) {
+        return field_error(r, "mem_bw_gbps", row[16], "is negative");
+      }
+    }
+    if (j.checkpoint_interval_s < 0.0) {
+      return field_error(r, "ckpt_interval_s", row[20], "is negative");
+    }
+    if (j.checkpoint_overhead_s < 0.0) {
+      return field_error(r, "ckpt_overhead_s", row[21], "is negative");
+    }
     trace.push_back(j);
   }
   return trace;

@@ -301,6 +301,39 @@ TEST(CodaScheduler, StaticCapsSkipUserFacingJobs) {
   EXPECT_NEAR(achieved, 40.0, 1e-6);  // uncapped
 }
 
+TEST(CodaScheduler, NodeFailureDuringTuningScrubsThrottleAndRestarts) {
+  Rig rig(1);
+  // A sensitive trainer and a bandwidth hog share the only node: the
+  // eliminator's periodic checks throttle the hog while the trainer's
+  // adaptive-allocation session is still profiling (steps take 90 s).
+  // Wavenet starts at the Speech N_start of 5 cores (optimum 6), so its
+  // prep stage is exposed and bandwidth pressure visibly drops its GPU
+  // utilization.
+  rig.engine.inject(gpu_spec(1, ModelId::kWavenet, 1, 1e7), 0.0);
+  // 20 threads x 8 GB/s = 160 GB/s pushes the node past its 150 GB/s.
+  auto hog = workload::make_heat_job(workload::HeatParams{20}, 1e9);
+  hog.id = 2;
+  rig.engine.inject(hog, 0.0);
+  rig.engine.run_until(60.0);
+  ASSERT_TRUE(rig.coda.eliminator().is_throttled(2));
+  ASSERT_EQ(rig.coda.tuning_outcomes().size(), 0u);  // session still open
+
+  // The node dies mid-session: both jobs are evicted, the open tuning
+  // session must be cancelled, and the hog's throttle record scrubbed.
+  ASSERT_TRUE(rig.engine.fail_node(0).ok());
+  EXPECT_FALSE(rig.coda.eliminator().is_throttled(2));
+  EXPECT_EQ(rig.engine.records().at(1).evict_count, 1);
+  EXPECT_EQ(rig.engine.records().at(2).evict_count, 1);
+
+  ASSERT_TRUE(rig.engine.recover_node(0).ok());
+  rig.engine.run_until(400.0);
+  // Both jobs restarted cleanly; the trainer re-entered tuning.
+  EXPECT_TRUE(rig.engine.cluster().node(0).hosts(1));
+  EXPECT_TRUE(rig.engine.cluster().node(0).hosts(2));
+  EXPECT_EQ(rig.engine.records().at(1).restart_count, 1);
+  EXPECT_EQ(rig.engine.records().at(2).restart_count, 1);
+}
+
 TEST(CodaScheduler, MultiNodeJobsTunePerNode) {
   Rig rig(4);
   workload::JobSpec spec = gpu_spec(1, ModelId::kDeepSpeech, 2, 1e7);

@@ -30,12 +30,14 @@ class ProbeScheduler : public sched::Scheduler {
 };
 
 struct Rig {
-  explicit Rig(bool mba_capable) : probe(), engine(make_config(mba_capable), &probe) {}
+  explicit Rig(bool mba_capable, bool record_events = false)
+      : probe(), engine(make_config(mba_capable, record_events), &probe) {}
 
-  static sim::EngineConfig make_config(bool mba_capable) {
+  static sim::EngineConfig make_config(bool mba_capable, bool record_events) {
     sim::EngineConfig cfg;
     cfg.cluster.node_count = 1;
     cfg.cluster.mba_fraction = mba_capable ? 1.0 : 0.0;
+    cfg.record_events = record_events;
     return cfg;
   }
 
@@ -240,6 +242,80 @@ TEST(Eliminator, ReleaseGuardsAgainstOscillation) {
   }
   EXPECT_EQ(elim.stats().releases, 0);
   EXPECT_EQ(elim.stats().mba_throttles, 1);  // no re-throttle churn either
+}
+
+TEST(Eliminator, ForgetJobClearsLiveMbaCap) {
+  // A scheduler abort bypasses the engine's stop path from the eliminator's
+  // point of view: forget_job must drop the throttle record AND the cap, or
+  // the cap would shadow the job's next run.
+  Rig rig(/*mba_capable=*/true);
+  rig.place_contended_pair();
+  ContentionEliminator elim(EliminatorConfig{}, &rig.probe.env());
+  elim.check_all([&](cluster::JobId j) { return rig.expected_util(j); });
+  ASSERT_EQ(elim.stats().mba_throttles, 1);
+  ASSERT_TRUE(elim.is_throttled(2));
+
+  elim.forget_job(2);
+  EXPECT_FALSE(elim.is_throttled(2));
+  rig.engine.run_until(2.0);
+  // The cap is gone: the hog's full traffic returns.
+  EXPECT_GT(rig.probe.env().bandwidth->sample(0).pressure(), 0.75);
+}
+
+TEST(Eliminator, ForgetAfterEngineStopEmitsNoSpuriousClear) {
+  // When the job already left through an engine stop path (finish, failure
+  // eviction), the engine cleared its caps; forget_job must only drop the
+  // record, not emit a second bw_cap_clear event.
+  Rig rig(/*mba_capable=*/true, /*record_events=*/true);
+  rig.place_contended_pair();
+  ContentionEliminator elim(EliminatorConfig{}, &rig.probe.env());
+  elim.check_all([&](cluster::JobId j) { return rig.expected_util(j); });
+  ASSERT_TRUE(elim.is_throttled(2));
+
+  ASSERT_TRUE(rig.probe.env().preempt_job(2, /*keep_progress=*/false).ok());
+  // The engine dropped the cap internally (no clear event); forgetting the
+  // job afterwards must not fabricate one.
+  const auto& log = rig.engine.event_log();
+  ASSERT_EQ(log.count(sim::EventKind::kBwCap), 1u);
+  ASSERT_EQ(log.count(sim::EventKind::kBwCapClear), 0u);
+  elim.forget_job(2);
+  EXPECT_FALSE(elim.is_throttled(2));
+  EXPECT_EQ(log.count(sim::EventKind::kBwCapClear), 0u);
+}
+
+TEST(Eliminator, ReleaseProjectionScalesHalvedCoresBack) {
+  // Core-halving path: the achieved bandwidth is measured on HALVED cores.
+  // The release projection must scale it back by original/current cores;
+  // an unscaled projection (40/150 here) would sit below the 0.75 trigger
+  // and release a job whose restored traffic (x2) bounces the node over.
+  Rig rig(/*mba_capable=*/false);
+  rig.place_contended_pair(/*heat_threads=*/10);  // 80 GB/s hog (job 2)
+  auto second = workload::make_heat_job(workload::HeatParams{10}, 1e9);
+  second.id = 3;
+  rig.engine.inject(second, 1.0);
+  rig.engine.run_until(1.0);
+  sched::Placement p;
+  p.nodes.push_back(sched::NodePlacement{0, 10, 0});
+  ASSERT_TRUE(rig.probe.env().start_job(3, p).ok());
+  rig.engine.run_until(2.0);
+
+  EliminatorConfig cfg;
+  cfg.release_when_calm = true;
+  ContentionEliminator elim(cfg, &rig.probe.env());
+  // 80 + 80 + trainer >> 112.5: both hogs are halved to 5 cores.
+  elim.check_all([&](cluster::JobId j) { return rig.expected_util(j); });
+  ASSERT_EQ(elim.stats().core_halvings, 2);
+  ASSERT_EQ(rig.engine.cluster().node(0).allocation_of(2)->cpus, 5);
+
+  // The second hog leaves; pressure drops to ~(40 + trainer)/150 < 0.55,
+  // so the release pass runs — but restoring job 2 to 10 cores would add
+  // ~2 x 40/150 and cross the 0.75 trigger again, so it must stay halved.
+  ASSERT_TRUE(rig.probe.env().preempt_job(3, false).ok());
+  rig.engine.run_until(3.0);
+  elim.check_all([&](cluster::JobId j) { return rig.expected_util(j); });
+  EXPECT_EQ(elim.stats().releases, 0);
+  EXPECT_TRUE(elim.is_throttled(2));
+  EXPECT_EQ(rig.engine.cluster().node(0).allocation_of(2)->cpus, 5);
 }
 
 TEST(Eliminator, DisabledDoesNothing) {

@@ -212,6 +212,92 @@ TEST(Engine, PreemptLosesOrKeepsProgress) {
   }
 }
 
+TEST(Engine, CheckpointRollbackResumesFromBoundary) {
+  // 400 core-s on 2 cores (rate 2, 200 s solo), checkpointing every 60 s.
+  // An abort at t=150 rolls back to the t=120 boundary: 30 s of progress
+  // (60 core-s) is wasted, and 160 core-s remain.
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  auto spec = cpu_spec(1, 2, 400.0);
+  spec.checkpoint_interval_s = 60.0;
+  engine.inject(spec, 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.run_until(150.0);
+  ASSERT_TRUE(probe.env().preempt_job(1, /*keep_progress=*/false).ok());
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.drain(1e7);
+  const auto& record = engine.records().at(1);
+  EXPECT_TRUE(record.completed);
+  EXPECT_NEAR(record.finish_time, 150.0 + 160.0 / 2.0, 1e-6);
+  EXPECT_NEAR(record.wasted_core_s, 60.0, 1e-6);
+  EXPECT_NEAR(record.busy_core_s, (150.0 + 80.0) * 2.0, 1e-6);
+  // A scheduler-initiated abort is a preemption, not a failure eviction.
+  EXPECT_EQ(record.preempt_count, 1);
+  EXPECT_EQ(record.evict_count, 0);
+  EXPECT_EQ(record.restart_count, 0);
+}
+
+TEST(Engine, EvictionWithoutCheckpointWastesWholeStint) {
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(2), &probe);
+  engine.inject(cpu_spec(1, 2, 200.0), 0.0);  // 100 s at 2 cores
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.run_until(50.0);
+  ASSERT_TRUE(engine.fail_node(0).ok());
+  // All 100 core-s computed so far are lost.
+  ASSERT_TRUE(probe.env().start_job(1, on_node(1, 2, 0)).ok());
+  engine.drain(1e7);
+  const auto& record = engine.records().at(1);
+  EXPECT_NEAR(record.finish_time, 50.0 + 100.0, 1e-6);
+  EXPECT_NEAR(record.wasted_core_s, 100.0, 1e-6);
+  EXPECT_NEAR(record.busy_core_s, 300.0, 1e-6);
+  EXPECT_EQ(record.evict_count, 1);
+  EXPECT_EQ(record.restart_count, 1);  // the post-eviction start
+}
+
+TEST(Engine, CheckpointOverheadAmortizesIntoRate) {
+  // Writing a checkpoint stalls 25 s out of every 100 s of wall time, so
+  // the effective rate is scaled by 100/125 and 400 core-s on 2 cores take
+  // 250 s instead of 200 s.
+  ProbeScheduler probe;
+  ClusterEngine engine(small_engine_config(1), &probe);
+  auto spec = cpu_spec(1, 2, 400.0);
+  spec.checkpoint_interval_s = 100.0;
+  spec.checkpoint_overhead_s = 25.0;
+  engine.inject(spec, 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.drain(1e7);
+  EXPECT_NEAR(engine.records().at(1).finish_time, 250.0, 1e-6);
+}
+
+TEST(Engine, AbandonClosesOutEvictedJob) {
+  ProbeScheduler probe;
+  EngineConfig cfg = small_engine_config(1);
+  cfg.record_events = true;
+  ClusterEngine engine(cfg, &probe);
+  engine.inject(cpu_spec(1, 2, 1e6), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 2, 0)).ok());
+  engine.run_until(10.0);
+  ASSERT_TRUE(engine.fail_node(0).ok());
+  ASSERT_EQ(probe.evicted, (std::vector<cluster::JobId>{1}));
+  probe.env().abandon_job(1);
+  const auto& record = engine.records().at(1);
+  EXPECT_TRUE(record.abandoned);
+  EXPECT_FALSE(record.completed);
+  EXPECT_LT(record.finish_time, 0.0);
+  EXPECT_EQ(engine.abandoned_jobs(), 1u);
+  EXPECT_EQ(engine.event_log().count(EventKind::kAbandon), 1u);
+  EXPECT_DOUBLE_EQ(engine.metrics().counter("jobs_abandoned"), 1.0);
+  // The drain condition counts the abandoned job as settled: with every
+  // job finished-or-abandoned the drain returns without hitting the cap.
+  engine.drain(1e7);
+  EXPECT_LT(engine.sim().now(), 1e6);
+}
+
 TEST(Engine, QueueTimeAccountsPreemptions) {
   ProbeScheduler probe;
   ClusterEngine engine(small_engine_config(1), &probe);

@@ -103,11 +103,62 @@ TEST(EventLog, SaveCsvRoundTrips) {
 
 TEST(EventKindNames, AllDistinct) {
   std::set<std::string> names;
-  for (int k = 0; k <= static_cast<int>(EventKind::kNodeRecover); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kAbandon); ++k) {
     names.insert(to_string(static_cast<EventKind>(k)));
   }
-  EXPECT_EQ(names.size(),
-            static_cast<size_t>(EventKind::kNodeRecover) + 1);
+  EXPECT_EQ(names.size(), static_cast<size_t>(EventKind::kAbandon) + 1);
+}
+
+TEST(ReportIo, SerializationRoundTripsFailureFields) {
+  ExperimentReport report;
+  report.scheduler = "CODA";
+  report.submitted = 3;
+  report.completed = 1;
+  report.abandoned = 1;
+  report.node_failures = 2;
+  report.evictions = 4;
+  report.restarts = 3;
+  report.busy_gpu_s = 10.5;
+  report.wasted_gpu_s = 1.25;
+  report.gpu_goodput = 1.0 - 1.25 / 10.5;
+  report.busy_core_s = 700.0;
+  report.wasted_core_s = 50.0;
+  report.cpu_goodput = 1.0 - 50.0 / 700.0;
+
+  JobRecord rec;
+  rec.spec.id = 9;
+  rec.spec.kind = workload::JobKind::kCpu;
+  rec.spec.cpu_cores = 2;
+  rec.spec.cpu_work_core_s = 100.0;
+  rec.spec.checkpoint_interval_s = 600.0;
+  rec.spec.checkpoint_overhead_s = 5.0;
+  rec.evict_count = 2;
+  rec.restart_count = 1;
+  rec.abandoned = true;
+  rec.busy_core_s = 123.5;
+  rec.wasted_core_s = 25.0;
+  report.records.push_back(rec);
+
+  const std::string blob = serialize_report(report);
+  auto parsed = deserialize_report(blob);
+  ASSERT_TRUE(parsed.ok());
+  // Hexfloat serialization is lossless: byte equality is full equality.
+  EXPECT_EQ(serialize_report(*parsed), blob);
+  EXPECT_EQ(parsed->abandoned, 1u);
+  EXPECT_EQ(parsed->node_failures, 2);
+  EXPECT_EQ(parsed->evictions, 4);
+  EXPECT_EQ(parsed->restarts, 3);
+  EXPECT_DOUBLE_EQ(parsed->gpu_goodput, report.gpu_goodput);
+  EXPECT_DOUBLE_EQ(parsed->cpu_goodput, report.cpu_goodput);
+  ASSERT_EQ(parsed->records.size(), 1u);
+  const auto& r = parsed->records[0];
+  EXPECT_EQ(r.evict_count, 2);
+  EXPECT_EQ(r.restart_count, 1);
+  EXPECT_TRUE(r.abandoned);
+  EXPECT_DOUBLE_EQ(r.busy_core_s, 123.5);
+  EXPECT_DOUBLE_EQ(r.wasted_core_s, 25.0);
+  EXPECT_DOUBLE_EQ(r.spec.checkpoint_interval_s, 600.0);
+  EXPECT_DOUBLE_EQ(r.spec.checkpoint_overhead_s, 5.0);
 }
 
 TEST(ReportIo, SavesThreeCsvFiles) {
@@ -126,6 +177,7 @@ TEST(ReportIo, SavesThreeCsvFiles) {
   ASSERT_EQ(summary->rows.size(), 1u);
   EXPECT_EQ(summary->rows[0][0], "CODA");
   EXPECT_EQ(summary->rows[0][1], std::to_string(trace.size()));
+  ASSERT_TRUE(summary->column("gpu_goodput").ok());
 
   auto series = util::read_csv_file(dir + "/t_series.csv");
   ASSERT_TRUE(series.ok());
@@ -136,6 +188,7 @@ TEST(ReportIo, SavesThreeCsvFiles) {
   ASSERT_TRUE(jobs.ok());
   EXPECT_EQ(jobs->rows.size(), trace.size());
   ASSERT_TRUE(jobs->column("queue_s").ok());
+  ASSERT_TRUE(jobs->column("wasted_gpu_s").ok());
 }
 
 TEST(ReportIo, FailsOnUnwritableDirectory) {

@@ -319,5 +319,98 @@ TEST(Schedulers, ReclaimableDefaultsToZero) {
   EXPECT_EQ(fifo.reclaimable_cpus(0), 0);
 }
 
+// ------------------------------------------------------------ retry policy
+
+TEST(Fifo, EvictionWithoutRetryPolicyRequeuesImmediately) {
+  FakeEngine engine(1);
+  FifoScheduler fifo;
+  fifo.attach(engine.env());
+  auto job = cpu_job(1, 0, 2);
+  fifo.submit(job);
+  fifo.kick();
+  ASSERT_EQ(engine.started().size(), 1u);
+  engine.finish(1);
+  fifo.on_job_evicted(job);  // legacy path: straight back to the head
+  EXPECT_EQ(fifo.pending(), 1u);
+  fifo.kick();
+  EXPECT_EQ(engine.started(), (std::vector<cluster::JobId>{1, 1}));
+}
+
+TEST(Fifo, RetryBackoffDelaysResubmissionExponentially) {
+  FakeEngine engine(1);
+  FifoScheduler fifo;
+  auto env = engine.env();
+  std::vector<cluster::JobId> abandoned;
+  env.abandon_job = [&](cluster::JobId id) { abandoned.push_back(id); };
+  fifo.attach(env);
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.backoff_base_s = 10.0;
+  policy.backoff_max_s = 15.0;
+  policy.max_retries = 2;
+  fifo.set_retry_policy(policy);
+
+  auto job = cpu_job(1, 0, 2);
+  fifo.submit(job);
+  fifo.kick();
+  ASSERT_EQ(engine.started().size(), 1u);
+
+  // First eviction: no immediate requeue; resubmission fires 10 s later.
+  engine.finish(1);
+  fifo.on_job_evicted(job);
+  EXPECT_EQ(fifo.pending(), 0u);
+  EXPECT_EQ(fifo.eviction_count(1), 1);
+  env.sim->run_until(9.999);
+  EXPECT_EQ(engine.started().size(), 1u);
+  env.sim->run_until(10.0);
+  EXPECT_EQ(engine.started().size(), 2u);
+
+  // Second eviction doubles the delay to 20 s, clamped at 15 s: the job is
+  // back at t = 10 + 15 = 25, not earlier.
+  engine.finish(1);
+  fifo.on_job_evicted(job);
+  env.sim->run_until(24.999);
+  EXPECT_EQ(engine.started().size(), 2u);
+  env.sim->run_until(25.0);
+  EXPECT_EQ(engine.started().size(), 3u);
+
+  // Third eviction exceeds max_retries = 2: the job is abandoned, never
+  // resubmitted, and its eviction counter is released.
+  engine.finish(1);
+  fifo.on_job_evicted(job);
+  env.sim->run_until(1000.0);
+  EXPECT_EQ(engine.started().size(), 3u);
+  EXPECT_EQ(abandoned, (std::vector<cluster::JobId>{1}));
+  EXPECT_EQ(fifo.eviction_count(1), 0);
+}
+
+TEST(Drf, RetryAbandonStillReleasesAccounting) {
+  FakeEngine engine(2);  // totals: 16 cores, 4 gpus
+  DrfScheduler drf;
+  auto env = engine.env();
+  std::vector<cluster::JobId> abandoned;
+  env.abandon_job = [&](cluster::JobId id) { abandoned.push_back(id); };
+  drf.attach(env);
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.max_retries = 0;  // first eviction already abandons
+  drf.set_retry_policy(policy);
+
+  auto job = gpu_job(1, 0, 1, 2);
+  drf.submit(job);
+  drf.kick();
+  ASSERT_EQ(engine.started().size(), 1u);
+  EXPECT_NEAR(drf.dominant_share(0), 0.25, 1e-9);  // 1 of 4 GPUs
+  engine.finish(1);
+  drf.on_job_evicted(job);
+  // The abandoned job no longer counts against its tenant's share, and it
+  // never re-enters the queue.
+  EXPECT_NEAR(drf.dominant_share(0), 0.0, 1e-9);
+  EXPECT_EQ(drf.pending(), 0u);
+  EXPECT_EQ(abandoned, (std::vector<cluster::JobId>{1}));
+  env.sim->run_all();
+  EXPECT_EQ(engine.started().size(), 1u);
+}
+
 }  // namespace
 }  // namespace coda::sched

@@ -252,6 +252,102 @@ TEST(TraceIo, RejectsUnknownModelAndKind) {
   EXPECT_FALSE(trace_from_csv(broken2).ok());
 }
 
+// One hand-built job of each kind with distinctive field values, so the
+// corruption tests below can string-replace without ambiguity.
+JobSpec distinctive_gpu_spec() {
+  JobSpec g;
+  g.id = 1;
+  g.tenant = 3;
+  g.kind = JobKind::kGpuTraining;
+  g.model = perfmodel::ModelId::kResnet50;
+  g.train_config = perfmodel::TrainConfig{1, 2, 0};
+  g.submit_time = 11.0;
+  g.iterations = 567.0;
+  g.requested_cpus = 4;
+  return g;
+}
+
+JobSpec distinctive_cpu_spec() {
+  JobSpec c;
+  c.id = 2;
+  c.tenant = 16;
+  c.kind = JobKind::kCpu;
+  c.submit_time = 13.0;
+  c.cpu_cores = 6;
+  c.cpu_work_core_s = 789.0;
+  c.mem_bw_gbps = 21.0;
+  return c;
+}
+
+void replace_once(std::string& text, const std::string& from,
+                  const std::string& to) {
+  const size_t at = text.find(from);
+  ASSERT_NE(at, std::string::npos) << "pattern '" << from << "' not in csv";
+  text.replace(at, from.size(), to);
+}
+
+TEST(TraceIo, RejectsMalformedNumbersWithRowContext) {
+  // The old atoi/strtod reader silently turned these into 0; each must now
+  // fail with kParseError naming the row and column.
+  const std::string good = trace_to_csv({distinctive_gpu_spec()});
+
+  std::string bad = good;
+  replace_once(bad, "567.0", "56x.0");  // iterations
+  auto parsed = trace_from_csv(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, util::ErrorCode::kParseError);
+  EXPECT_NE(parsed.error().message.find("iterations"), std::string::npos);
+  EXPECT_NE(parsed.error().message.find("row 1"), std::string::npos);
+
+  bad = good;
+  replace_once(bad, "567.0", "");  // empty field
+  EXPECT_FALSE(trace_from_csv(bad).ok());
+
+  bad = good;
+  replace_once(bad, "11.000", "-11.000");  // negative submit_time
+  EXPECT_FALSE(trace_from_csv(bad).ok());
+
+  bad = good;
+  replace_once(bad, "567.0", "1e999999");  // out of double range
+  EXPECT_FALSE(trace_from_csv(bad).ok());
+}
+
+TEST(TraceIo, RejectsSemanticallyInvalidJobs) {
+  // Rows that parse as numbers but describe an unrunnable job.
+  auto zero_nodes = distinctive_gpu_spec();
+  zero_nodes.train_config.nodes = 0;
+  auto parsed = trace_from_csv(trace_to_csv({zero_nodes}));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("nodes"), std::string::npos);
+
+  auto zero_gpus = distinctive_gpu_spec();
+  zero_gpus.train_config.gpus_per_node = 0;
+  EXPECT_FALSE(trace_from_csv(trace_to_csv({zero_gpus})).ok());
+
+  auto zero_cores = distinctive_cpu_spec();
+  zero_cores.cpu_cores = 0;
+  EXPECT_FALSE(trace_from_csv(trace_to_csv({zero_cores})).ok());
+
+  auto bad_ckpt = distinctive_cpu_spec();
+  bad_ckpt.checkpoint_interval_s = -600.0;
+  EXPECT_FALSE(trace_from_csv(trace_to_csv({bad_ckpt})).ok());
+}
+
+TEST(TraceIo, CheckpointFieldsRoundTrip) {
+  auto gpu = distinctive_gpu_spec();
+  gpu.checkpoint_interval_s = 3600.0;
+  gpu.checkpoint_overhead_s = 42.5;
+  auto cpu = distinctive_cpu_spec();  // checkpointing off by default
+  auto parsed = trace_from_csv(trace_to_csv({gpu, cpu}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_NEAR((*parsed)[0].checkpoint_interval_s, 3600.0, 1e-3);
+  EXPECT_NEAR((*parsed)[0].checkpoint_overhead_s, 42.5, 1e-3);
+  EXPECT_TRUE((*parsed)[0].checkpointing());
+  EXPECT_DOUBLE_EQ((*parsed)[1].checkpoint_interval_s, 0.0);
+  EXPECT_FALSE((*parsed)[1].checkpointing());
+}
+
 TEST(JobSpec, LabelsAndHelpers) {
   JobSpec gpu;
   gpu.id = 3;
