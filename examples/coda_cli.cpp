@@ -23,6 +23,7 @@
 
 #include "perfmodel/characterization.h"
 #include "perfmodel/train_perf.h"
+#include "service/journal.h"
 #include "sim/experiment.h"
 #include "sim/report_io.h"
 #include "util/strings.h"
@@ -33,13 +34,21 @@ using namespace coda;
 
 namespace {
 
+void usage();
+
 // Tiny flag parser: --key value pairs after the subcommand.
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int from) {
   std::map<std::string, std::string> flags;
-  for (int i = from; i + 1 < argc; i += 2) {
+  for (int i = from; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
+      usage();
       std::exit(2);
     }
     flags[argv[i] + 2] = argv[i + 1];
@@ -123,7 +132,61 @@ int cmd_inspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Re-executes a codad session journal offline and (optionally) checks the
+// resulting report byte-for-byte against the report the daemon wrote.
+int cmd_replay_journal(const std::map<std::string, std::string>& flags) {
+  const std::string path = flags.at("journal");
+  auto report = service::replay_journal_file(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "journal replay failed: %s\n",
+                 report.error().message.c_str());
+    return 1;
+  }
+  const std::string serialized = sim::serialize_report(*report);
+  if (flags.count("expect-report") > 0) {
+    const std::string expect_path = flags.at("expect-report");
+    std::FILE* f = std::fopen(expect_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", expect_path.c_str());
+      return 1;
+    }
+    std::string expected;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      expected.append(buf, n);
+    }
+    std::fclose(f);
+    if (expected != serialized) {
+      std::fprintf(stderr,
+                   "MISMATCH: replay of %s (%zu bytes) differs from %s "
+                   "(%zu bytes)\n",
+                   path.c_str(), serialized.size(), expect_path.c_str(),
+                   expected.size());
+      return 1;
+    }
+    std::printf("replay of %s matches %s byte-for-byte (%zu bytes)\n",
+                path.c_str(), expect_path.c_str(), serialized.size());
+  }
+  if (flags.count("out") > 0) {
+    std::FILE* f = std::fopen(flags.at("out").c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.at("out").c_str());
+      return 1;
+    }
+    std::fwrite(serialized.data(), 1, serialized.size(), f);
+    std::fclose(f);
+  }
+  std::printf("journal %s: %zu submitted, %zu completed, gpu util %s\n",
+              path.c_str(), report->submitted, report->completed,
+              util::format_percent(report->gpu_util_active).c_str());
+  return 0;
+}
+
 int cmd_replay(const std::map<std::string, std::string>& flags) {
+  if (flags.count("journal") > 0) {
+    return cmd_replay_journal(flags);
+  }
   const auto trace = make_or_load_trace(flags);
   const auto policy = parse_policy(flag_or(flags, "policy", "coda"));
   sim::ExperimentConfig config;
@@ -240,6 +303,8 @@ void usage() {
                "  generate --days D --seed S --out FILE\n"
                "  replay   [--trace FILE | --days D --seed S] --policy "
                "fifo|drf|coda [--nodes N] [--noise SIGMA] [--csv-dir DIR]\n"
+               "  replay   --journal FILE [--expect-report FILE] [--out "
+               "FILE]\n"
                "  inspect  [--trace FILE | --days D --seed S]\n"
                "  sweep    [--trace FILE | --days D] --policy P --nodes "
                "N1,N2,...\n"

@@ -1,0 +1,232 @@
+// coda_ctl: command-line client for a running codad.
+//
+//   coda_ctl ping    --socket /tmp/coda.sock
+//   coda_ctl submit  --socket /tmp/coda.sock --kind cpu --cores 4 --work 1200
+//   coda_ctl submit  --port 7070 --kind gpu --model resnet50 --iters 5000
+//   coda_ctl status  --socket /tmp/coda.sock --id 17
+//   coda_ctl cluster --socket /tmp/coda.sock
+//   coda_ctl metrics --socket /tmp/coda.sock
+//   coda_ctl drain   --socket /tmp/coda.sock
+//   coda_ctl bench   --port 7070 --connections 8 --duration 5 [--rate 20000]
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "perfmodel/dnn_model.h"
+#include "service/client.h"
+#include "workload/trace_io.h"
+
+using namespace coda;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: coda_ctl <verb> (--socket PATH | --port N) [flags]\n"
+      "  ping | cluster | metrics | drain | shutdown\n"
+      "  status  --id N\n"
+      "  submit  [--row CSV] | [--kind cpu|gpu ...]\n"
+      "     cpu: --cores N --work CORE_SECONDS [--bw GBPS] [--llc MB]\n"
+      "          [--user-facing 1]\n"
+      "     gpu: --model NAME --iters N [--nodes N] [--gpus N] [--batch N]\n"
+      "          [--cpus N]\n"
+      "  bench   --connections N --duration SECONDS [--rate CMDS_PER_SEC]\n"
+      "          [--request LINE]\n");
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+service::Endpoint make_endpoint(
+    const std::map<std::string, std::string>& flags) {
+  service::Endpoint endpoint;
+  endpoint.unix_socket_path = flag_or(flags, "socket", "");
+  if (flags.count("port") > 0) {
+    endpoint.tcp_port = std::atoi(flags.at("port").c_str());
+  }
+  if (endpoint.unix_socket_path.empty() && endpoint.tcp_port < 0) {
+    std::fprintf(stderr, "need --socket PATH or --port N\n");
+    usage();
+    std::exit(2);
+  }
+  return endpoint;
+}
+
+// Builds the SUBMIT csv row. id 0 lets the daemon assign one;
+// submit_time is ignored by the daemon (arrival is "now").
+std::string build_submit_row(
+    const std::map<std::string, std::string>& flags) {
+  if (flags.count("row") > 0) {
+    return flags.at("row");
+  }
+  workload::JobSpec job;
+  job.tenant = static_cast<cluster::TenantId>(
+      std::atoi(flag_or(flags, "tenant", "0").c_str()));
+  const std::string kind = flag_or(flags, "kind", "cpu");
+  if (kind == "gpu") {
+    job.kind = workload::JobKind::kGpuTraining;
+    const std::string model_name = flag_or(flags, "model", "Resnet50");
+    bool found = false;
+    for (perfmodel::ModelId m : perfmodel::kAllModels) {
+      const char* name = perfmodel::model_params(m).name;
+      if (model_name.size() == std::strlen(name) &&
+          std::equal(model_name.begin(), model_name.end(), name,
+                     [](char a, char b) {
+                       return std::tolower(static_cast<unsigned char>(a)) ==
+                              std::tolower(static_cast<unsigned char>(b));
+                     })) {
+        job.model = m;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown model '%s'; known models:",
+                   model_name.c_str());
+      for (perfmodel::ModelId m : perfmodel::kAllModels) {
+        std::fprintf(stderr, " %s", perfmodel::model_params(m).name);
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    job.train_config.nodes = std::atoi(flag_or(flags, "nodes", "1").c_str());
+    job.train_config.gpus_per_node =
+        std::atoi(flag_or(flags, "gpus", "1").c_str());
+    job.train_config.batch_size =
+        std::atoi(flag_or(flags, "batch", "64").c_str());
+    job.iterations = std::atof(flag_or(flags, "iters", "1000").c_str());
+    job.requested_cpus = std::atoi(flag_or(flags, "cpus", "2").c_str());
+  } else if (kind == "cpu") {
+    job.kind = workload::JobKind::kCpu;
+    job.cpu_cores = std::atoi(flag_or(flags, "cores", "2").c_str());
+    job.cpu_work_core_s = std::atof(flag_or(flags, "work", "600").c_str());
+    job.mem_bw_gbps = std::atof(flag_or(flags, "bw", "1").c_str());
+    job.llc_mb = std::atof(flag_or(flags, "llc", "2").c_str());
+    job.user_facing = flag_or(flags, "user-facing", "0") == "1";
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s' (cpu|gpu)\n", kind.c_str());
+    std::exit(2);
+  }
+  return workload::job_to_csv_row(job);
+}
+
+int print_response(const util::Result<service::Response>& response) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.error().message.c_str());
+    return 1;
+  }
+  switch (response->kind) {
+    case service::Response::Kind::kOk:
+      std::printf("OK %s\n", response->payload.c_str());
+      return 0;
+    case service::Response::Kind::kBusy:
+      std::printf("BUSY retry-after-ms=%d\n", response->retry_after_ms);
+      return 3;
+    case service::Response::Kind::kErr:
+      std::fprintf(stderr, "ERR %s %s\n", util::to_string(response->code),
+                   response->payload.c_str());
+      return 1;
+  }
+  return 1;
+}
+
+int cmd_bench(const service::Endpoint& endpoint,
+              const std::map<std::string, std::string>& flags) {
+  service::BenchOptions options;
+  options.connections = std::atoi(flag_or(flags, "connections", "4").c_str());
+  options.duration_s = std::atof(flag_or(flags, "duration", "5").c_str());
+  options.rate = std::atof(flag_or(flags, "rate", "0").c_str());
+  options.request_line = flag_or(flags, "request", "PING");
+  auto report = service::run_bench(endpoint, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n",
+                 report.error().message.c_str());
+    return 1;
+  }
+  std::printf("bench: %zu sent, %zu ok, %zu busy, %zu errors in %.2fs\n",
+              report->sent, report->ok, report->busy, report->errors,
+              report->wall_s);
+  std::printf("throughput %.0f cmds/sec | latency p50 %.3fms p99 %.3fms "
+              "max %.3fms\n",
+              report->throughput, report->p50_ms, report->p99_ms,
+              report->max_ms);
+  return report->errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string verb = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  const service::Endpoint endpoint = make_endpoint(flags);
+
+  if (verb == "bench") {
+    return cmd_bench(endpoint, flags);
+  }
+
+  auto client = service::Client::connect(endpoint);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.error().message.c_str());
+    return 1;
+  }
+  if (verb == "ping") {
+    return print_response(client->ping());
+  }
+  if (verb == "submit") {
+    return print_response(client->submit_row(build_submit_row(flags)));
+  }
+  if (verb == "status") {
+    if (flags.count("id") == 0) {
+      std::fprintf(stderr, "status needs --id N\n");
+      return 2;
+    }
+    return print_response(client->status(
+        std::strtoull(flags.at("id").c_str(), nullptr, 10)));
+  }
+  if (verb == "cluster") {
+    return print_response(client->cluster());
+  }
+  if (verb == "metrics") {
+    return print_response(client->metrics());
+  }
+  if (verb == "drain") {
+    return print_response(client->drain());
+  }
+  if (verb == "shutdown") {
+    return print_response(client->shutdown());
+  }
+  usage();
+  return 2;
+}

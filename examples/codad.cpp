@@ -1,0 +1,201 @@
+// codad: the live cluster-controller daemon. Runs a sim::ClusterEngine in
+// paced virtual time (--speedup sim-seconds per wall-second) behind a
+// line-protocol listener, journals every accepted command, and writes the
+// final ExperimentReport at drain.
+//
+//   codad --days 0.1 --policy coda --socket /tmp/coda.sock
+//         --journal /tmp/coda.journal --speedup 3600
+//   codad --trace trace.csv --port 7070 --journal session.journal
+//
+// Drive it with coda_ctl; replay the session offline with
+//   coda_cli replay --journal /tmp/coda.journal
+//       --expect-report /tmp/coda.journal.report
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "sim/experiment.h"
+#include "util/logging.h"
+#include "workload/trace_io.h"
+
+using namespace coda;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: codad [--trace FILE | --days D --seed S] [--policy "
+      "fifo|drf|coda]\n"
+      "             [--nodes N] [--horizon SECONDS] [--speedup "
+      "SIM_S_PER_WALL_S]\n"
+      "             (--socket PATH | --port N) [--journal FILE] "
+      "[--report FILE]\n"
+      "  --speedup 3600 paces one sim-hour per wall-second; <= 0 runs "
+      "as fast as possible\n"
+      "  --port 0 binds an ephemeral port (printed on startup)\n");
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+sim::Policy parse_policy(const std::string& name) {
+  if (name == "fifo") {
+    return sim::Policy::kFifo;
+  }
+  if (name == "drf") {
+    return sim::Policy::kDrf;
+  }
+  if (name == "coda") {
+    return sim::Policy::kCoda;
+  }
+  std::fprintf(stderr, "unknown policy '%s' (fifo|drf|coda)\n", name.c_str());
+  std::exit(2);
+}
+
+// The journal stores trace *text*, so the base trace must exist as text
+// before the engine ever parses it: a file is read verbatim, a synthetic
+// trace is canonicalized through trace_to_csv first.
+std::string make_base_trace_csv(
+    const std::map<std::string, std::string>& flags) {
+  if (flags.count("trace") > 0) {
+    std::FILE* f = std::fopen(flags.at("trace").c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open trace %s\n",
+                   flags.at("trace").c_str());
+      std::exit(1);
+    }
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    return text;
+  }
+  const double days = std::atof(flag_or(flags, "days", "0.1").c_str());
+  auto cfg = sim::standard_week_trace(
+      std::strtoull(flag_or(flags, "seed", "42").c_str(), nullptr, 10));
+  cfg.duration_s = days * 86400.0;
+  cfg.cpu_jobs = static_cast<int>(2500 * days);
+  cfg.gpu_jobs = static_cast<int>(1250 * days);
+  const auto trace = workload::TraceGenerator(cfg).generate();
+  return workload::trace_to_csv(trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  if (flags.count("socket") == 0 && flags.count("port") == 0) {
+    std::fprintf(stderr, "need --socket PATH or --port N\n");
+    usage();
+    return 2;
+  }
+
+  service::ServerConfig config;
+  config.session.policy = parse_policy(flag_or(flags, "policy", "coda"));
+  config.session.config.engine.cluster.node_count =
+      std::atoi(flag_or(flags, "nodes", "80").c_str());
+  config.session.speedup = std::atof(flag_or(flags, "speedup", "3600").c_str());
+  config.session.base_trace_csv = make_base_trace_csv(flags);
+  config.journal_path = flag_or(flags, "journal", "");
+  config.report_path = flag_or(flags, "report", "");
+  config.unix_socket_path = flag_or(flags, "socket", "");
+  if (flags.count("port") > 0) {
+    config.tcp_port = std::atoi(flags.at("port").c_str());
+  }
+  config.limits = service::ServiceLimits::from_env();
+
+  // Resolve the horizon the same way run_experiment does (max submit time)
+  // so live and replay agree on the exact stopping point; a daemon cannot
+  // defer this because SUBMITs arrive after start.
+  double horizon = std::atof(flag_or(flags, "horizon", "0").c_str());
+  if (horizon <= 0.0) {
+    auto parsed = workload::trace_from_csv(config.session.base_trace_csv);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "invalid base trace: %s\n",
+                   parsed.error().message.c_str());
+      return 1;
+    }
+    for (const auto& spec : *parsed) {
+      horizon = std::max(horizon, spec.submit_time);
+    }
+  }
+  if (horizon <= 0.0) {
+    std::fprintf(stderr,
+                 "cannot resolve a horizon: empty trace and no --horizon\n");
+    return 2;
+  }
+  config.session.config.horizon_s = horizon;
+
+  service::Server server(std::move(config));
+  if (auto status = server.start(); !status.ok()) {
+    std::fprintf(stderr, "codad: %s\n", status.error().message.c_str());
+    return 1;
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("codad listening on 127.0.0.1:%d\n", server.tcp_port());
+  } else {
+    std::printf("codad listening on %s\n", flag_or(flags, "socket", "").c_str());
+  }
+  std::printf("codad horizon %.0f sim-seconds, speedup %.0fx\n", horizon,
+              std::atof(flag_or(flags, "speedup", "3600").c_str()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Signal handlers can only set a flag; a watcher thread translates it
+  // into a graceful drain + shutdown.
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (g_signal != 0) {
+        CODA_LOG_INFO("signal %d: draining and shutting down",
+                      static_cast<int>(g_signal));
+        server.request_shutdown();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  server.wait();
+  done.store(true, std::memory_order_relaxed);
+  watcher.join();
+  std::printf("codad: session %s\n",
+              server.drained() ? "drained cleanly" : "stopped before drain");
+  return 0;
+}

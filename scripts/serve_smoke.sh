@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the service layer: boots codad, drives one
+# session through coda_ctl (ping, submits, status, cluster, metrics,
+# drain, shutdown), then replays the journal offline with coda_cli and
+# requires the report to match the daemon's byte-for-byte.
+#
+# Usage: scripts/serve_smoke.sh CODAD CODA_CTL CODA_CLI
+#   The three arguments are the binary paths; ctest passes them via
+#   $<TARGET_FILE:...> so the test follows the build directory around.
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 CODAD CODA_CTL CODA_CLI" >&2
+  exit 2
+fi
+CODAD=$1
+CTL=$2
+CLI=$3
+
+workdir=$(mktemp -d /tmp/coda_serve_smoke.XXXXXX)
+sock="$workdir/codad.sock"
+journal="$workdir/session.journal"
+daemon_pid=""
+
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> starting codad (socket $sock)"
+"$CODAD" --days 0.02 --policy coda --nodes 12 --socket "$sock" \
+         --journal "$journal" --speedup 20000 >"$workdir/codad.log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the listener (codad unlinks and rebinds the socket on start).
+for _ in $(seq 1 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "codad never bound $sock" >&2; cat "$workdir/codad.log" >&2; exit 1; }
+
+echo "==> driving the session"
+"$CTL" ping --socket "$sock"
+"$CTL" submit --socket "$sock" --kind cpu --cores 4 --work 900
+"$CTL" submit --socket "$sock" --kind gpu --model resnet50 --iters 1500
+"$CTL" submit --socket "$sock" --kind cpu --cores 2 --work 120 --user-facing 1
+"$CTL" cluster --socket "$sock"
+"$CTL" metrics --socket "$sock" >/dev/null
+"$CTL" drain --socket "$sock"
+"$CTL" shutdown --socket "$sock"
+wait "$daemon_pid"
+daemon_pid=""
+
+[ -s "$journal" ] || { echo "journal missing or empty" >&2; exit 1; }
+[ -s "$journal.report" ] || { echo "report missing or empty" >&2; exit 1; }
+
+echo "==> replaying the journal offline"
+"$CLI" replay --journal "$journal" --expect-report "$journal.report"
+
+echo "==> serve smoke clean"

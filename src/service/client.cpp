@@ -1,0 +1,254 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace coda::service {
+
+namespace {
+
+bool write_all(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+util::Error sys_error(const char* what) {
+  return util::Error{util::ErrorCode::kIoError,
+                     util::strfmt("%s: %s", what, std::strerror(errno))};
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      pending_lines_(std::move(other.pending_lines_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    pending_lines_ = std::move(other.pending_lines_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Client> Client::connect(const Endpoint& endpoint) {
+  Client client;
+  if (!endpoint.unix_socket_path.empty()) {
+    client.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (client.fd_ < 0) {
+      return sys_error("socket");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return util::Error{util::ErrorCode::kInvalidArgument,
+                         "unix socket path too long"};
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return sys_error(endpoint.unix_socket_path.c_str());
+    }
+    return client;
+  }
+  if (endpoint.tcp_port >= 0) {
+    client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (client.fd_ < 0) {
+      return sys_error("socket");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint.tcp_port));
+    if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return sys_error("connect");
+    }
+    // Command lines are tiny; Nagle would serialize the benchmark on RTT.
+    const int one = 1;
+    ::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return client;
+  }
+  return util::Error{util::ErrorCode::kInvalidArgument,
+                     "endpoint has neither a unix path nor a tcp port"};
+}
+
+util::Result<Response> Client::call(const std::string& request_line) {
+  if (fd_ < 0) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "client is not connected"};
+  }
+  const std::string framed = request_line + "\n";
+  if (!write_all(fd_, framed.data(), framed.size())) {
+    return sys_error("send");
+  }
+  // Responses arrive strictly in request order; pending_lines_ holds any
+  // lines a previous oversized read already framed.
+  while (pending_lines_.empty()) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return util::Error{util::ErrorCode::kIoError,
+                         "server closed the connection"};
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return sys_error("recv");
+    }
+    if (!reader_.feed(buf, static_cast<size_t>(n), &pending_lines_)) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "response line too long"};
+    }
+  }
+  std::string line = std::move(pending_lines_.front());
+  pending_lines_.erase(pending_lines_.begin());
+  return parse_response(line);
+}
+
+util::Result<Response> Client::status(uint64_t job_id) {
+  return call(util::strfmt("STATUS %llu",
+                           static_cast<unsigned long long>(job_id)));
+}
+
+// ------------------------------------------------------------- bench mode
+
+util::Result<BenchReport> run_bench(const Endpoint& endpoint,
+                                    const BenchOptions& options) {
+  if (options.connections < 1 || options.duration_s <= 0.0) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "bench needs >= 1 connection and a positive duration"};
+  }
+  struct WorkerStats {
+    size_t sent = 0;
+    size_t ok = 0;
+    size_t busy = 0;
+    size_t errors = 0;
+    std::vector<double> latencies_ms;
+  };
+  const int n_workers = options.connections;
+  std::vector<WorkerStats> stats(static_cast<size_t>(n_workers));
+  std::vector<Client> clients;
+  clients.reserve(static_cast<size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    auto client = Client::connect(endpoint);
+    if (!client.ok()) {
+      return client.error();
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto stop_at =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+  const double per_conn_rate =
+      options.rate > 0.0 ? options.rate / n_workers : 0.0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n_workers));
+  for (int w = 0; w < n_workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerStats& s = stats[static_cast<size_t>(w)];
+      Client& client = clients[static_cast<size_t>(w)];
+      s.latencies_ms.reserve(1 << 16);
+      auto next_send = Clock::now();
+      while (Clock::now() < stop_at) {
+        if (per_conn_rate > 0.0) {
+          std::this_thread::sleep_until(next_send);
+          next_send += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(1.0 / per_conn_rate));
+        }
+        const auto t0 = Clock::now();
+        auto resp = client.call(options.request_line);
+        const auto t1 = Clock::now();
+        ++s.sent;
+        if (!resp.ok()) {
+          ++s.errors;
+          break;  // dead socket; stop this worker
+        }
+        s.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        switch (resp->kind) {
+          case Response::Kind::kOk:
+            ++s.ok;
+            break;
+          case Response::Kind::kBusy:
+            ++s.busy;
+            break;
+          case Response::Kind::kErr:
+            ++s.errors;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  BenchReport report;
+  std::vector<double> all_latencies;
+  for (const auto& s : stats) {
+    report.sent += s.sent;
+    report.ok += s.ok;
+    report.busy += s.busy;
+    report.errors += s.errors;
+    all_latencies.insert(all_latencies.end(), s.latencies_ms.begin(),
+                         s.latencies_ms.end());
+  }
+  report.wall_s = wall;
+  report.throughput = wall > 0.0 ? static_cast<double>(report.ok) / wall : 0.0;
+  if (!all_latencies.empty()) {
+    auto ps = util::percentiles(all_latencies, {0.5, 0.99, 1.0});
+    report.p50_ms = ps[0];
+    report.p99_ms = ps[1];
+    report.max_ms = ps[2];
+  }
+  return report;
+}
+
+}  // namespace coda::service

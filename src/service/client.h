@@ -1,0 +1,87 @@
+// Client side of the codad wire protocol: blocking request/response over a
+// Unix-domain or localhost TCP socket, plus the load-generator used by
+// `coda_ctl bench`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/result.h"
+
+namespace coda::service {
+
+// Listener address: exactly one of the two forms.
+struct Endpoint {
+  std::string unix_socket_path;  // non-empty selects AF_UNIX
+  int tcp_port = -1;             // >= 0 selects 127.0.0.1:<port>
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static util::Result<Client> connect(const Endpoint& endpoint);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends one request line and blocks for the matching response line.
+  util::Result<Response> call(const std::string& request_line);
+
+  // Convenience verbs.
+  util::Result<Response> ping() { return call("PING"); }
+  util::Result<Response> submit_row(const std::string& csv_row) {
+    return call("SUBMIT " + csv_row);
+  }
+  util::Result<Response> status(uint64_t job_id);
+  util::Result<Response> cluster() { return call("CLUSTER"); }
+  util::Result<Response> metrics() { return call("METRICS"); }
+  util::Result<Response> drain() { return call("DRAIN"); }
+  util::Result<Response> shutdown() { return call("SHUTDOWN"); }
+
+ private:
+  int fd_ = -1;
+  LineReader reader_{1 << 20};
+  std::vector<std::string> pending_lines_;
+};
+
+// ---- load generator (`coda_ctl bench`) ----
+
+struct BenchOptions {
+  int connections = 4;
+  double duration_s = 5.0;
+  // Target aggregate command rate (commands/sec) across all connections;
+  // <= 0 runs closed-loop (each connection fires as fast as replies come
+  // back).
+  double rate = 0.0;
+  // Request line every worker repeats; PING measures the pure
+  // mailbox/engine round trip.
+  std::string request_line = "PING";
+};
+
+struct BenchReport {
+  size_t sent = 0;
+  size_t ok = 0;
+  size_t busy = 0;
+  size_t errors = 0;
+  double wall_s = 0.0;
+  double throughput = 0.0;  // ok responses per second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// Opens `connections` sockets and hammers the daemon for `duration_s`,
+// measuring per-command round-trip latency. BUSY responses count separately
+// (they are the backpressure path, not an error).
+util::Result<BenchReport> run_bench(const Endpoint& endpoint,
+                                    const BenchOptions& options);
+
+}  // namespace coda::service

@@ -1,0 +1,361 @@
+#include "service/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/strings.h"
+#include "workload/trace_io.h"
+
+namespace coda::service {
+
+namespace {
+
+constexpr const char* kMagic = "CODA_JOURNAL";
+constexpr const char* kVersion = "v1";
+
+util::Error io_error(const std::string& path, const char* what) {
+  return util::Error{util::ErrorCode::kIoError,
+                     util::strfmt("journal '%s': %s (%s)", path.c_str(), what,
+                                  std::strerror(errno))};
+}
+
+util::Error parse_error(const std::string& what) {
+  return util::Error{util::ErrorCode::kParseError, "journal: " + what};
+}
+
+// Splits one line into "key" and "rest" on the first space.
+void split_key(const std::string& line, std::string* key, std::string* rest) {
+  const size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    *key = line;
+    rest->clear();
+  } else {
+    *key = line.substr(0, sp);
+    *rest = line.substr(sp + 1);
+  }
+}
+
+util::Result<double> parse_hexfloat(const std::string& s) {
+  if (s.empty()) {
+    return parse_error("empty number");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return parse_error("'" + s + "' is not a number");
+  }
+  return v;
+}
+
+util::Result<long long> parse_ll(const std::string& s) {
+  if (s.empty()) {
+    return parse_error("empty integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    return parse_error("'" + s + "' is not an integer");
+  }
+  return v;
+}
+
+util::Result<sim::Policy> policy_from_string(const std::string& name) {
+  for (sim::Policy p :
+       {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda}) {
+    if (name == sim::to_string(p)) {
+      return p;
+    }
+  }
+  return parse_error("unknown policy '" + name + "'");
+}
+
+}  // namespace
+
+JournalWriter::~JournalWriter() { close(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void JournalWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+util::Result<JournalWriter> JournalWriter::open(const std::string& path,
+                                                const SessionSpec& session) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return io_error(path, "cannot open for write");
+  }
+  const auto& eng = session.config.engine;
+  std::string header;
+  header += util::strfmt("%s %s\n", kMagic, kVersion);
+  header += util::strfmt("policy %s\n", sim::to_string(session.policy));
+  header += util::strfmt("nodes %d\n", eng.cluster.node_count);
+  header += util::strfmt("metrics_period %a\n", eng.metrics_period_s);
+  header += util::strfmt("frag_min_cpus %d\n", eng.frag_min_cpus);
+  header += util::strfmt("noise_stddev %a\n", eng.util_noise_stddev);
+  header += util::strfmt("noise_seed %llu\n",
+                         static_cast<unsigned long long>(eng.noise_seed));
+  header += util::strfmt("horizon %a\n", session.config.horizon_s);
+  header += util::strfmt("drain_slack %a\n", session.config.drain_slack_s);
+  header += util::strfmt("speedup %a\n", session.speedup);
+  header += util::strfmt("base_trace_bytes %zu\n",
+                         session.base_trace_csv.size());
+  header += session.base_trace_csv;
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return io_error(path, "header write failed");
+  }
+  JournalWriter writer;
+  writer.file_ = f;
+  return writer;
+}
+
+util::Status JournalWriter::append_submit(double virtual_time,
+                                          uint64_t job_id,
+                                          const std::string& csv_row) {
+  if (file_ == nullptr) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "journal is closed"};
+  }
+  const std::string line = util::strfmt(
+      "S %a %llu ", virtual_time, static_cast<unsigned long long>(job_id)) +
+      csv_row + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return util::Error{util::ErrorCode::kIoError, "journal append failed"};
+  }
+  return util::Status::Ok();
+}
+
+void JournalWriter::note(const std::string& comment) {
+  if (file_ == nullptr) {
+    return;
+  }
+  std::string line = "# " + comment + "\n";
+  (void)std::fwrite(line.data(), 1, line.size(), file_);
+  (void)std::fflush(file_);
+}
+
+util::Result<JournalSession> parse_journal(const std::string& text) {
+  JournalSession out;
+  size_t pos = 0;
+  auto next_line = [&]() -> util::Result<std::string> {
+    if (pos >= text.size()) {
+      return parse_error("unexpected end of file");
+    }
+    const size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      return parse_error("unterminated line");
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  // ---- magic ----
+  auto magic = next_line();
+  if (!magic.ok()) {
+    return magic.error();
+  }
+  if (*magic != std::string(kMagic) + " " + kVersion) {
+    return parse_error("bad magic/version line '" + *magic + "'");
+  }
+
+  // ---- header key/value lines, terminated by base_trace_bytes ----
+  auto& cfg = out.session.config;
+  bool saw_horizon = false;
+  while (true) {
+    auto line = next_line();
+    if (!line.ok()) {
+      return line.error();
+    }
+    std::string key;
+    std::string rest;
+    split_key(*line, &key, &rest);
+    if (key == "policy") {
+      auto p = policy_from_string(rest);
+      if (!p.ok()) {
+        return p.error();
+      }
+      out.session.policy = *p;
+    } else if (key == "nodes") {
+      auto v = parse_ll(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.engine.cluster.node_count = static_cast<int>(*v);
+    } else if (key == "metrics_period") {
+      auto v = parse_hexfloat(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.engine.metrics_period_s = *v;
+    } else if (key == "frag_min_cpus") {
+      auto v = parse_ll(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.engine.frag_min_cpus = static_cast<int>(*v);
+    } else if (key == "noise_stddev") {
+      auto v = parse_hexfloat(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.engine.util_noise_stddev = *v;
+    } else if (key == "noise_seed") {
+      auto v = parse_ll(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.engine.noise_seed = static_cast<uint64_t>(*v);
+    } else if (key == "horizon") {
+      auto v = parse_hexfloat(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.horizon_s = *v;
+      saw_horizon = true;
+    } else if (key == "drain_slack") {
+      auto v = parse_hexfloat(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      cfg.drain_slack_s = *v;
+    } else if (key == "speedup") {
+      auto v = parse_hexfloat(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      out.session.speedup = *v;
+    } else if (key == "base_trace_bytes") {
+      auto v = parse_ll(rest);
+      if (!v.ok()) {
+        return v.error();
+      }
+      const size_t n = static_cast<size_t>(*v);
+      if (pos + n > text.size()) {
+        return parse_error("truncated base trace");
+      }
+      out.session.base_trace_csv = text.substr(pos, n);
+      pos += n;
+      break;  // entries follow
+    } else {
+      return parse_error("unknown header key '" + key + "'");
+    }
+  }
+  if (!saw_horizon || cfg.horizon_s <= 0.0) {
+    return parse_error("missing or non-positive horizon");
+  }
+
+  // ---- entries ----
+  while (pos < text.size()) {
+    auto line = next_line();
+    if (!line.ok()) {
+      return line.error();
+    }
+    if (line->empty() || (*line)[0] == '#') {
+      continue;
+    }
+    std::string tag;
+    std::string rest;
+    split_key(*line, &tag, &rest);
+    if (tag != "S") {
+      return parse_error("unknown entry tag '" + tag + "'");
+    }
+    std::string vt_str;
+    std::string after_vt;
+    split_key(rest, &vt_str, &after_vt);
+    std::string id_str;
+    std::string row;
+    split_key(after_vt, &id_str, &row);
+    auto vt = parse_hexfloat(vt_str);
+    if (!vt.ok()) {
+      return vt.error();
+    }
+    auto id = parse_ll(id_str);
+    if (!id.ok()) {
+      return id.error();
+    }
+    if (*id < 0 || row.empty()) {
+      return parse_error("malformed submission entry");
+    }
+    out.submissions.push_back(
+        {*vt, static_cast<uint64_t>(*id), std::move(row)});
+  }
+  return out;
+}
+
+util::Result<JournalSession> load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot open journal '" + path + "'"};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_journal(buf.str());
+}
+
+util::Result<std::vector<workload::JobSpec>> journal_trace(
+    const JournalSession& journal) {
+  std::vector<workload::JobSpec> trace;
+  if (!journal.session.base_trace_csv.empty()) {
+    auto base = workload::trace_from_csv(journal.session.base_trace_csv);
+    if (!base.ok()) {
+      return base.error();
+    }
+    trace = std::move(base).value();
+  }
+  trace.reserve(trace.size() + journal.submissions.size());
+  for (const auto& entry : journal.submissions) {
+    auto spec = workload::job_from_csv_row(entry.csv_row);
+    if (!spec.ok()) {
+      return spec.error();
+    }
+    spec->id = entry.job_id;
+    spec->submit_time = entry.virtual_time;
+    trace.push_back(std::move(*spec));
+  }
+  return trace;
+}
+
+util::Result<sim::ExperimentReport> replay_journal(
+    const JournalSession& journal) {
+  auto trace = journal_trace(journal);
+  if (!trace.ok()) {
+    return trace.error();
+  }
+  return sim::run_experiment(journal.session.policy, *trace,
+                             journal.session.config);
+}
+
+util::Result<sim::ExperimentReport> replay_journal_file(
+    const std::string& path) {
+  auto journal = load_journal(path);
+  if (!journal.ok()) {
+    return journal.error();
+  }
+  return replay_journal(*journal);
+}
+
+}  // namespace coda::service

@@ -1,0 +1,111 @@
+// Deterministic command journal: the daemon's write-ahead record of every
+// accepted state-changing command, sufficient to re-execute the whole live
+// session offline and reproduce its ExperimentReport byte-identically.
+//
+// Format (line-oriented text):
+//
+//   CODA_JOURNAL v1
+//   policy <FIFO|DRF|CODA>
+//   nodes <int>
+//   metrics_period <hexfloat>
+//   frag_min_cpus <int>
+//   noise_stddev <hexfloat>
+//   noise_seed <u64>
+//   horizon <hexfloat>
+//   drain_slack <hexfloat>
+//   speedup <hexfloat>
+//   base_trace_bytes <N>
+//   <N raw bytes: the base trace CSV exactly as the daemon parsed it>
+//   S <hexfloat virtual-time> <job-id> <raw SUBMIT csv row>
+//   ...
+//   # free-form comment lines are ignored
+//
+// Two invariants make replay exact:
+//  1. Text is the source of truth. The daemon parses the base trace and
+//     every SUBMIT row from text and journals that text verbatim; replay
+//     parses the same bytes through the same parser, so no double ever
+//     round-trips through a lossy re-serialization.
+//  2. Injection instants are exact. Virtual times are hexfloats, so the
+//     replay injects at bit-identical times, and the paced server only
+//     injects at fully-caught-up instants (see server.cpp), which makes
+//     pre-posted replay arrivals dispatch in the same order.
+//
+// v1 scope: scheduler/retry/failure knobs beyond the header fields are the
+// library defaults; the version gate recomputes nothing silently — a future
+// field change must bump v1.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/result.h"
+#include "workload/job.h"
+
+namespace coda::service {
+
+// Everything needed to re-run a session offline.
+struct SessionSpec {
+  sim::Policy policy = sim::Policy::kCoda;
+  sim::ExperimentConfig config;   // horizon_s must be resolved (> 0)
+  double speedup = 3600.0;        // sim-seconds per wall-second (pacing)
+  std::string base_trace_csv;     // verbatim CSV text (may be empty)
+};
+
+struct JournalEntry {
+  double virtual_time = 0.0;      // injection instant
+  uint64_t job_id = 0;            // id assigned by the daemon
+  std::string csv_row;            // the SUBMIT row, verbatim
+};
+
+struct JournalSession {
+  SessionSpec session;
+  std::vector<JournalEntry> submissions;
+};
+
+// Append-only journal writer. Every append is flushed so a crashed daemon
+// leaves a replayable prefix.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Creates/truncates `path` and writes the session header.
+  static util::Result<JournalWriter> open(const std::string& path,
+                                          const SessionSpec& session);
+
+  util::Status append_submit(double virtual_time, uint64_t job_id,
+                             const std::string& csv_row);
+  // Appends a '#' comment line (ignored by the parser).
+  void note(const std::string& comment);
+  void close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// Parses a journal file (header, base trace, submissions).
+util::Result<JournalSession> load_journal(const std::string& path);
+util::Result<JournalSession> parse_journal(const std::string& text);
+
+// Builds the combined trace a replay feeds the engine: base trace first
+// (submit order preserved), then each journaled submission with its id and
+// exact virtual-time submit instant.
+util::Result<std::vector<workload::JobSpec>> journal_trace(
+    const JournalSession& journal);
+
+// Re-executes the session offline through sim::run_experiment. For any
+// journal produced by a live codad session, the returned report serializes
+// byte-identically to the report the daemon wrote at drain.
+util::Result<sim::ExperimentReport> replay_journal(
+    const JournalSession& journal);
+util::Result<sim::ExperimentReport> replay_journal_file(
+    const std::string& path);
+
+}  // namespace coda::service

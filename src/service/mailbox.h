@@ -1,0 +1,102 @@
+// Bounded MPSC mailbox between the service I/O threads and the single
+// engine thread.
+//
+// Producers (connection threads) try_push accepted commands; the one
+// consumer (the engine thread) drains the whole queue between simulation
+// events. The bound is the admission queue: when it is full, try_push fails
+// and the connection answers `BUSY retry-after-ms=...` without ever touching
+// the simulator — explicit backpressure instead of unbounded buffering.
+//
+// Ordering guarantee: drain order is push order (single FIFO under one
+// mutex). Commands from one connection therefore execute in the order the
+// client sent them; commands from different connections interleave in
+// arrival order, which is also the order the journal records.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace coda::service {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity) : capacity_(capacity) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueues `item` unless the mailbox is full or closed. Returns whether
+  // the item was accepted; wakes the consumer on success.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Moves every queued item into `out` (appended). Non-blocking.
+  size_t drain(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drain_locked(out);
+  }
+
+  // Blocks until the mailbox is non-empty, closed, or `deadline` passes,
+  // then drains. Returns the number of items appended to `out`.
+  size_t drain_until(std::vector<T>* out,
+                     std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [this] { return closed_ || !items_.empty(); });
+    return drain_locked(out);
+  }
+
+  // Closes the mailbox: subsequent try_push fails and blocked consumers
+  // wake. Already-queued items stay drainable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t drain_locked(std::vector<T>* out) {
+    const size_t n = items_.size();
+    for (auto& item : items_) {
+      out->push_back(std::move(item));
+    }
+    items_.clear();
+    return n;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace coda::service

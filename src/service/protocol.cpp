@@ -1,0 +1,195 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+#include "util/strings.h"
+
+namespace coda::service {
+
+namespace {
+
+// Splits "VERB rest-of-line" (rest may itself contain spaces: CSV rows).
+void split_verb(const std::string& line, std::string* verb,
+                std::string* rest) {
+  const size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    *verb = line;
+    rest->clear();
+  } else {
+    *verb = line.substr(0, sp);
+    *rest = line.substr(sp + 1);
+  }
+}
+
+std::string sanitize(std::string s) {
+  std::replace(s.begin(), s.end(), '\n', ' ');
+  std::replace(s.begin(), s.end(), '\r', ' ');
+  return s;
+}
+
+util::Result<util::ErrorCode> code_from_string(const std::string& name) {
+  using util::ErrorCode;
+  for (ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kResourceExhausted, ErrorCode::kFailedPrecondition,
+        ErrorCode::kParseError, ErrorCode::kIoError}) {
+    if (name == util::to_string(code)) {
+      return code;
+    }
+  }
+  return util::Error{ErrorCode::kParseError,
+                     "unknown error code '" + name + "'"};
+}
+
+}  // namespace
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+      return "PING";
+    case Verb::kSubmit:
+      return "SUBMIT";
+    case Verb::kStatus:
+      return "STATUS";
+    case Verb::kCluster:
+      return "CLUSTER";
+    case Verb::kMetrics:
+      return "METRICS";
+    case Verb::kDrain:
+      return "DRAIN";
+    case Verb::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "?";
+}
+
+util::Result<Request> parse_request(const std::string& line) {
+  std::string verb;
+  std::string rest;
+  split_verb(util::trim(line), &verb, &rest);
+  Request req;
+  if (verb == "PING" || verb == "CLUSTER" || verb == "METRICS" ||
+      verb == "DRAIN" || verb == "SHUTDOWN") {
+    if (!rest.empty()) {
+      return util::Error{util::ErrorCode::kParseError,
+                         verb + " takes no argument"};
+    }
+    req.verb = verb == "PING"      ? Verb::kPing
+               : verb == "CLUSTER" ? Verb::kCluster
+               : verb == "METRICS" ? Verb::kMetrics
+               : verb == "DRAIN"   ? Verb::kDrain
+                                   : Verb::kShutdown;
+    return req;
+  }
+  if (verb == "SUBMIT") {
+    if (rest.empty()) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "SUBMIT needs a CSV job row"};
+    }
+    req.verb = Verb::kSubmit;
+    req.arg = rest;
+    return req;
+  }
+  if (verb == "STATUS") {
+    auto id = util::parse_strict_int(util::trim(rest), 0);
+    if (!id.ok()) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "STATUS needs a job id: " + id.error().message};
+    }
+    req.verb = Verb::kStatus;
+    req.arg = util::trim(rest);
+    req.job_id = static_cast<uint64_t>(*id);
+    return req;
+  }
+  return util::Error{util::ErrorCode::kParseError,
+                     "unknown verb '" + verb + "'"};
+}
+
+std::string format_ok(const std::string& payload) {
+  return payload.empty() ? "OK" : "OK " + sanitize(payload);
+}
+
+std::string format_err(util::ErrorCode code, const std::string& message) {
+  return std::string("ERR ") + util::to_string(code) + " " +
+         sanitize(message);
+}
+
+std::string format_busy(int retry_after_ms) {
+  return util::strfmt("BUSY retry-after-ms=%d", retry_after_ms);
+}
+
+util::Result<Response> parse_response(const std::string& line) {
+  std::string head;
+  std::string rest;
+  split_verb(line, &head, &rest);
+  Response resp;
+  if (head == "OK") {
+    resp.kind = Response::Kind::kOk;
+    resp.payload = rest;
+    return resp;
+  }
+  if (head == "ERR") {
+    std::string code_name;
+    std::string message;
+    split_verb(rest, &code_name, &message);
+    auto code = code_from_string(code_name);
+    if (!code.ok()) {
+      return code.error();
+    }
+    resp.kind = Response::Kind::kErr;
+    resp.code = *code;
+    resp.payload = message;
+    return resp;
+  }
+  if (head == "BUSY") {
+    constexpr const char* kKey = "retry-after-ms=";
+    if (rest.rfind(kKey, 0) != 0) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "BUSY without retry-after-ms"};
+    }
+    auto ms = util::parse_strict_int(rest.substr(std::string(kKey).size()), 0);
+    if (!ms.ok()) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "bad retry-after-ms: " + ms.error().message};
+    }
+    resp.kind = Response::Kind::kBusy;
+    resp.retry_after_ms = static_cast<int>(*ms);
+    return resp;
+  }
+  return util::Error{util::ErrorCode::kParseError,
+                     "unrecognized response '" + head + "'"};
+}
+
+bool LineReader::feed(const char* data, size_t n,
+                      std::vector<std::string>* lines) {
+  if (poisoned_) {
+    return false;
+  }
+  size_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != '\n') {
+      continue;
+    }
+    buffer_.append(data + start, i - start);
+    start = i + 1;
+    if (buffer_.size() > max_line_bytes_) {
+      poisoned_ = true;
+      return false;
+    }
+    // Tolerate CRLF clients.
+    if (!buffer_.empty() && buffer_.back() == '\r') {
+      buffer_.pop_back();
+    }
+    lines->push_back(std::move(buffer_));
+    buffer_.clear();
+  }
+  buffer_.append(data + start, n - start);
+  if (buffer_.size() > max_line_bytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace coda::service

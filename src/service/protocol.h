@@ -1,0 +1,100 @@
+// Wire protocol between codad and its clients: a line-delimited text
+// protocol over a Unix-domain or localhost TCP socket.
+//
+// Grammar (one request line -> one response line, '\n'-terminated):
+//
+//   request  := "PING"
+//             | "SUBMIT" SP csv-row          ; trace_io column order
+//             | "STATUS" SP job-id
+//             | "CLUSTER"
+//             | "METRICS"
+//             | "DRAIN"
+//             | "SHUTDOWN"
+//   response := "OK" [SP payload]
+//             | "ERR" SP code SP message     ; code = util::ErrorCode name
+//             | "BUSY" SP "retry-after-ms=" int
+//
+// Payloads are space-separated `key=value` pairs. Messages never contain
+// newlines (sanitized on format). Framing is byte-stream tolerant: the
+// LineReader accumulates partial reads, yields complete lines, and rejects
+// lines longer than the per-connection limit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace coda::service {
+
+enum class Verb {
+  kPing = 0,
+  kSubmit,
+  kStatus,
+  kCluster,
+  kMetrics,
+  kDrain,
+  kShutdown,
+};
+
+const char* to_string(Verb verb);
+
+struct Request {
+  Verb verb = Verb::kPing;
+  // SUBMIT: the raw CSV job row (kept verbatim — it is what the journal
+  // records and what the offline replay re-parses, so the daemon never
+  // re-serializes it). STATUS: the decimal job id.
+  std::string arg;
+  uint64_t job_id = 0;  // parsed STATUS argument
+};
+
+// Parses one request line (no trailing newline). Fails with kParseError on
+// unknown verbs, missing or malformed arguments.
+util::Result<Request> parse_request(const std::string& line);
+
+// ---- responses ----
+
+struct Response {
+  enum class Kind { kOk = 0, kErr, kBusy };
+  Kind kind = Kind::kOk;
+  std::string payload;             // OK payload or ERR message
+  util::ErrorCode code = util::ErrorCode::kInvalidArgument;  // ERR only
+  int retry_after_ms = 0;          // BUSY only
+
+  bool ok() const { return kind == Kind::kOk; }
+};
+
+// Formatting: one line, no trailing newline, embedded newlines replaced by
+// spaces so a malicious message cannot forge extra protocol lines.
+std::string format_ok(const std::string& payload);
+std::string format_err(util::ErrorCode code, const std::string& message);
+std::string format_busy(int retry_after_ms);
+
+// Parses a response line (client side).
+util::Result<Response> parse_response(const std::string& line);
+
+// ---- framing ----
+
+// Incremental line framer. feed() accepts arbitrary byte chunks (partial
+// lines, many lines at once — whatever the socket read returned) and
+// appends every completed line (without its '\n') to `lines`. A line longer
+// than `max_line_bytes` poisons the reader: feed() returns false from then
+// on and the connection should be dropped.
+class LineReader {
+ public:
+  explicit LineReader(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  bool feed(const char* data, size_t n, std::vector<std::string>* lines);
+  bool poisoned() const { return poisoned_; }
+  // Bytes buffered waiting for their terminating newline.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_line_bytes_;  // non-const so LineReader stays movable
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace coda::service

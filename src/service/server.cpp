@@ -1,0 +1,580 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "sim/report_io.h"
+#include "telemetry/metrics.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "workload/trace_io.h"
+
+namespace coda::service {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Short-write tolerant send loop; MSG_NOSIGNAL keeps a dead peer from
+// killing the process with SIGPIPE.
+bool write_all(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  return write_all(fd, framed.data(), framed.size());
+}
+
+}  // namespace
+
+ServiceLimits ServiceLimits::from_env() {
+  ServiceLimits limits;
+  limits.admission_capacity =
+      util::env_int("CODA_SERVE_QUEUE", limits.admission_capacity, 1);
+  limits.max_connections =
+      util::env_int("CODA_SERVE_MAX_CONNS", limits.max_connections, 1);
+  limits.max_line_bytes =
+      util::env_int("CODA_SERVE_MAX_LINE", limits.max_line_bytes, 256);
+  limits.retry_after_ms =
+      util::env_int("CODA_SERVE_RETRY_MS", limits.retry_after_ms, 1);
+  return limits;
+}
+
+// One-shot rendezvous between a connection thread and the engine thread.
+struct Server::ReplySlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string line;
+  bool ready = false;
+
+  void set(std::string response) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      line = std::move(response);
+      ready = true;
+    }
+    cv.notify_one();
+  }
+
+  std::string take() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return ready; });
+    return std::move(line);
+  }
+};
+
+struct Server::Command {
+  Request request;
+  std::shared_ptr<ReplySlot> reply;
+};
+
+// Engine-thread-local state; exists only for the engine thread's lifetime.
+struct Server::EngineState {
+  sim::PolicyScheduler scheduler;
+  std::unique_ptr<sim::ClusterEngine> engine;
+  JournalWriter journal;
+  size_t base_jobs = 0;
+  size_t accepted_submits = 0;
+  uint64_t next_auto_id = 1;
+  double horizon = 0.0;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() {
+  request_shutdown();
+  wait();
+}
+
+util::Status Server::start() {
+  if (started_) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "server already started"};
+  }
+  if (config_.session.config.horizon_s <= 0.0) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "session horizon must be resolved (> 0)"};
+  }
+  const bool unix_listener = !config_.unix_socket_path.empty();
+  if (unix_listener == (config_.tcp_port >= 0)) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "set exactly one of unix_socket_path / tcp_port"};
+  }
+
+  // Validate the base trace before anything goes live: the engine thread
+  // has no way to report a parse error back to the caller.
+  if (!config_.session.base_trace_csv.empty()) {
+    auto parsed = workload::trace_from_csv(config_.session.base_trace_csv);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+  }
+
+  if (unix_listener) {
+    sockaddr_un addr{};
+    if (config_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return util::Error{util::ErrorCode::kInvalidArgument,
+                         "unix socket path too long"};
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return util::Error{util::ErrorCode::kIoError,
+                         util::strfmt("socket: %s", std::strerror(errno))};
+    }
+    ::unlink(config_.unix_socket_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Error{
+          util::ErrorCode::kIoError,
+          util::strfmt("bind %s: %s", config_.unix_socket_path.c_str(),
+                       std::strerror(errno))};
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return util::Error{util::ErrorCode::kIoError,
+                         util::strfmt("socket: %s", std::strerror(errno))};
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Error{
+          util::ErrorCode::kIoError,
+          util::strfmt("bind 127.0.0.1:%d: %s", config_.tcp_port,
+                       std::strerror(errno))};
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    resolved_port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Error{util::ErrorCode::kIoError,
+                       util::strfmt("listen: %s", std::strerror(errno))};
+  }
+
+  mailbox_ = std::make_unique<Mailbox<Command>>(
+      static_cast<size_t>(config_.limits.admission_capacity));
+  started_ = true;
+  engine_thread_ = std::thread([this] { engine_main(); });
+  acceptor_thread_ = std::thread([this] { acceptor_main(); });
+  return util::Status::Ok();
+}
+
+void Server::request_shutdown() { stop_.store(true); }
+
+bool Server::drained() const { return drained_.load(); }
+
+std::string Server::report_text() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return report_text_;
+}
+
+void Server::wait() {
+  if (!started_) {
+    return;
+  }
+  if (engine_thread_.joinable()) {
+    engine_thread_.join();
+  }
+  if (acceptor_thread_.joinable()) {
+    acceptor_thread_.join();
+  }
+  close_all_connections();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!config_.unix_socket_path.empty()) {
+    ::unlink(config_.unix_socket_path.c_str());
+  }
+  started_ = false;
+}
+
+void Server::close_all_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) {
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+}
+
+// --------------------------------------------------------- engine thread
+
+void Server::engine_main() {
+  EngineState es;
+  es.scheduler =
+      sim::make_policy_scheduler(config_.session.policy, config_.session.config);
+  es.engine = std::make_unique<sim::ClusterEngine>(
+      config_.session.config.engine, es.scheduler.scheduler.get());
+  es.horizon = config_.session.config.horizon_s;
+
+  if (!config_.session.base_trace_csv.empty()) {
+    auto trace = workload::trace_from_csv(config_.session.base_trace_csv);
+    // start() pre-validated the text; a failure here is a programming error.
+    es.engine->load_trace(*trace);
+    es.base_jobs = trace->size();
+    for (const auto& spec : *trace) {
+      es.next_auto_id = std::max(es.next_auto_id, spec.id + 1);
+    }
+  }
+
+  if (!config_.journal_path.empty()) {
+    auto journal = JournalWriter::open(config_.journal_path, config_.session);
+    if (journal.ok()) {
+      es.journal = std::move(*journal);
+    } else {
+      CODA_LOG_ERROR("journal disabled: %s",
+                     journal.error().message.c_str());
+    }
+  }
+
+  const double speedup = config_.session.speedup;
+  const bool paced = speedup > 0.0;
+  const auto wall_start = SteadyClock::now();
+  std::vector<Command> batch;
+
+  while (!stop_.load()) {
+    if (!drained_.load()) {
+      double target = es.horizon;
+      if (paced) {
+        const double elapsed =
+            std::chrono::duration<double>(SteadyClock::now() - wall_start)
+                .count();
+        target = std::min(es.horizon, elapsed * speedup);
+      }
+      if (target > es.engine->sim().now()) {
+        es.engine->run_until(target);
+      }
+    }
+
+    // Wake on the next command, the next due simulation event, or a 200 ms
+    // heartbeat (which also bounds shutdown latency).
+    auto deadline = SteadyClock::now() + std::chrono::milliseconds(200);
+    if (paced && !drained_.load()) {
+      const double next_t = es.engine->sim().next_event_time();
+      if (next_t <= es.horizon) {
+        const auto due =
+            wall_start + std::chrono::duration_cast<SteadyClock::duration>(
+                             std::chrono::duration<double>(next_t / speedup));
+        deadline = std::min(deadline, std::max(due, SteadyClock::now()));
+      }
+    }
+
+    batch.clear();
+    mailbox_->drain_until(&batch, deadline);
+    for (auto& cmd : batch) {
+      handle_command(es, cmd);
+      if (stop_.load()) {
+        break;
+      }
+    }
+  }
+
+  // Graceful exit: finish the session even on SIGTERM so the journal's
+  // report exists, then answer everything still queued. Closing the
+  // mailbox first makes late try_push fail (-> BUSY at the connection),
+  // so no command can slip in after the final sweep and hang its client.
+  if (!drained_.load()) {
+    do_drain(es);
+  }
+  mailbox_->close();
+  batch.clear();
+  mailbox_->drain(&batch);
+  for (auto& cmd : batch) {
+    handle_command(es, cmd);
+  }
+}
+
+void Server::do_drain(EngineState& es) {
+  draining_.store(true);
+  // Mirror sim::run_experiment's finish exactly: any divergence here would
+  // break the journal replay's byte-identity guarantee.
+  es.engine->run_until(es.horizon);
+  es.engine->drain(es.horizon + config_.session.config.drain_slack_s);
+  const sim::ExperimentReport report = sim::build_report(
+      config_.session.policy, *es.engine, es.base_jobs + es.accepted_submits,
+      es.horizon, es.scheduler.coda);
+  std::string text = sim::serialize_report(report);
+
+  std::string report_path = config_.report_path;
+  if (report_path.empty() && !config_.journal_path.empty()) {
+    report_path = config_.journal_path + ".report";
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    out << text;
+    if (!out) {
+      CODA_LOG_ERROR("failed to write report to %s", report_path.c_str());
+    }
+  }
+  if (es.journal.is_open()) {
+    es.journal.note(util::strfmt(
+        "drained: completed %zu/%zu, %zu live submissions",
+        report.completed, report.submitted, es.accepted_submits));
+    es.journal.close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    report_text_ = std::move(text);
+    drain_summary_ = util::strfmt(
+        "drained completed=%zu submitted=%zu abandoned=%zu vt=%.1f%s%s",
+        report.completed, report.submitted, report.abandoned,
+        es.engine->sim().now(),
+        report_path.empty() ? "" : " report=", report_path.c_str());
+  }
+  drained_.store(true);
+}
+
+void Server::handle_command(EngineState& es, Command& cmd) {
+  const Request& req = cmd.request;
+  const sim::ClusterEngine& engine = *es.engine;
+  std::string resp;
+  switch (req.verb) {
+    case Verb::kPing:
+      resp = format_ok(util::strfmt("pong vt=%.3f", engine.sim().now()));
+      break;
+
+    case Verb::kSubmit: {
+      if (draining_.load() || drained_.load()) {
+        resp = format_err(util::ErrorCode::kFailedPrecondition,
+                          "session drained; submissions closed");
+        break;
+      }
+      auto spec = workload::job_from_csv_row(req.arg);
+      if (!spec.ok()) {
+        resp = format_err(spec.error().code, spec.error().message);
+        break;
+      }
+      uint64_t id = spec->id;
+      if (id == 0) {
+        id = es.next_auto_id;
+      }
+      if (engine.records().count(id) > 0) {
+        resp = format_err(
+            util::ErrorCode::kFailedPrecondition,
+            util::strfmt("job id %llu already exists",
+                         static_cast<unsigned long long>(id)));
+        break;
+      }
+      // Inject strictly after everything already dispatched and strictly
+      // before everything still queued: the replay's pre-posted arrival
+      // lands at the same point of the event sequence.
+      const double vt = std::nextafter(
+          engine.sim().now(), std::numeric_limits<double>::infinity());
+      if (es.journal.is_open()) {
+        // Journal first (write-ahead): an unjournaled accepted job would
+        // silently break replay equivalence.
+        if (auto status = es.journal.append_submit(vt, id, req.arg);
+            !status.ok()) {
+          resp = format_err(status.error().code, status.error().message);
+          break;
+        }
+      }
+      spec->id = id;
+      spec->submit_time = vt;
+      es.engine->inject(*spec, vt);
+      es.accepted_submits += 1;
+      es.next_auto_id = std::max(es.next_auto_id, id + 1);
+      resp = format_ok(util::strfmt(
+          "id=%llu vt=%.3f", static_cast<unsigned long long>(id), vt));
+      break;
+    }
+
+    case Verb::kStatus: {
+      const auto& records = engine.records();
+      auto it = records.find(req.job_id);
+      if (it == records.end()) {
+        resp = format_err(util::ErrorCode::kNotFound,
+                          "unknown job " + req.arg);
+        break;
+      }
+      const sim::JobRecord& r = it->second;
+      const char* state = r.completed          ? "completed"
+                          : r.abandoned        ? "abandoned"
+                          : r.first_start_time < 0.0 ? "pending"
+                                                     : "active";
+      resp = format_ok(util::strfmt(
+          "id=%llu state=%s kind=%s submitted=%.3f started=%.3f "
+          "finished=%.3f queue_s=%.3f preempts=%d restarts=%d",
+          static_cast<unsigned long long>(req.job_id), state,
+          workload::to_string(r.spec.kind), r.submit_time,
+          r.first_start_time, r.finish_time, r.queue_time_total,
+          r.preempt_count, r.restart_count));
+      break;
+    }
+
+    case Verb::kCluster: {
+      const auto& cluster = engine.cluster();
+      resp = format_ok(util::strfmt(
+          "vt=%.3f nodes=%zu cpus=%d/%d gpus=%d/%d running=%zu "
+          "finished=%zu abandoned=%zu",
+          engine.sim().now(), cluster.node_count(), cluster.used_cpus(),
+          cluster.total_cpus(), cluster.used_gpus(), cluster.total_gpus(),
+          engine.running_jobs(), engine.finished_jobs(),
+          engine.abandoned_jobs()));
+      break;
+    }
+
+    case Verb::kMetrics: {
+      const std::string snap =
+          telemetry::format_snapshot(telemetry::snapshot(engine.metrics()));
+      resp = format_ok(util::strfmt("vt=%.3f drained=%d ",
+                                    engine.sim().now(),
+                                    drained_.load() ? 1 : 0) +
+                       snap);
+      break;
+    }
+
+    case Verb::kDrain: {
+      if (!drained_.load()) {
+        do_drain(es);
+      }
+      std::lock_guard<std::mutex> lock(report_mu_);
+      resp = format_ok(drain_summary_);
+      break;
+    }
+
+    case Verb::kShutdown:
+      stop_.store(true);
+      resp = format_ok("bye");
+      break;
+  }
+  cmd.reply->set(std::move(resp));
+}
+
+// ----------------------------------------------------------- I/O threads
+
+void Server::acceptor_main() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    if (active_connections_.load() >= config_.limits.max_connections) {
+      (void)write_line(fd, format_busy(config_.limits.retry_after_ms));
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_main(fd); });
+  }
+}
+
+void Server::connection_main(int fd) {
+  LineReader reader(static_cast<size_t>(config_.limits.max_line_bytes));
+  std::vector<std::string> lines;
+  char buf[4096];
+  bool open = true;
+  while (open && !stop_.load()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    lines.clear();
+    if (!reader.feed(buf, static_cast<size_t>(n), &lines)) {
+      (void)write_line(fd, format_err(util::ErrorCode::kInvalidArgument,
+                                      "line exceeds per-connection limit"));
+      break;
+    }
+    for (const auto& line : lines) {
+      if (line.empty()) {
+        continue;
+      }
+      auto req = parse_request(line);
+      std::string resp;
+      if (!req.ok()) {
+        resp = format_err(req.error().code, req.error().message);
+      } else {
+        auto slot = std::make_shared<ReplySlot>();
+        if (!mailbox_->try_push({*req, slot})) {
+          // Admission queue full (or server stopping): explicit
+          // backpressure, never unbounded buffering.
+          resp = format_busy(config_.limits.retry_after_ms);
+        } else {
+          resp = slot->take();
+        }
+      }
+      if (!write_line(fd, resp)) {
+        open = false;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int& tracked : conn_fds_) {
+      if (tracked == fd) {
+        tracked = -1;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1);
+}
+
+}  // namespace coda::service

@@ -1,0 +1,125 @@
+// codad's serving core: a live cluster controller around the deterministic
+// sim::ClusterEngine.
+//
+// Threading model (one rule: I/O threads never touch the simulator):
+//   - one engine thread owns the ClusterEngine and paces virtual time
+//     against the wall clock (speedup = sim-seconds per wall-second;
+//     <= 0 runs as fast as possible). Between event batches it drains the
+//     command mailbox: queries answer from engine state, accepted SUBMITs
+//     are injected at the current virtual instant and appended to the
+//     journal.
+//   - one acceptor thread plus one thread per connection parse the line
+//     protocol and push commands into the bounded mailbox; each command
+//     carries a reply slot its connection blocks on. A full mailbox is
+//     answered `BUSY retry-after-ms=...` by the connection thread alone —
+//     explicit admission control with no unbounded buffering.
+//
+// Determinism: accepted submissions are injected at
+// nextafter(sim.now()) — an instant strictly after every event the engine
+// has dispatched and strictly before every event still queued — so an
+// offline replay that pre-posts the journaled arrivals dispatches the
+// exact same event sequence. DRAIN finishes the run through the same
+// run_until(horizon) + drain(horizon + slack) path as sim::run_experiment
+// and builds the final report with the shared sim::build_report, which is
+// why the journal replay reproduces the live report byte-for-byte.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/journal.h"
+#include "service/mailbox.h"
+#include "service/protocol.h"
+#include "sim/experiment.h"
+#include "util/result.h"
+
+namespace coda::service {
+
+// Per-process service limits, overridable via strict CODA_SERVE_* env knobs
+// (shared parser with CODA_JOBS; malformed values warn and fall back).
+struct ServiceLimits {
+  int admission_capacity = 1024;  // CODA_SERVE_QUEUE: mailbox bound
+  int max_connections = 64;       // CODA_SERVE_MAX_CONNS
+  int max_line_bytes = 1 << 16;   // CODA_SERVE_MAX_LINE: framing limit
+  int retry_after_ms = 100;       // advertised in BUSY responses
+
+  static ServiceLimits from_env();
+};
+
+struct ServerConfig {
+  SessionSpec session;          // policy + experiment config + base trace
+  std::string journal_path;     // empty disables journaling
+  std::string report_path;      // empty: journal_path + ".report"
+  // Listener: set exactly one. TCP binds 127.0.0.1 (port 0 = ephemeral,
+  // resolved port available after start()).
+  std::string unix_socket_path;
+  int tcp_port = -1;
+  ServiceLimits limits;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the listener, spawns the engine and acceptor threads. The
+  // session's horizon must be resolved (> 0).
+  util::Status start();
+
+  // Blocks until the server has shut down (SHUTDOWN verb or
+  // request_shutdown) and joins every thread.
+  void wait();
+
+  // Initiates a graceful stop from outside the protocol (signal handlers
+  // route here): drains the engine if needed, writes the final report,
+  // closes every connection. Thread-safe, idempotent, non-blocking.
+  void request_shutdown();
+
+  bool drained() const;
+  // Serialized final report (sim::serialize_report form); empty before the
+  // session drains. Byte-identical to what replay_journal_file() of this
+  // session's journal serializes to.
+  std::string report_text() const;
+  // Resolved TCP port (after start(), TCP listeners only).
+  int tcp_port() const { return resolved_port_; }
+
+ private:
+  struct ReplySlot;
+  struct Command;
+  struct EngineState;
+
+  void engine_main();
+  void acceptor_main();
+  void connection_main(int fd);
+  void handle_command(EngineState& es, Command& cmd);
+  void do_drain(EngineState& es);
+  void close_all_connections();
+
+  ServerConfig config_;
+  std::unique_ptr<Mailbox<Command>> mailbox_;
+
+  int listen_fd_ = -1;
+  int resolved_port_ = -1;
+  std::thread engine_thread_;
+  std::thread acceptor_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  std::atomic<int> active_connections_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  mutable std::mutex report_mu_;
+  std::string report_text_;
+  std::string drain_summary_;
+  bool started_ = false;
+};
+
+}  // namespace coda::service

@@ -120,6 +120,7 @@ class ClusterEngine : public telemetry::BandwidthSource,
   void drain(double hard_cap);
 
   simcore::Simulator& sim() { return sim_; }
+  const simcore::Simulator& sim() const { return sim_; }
   cluster::Cluster& cluster() { return cluster_; }
   const cluster::Cluster& cluster() const { return cluster_; }
   const telemetry::MetricRegistry& metrics() const { return metrics_; }

@@ -35,28 +35,32 @@ workload::TraceConfig standard_week_trace(uint64_t seed) {
   return cfg;
 }
 
-ExperimentReport run_experiment(Policy policy,
-                                const std::vector<workload::JobSpec>& trace,
-                                const ExperimentConfig& config) {
-  std::unique_ptr<sched::Scheduler> scheduler;
-  core::CodaScheduler* coda = nullptr;
+PolicyScheduler make_policy_scheduler(Policy policy,
+                                      const ExperimentConfig& config) {
+  PolicyScheduler out;
   switch (policy) {
     case Policy::kFifo:
-      scheduler = std::make_unique<sched::FifoScheduler>();
+      out.scheduler = std::make_unique<sched::FifoScheduler>();
       break;
     case Policy::kDrf:
-      scheduler = std::make_unique<sched::DrfScheduler>();
+      out.scheduler = std::make_unique<sched::DrfScheduler>();
       break;
     case Policy::kCoda: {
       auto owned = std::make_unique<core::CodaScheduler>(config.coda);
-      coda = owned.get();
-      scheduler = std::move(owned);
+      out.coda = owned.get();
+      out.scheduler = std::move(owned);
       break;
     }
   }
+  out.scheduler->set_retry_policy(config.retry);
+  return out;
+}
 
-  scheduler->set_retry_policy(config.retry);
-  ClusterEngine engine(config.engine, scheduler.get());
+ExperimentReport run_experiment(Policy policy,
+                                const std::vector<workload::JobSpec>& trace,
+                                const ExperimentConfig& config) {
+  PolicyScheduler ps = make_policy_scheduler(policy, config);
+  ClusterEngine engine(config.engine, ps.scheduler.get());
   engine.load_trace(trace);
 
   double horizon = config.horizon_s;
@@ -84,10 +88,16 @@ ExperimentReport run_experiment(Policy policy,
   engine.run_until(horizon);
   engine.drain(horizon + config.drain_slack_s);
 
+  return build_report(policy, engine, trace.size(), horizon, ps.coda);
+}
+
+ExperimentReport build_report(Policy policy, const ClusterEngine& engine,
+                              size_t submitted, double horizon,
+                              const core::CodaScheduler* coda) {
   ExperimentReport report;
   report.scheduler = to_string(policy);
   report.horizon_s = horizon;
-  report.submitted = trace.size();
+  report.submitted = submitted;
   report.completed = engine.finished_jobs();
   report.abandoned = engine.abandoned_jobs();
   report.node_failures = engine.node_failures();

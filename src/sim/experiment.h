@@ -98,6 +98,25 @@ ExperimentReport run_experiment(Policy policy,
                                 const std::vector<workload::JobSpec>& trace,
                                 const ExperimentConfig& config = {});
 
+// A scheduler instantiated for `policy`, plus a typed view of it when the
+// policy is CODA (the report pulls tuning/eliminator telemetry off it).
+struct PolicyScheduler {
+  std::unique_ptr<sched::Scheduler> scheduler;
+  core::CodaScheduler* coda = nullptr;  // non-null iff policy == kCoda
+};
+PolicyScheduler make_policy_scheduler(Policy policy,
+                                      const ExperimentConfig& config);
+
+// Aggregates a *finished* engine (run to `horizon` and drained) into the
+// report run_experiment returns. Shared by the offline replay path and the
+// live service daemon so both produce byte-identical reports for identical
+// engine histories: every field — including censoring at sim().now() —
+// derives from the same code. `submitted` is the number of jobs handed to
+// the engine (trace plus any live injections).
+ExperimentReport build_report(Policy policy, const ClusterEngine& engine,
+                              size_t submitted, double horizon,
+                              const core::CodaScheduler* coda);
+
 // The evaluation's standard downscaled trace: one week at the paper's daily
 // job rate (the full month runs in the same shape but 4x slower), on the
 // 80-node / 400-GPU cluster.

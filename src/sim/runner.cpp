@@ -1,10 +1,10 @@
 #include "sim/runner.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <thread>
 
 #include "util/assert.h"
+#include "util/env.h"
 
 namespace coda::sim {
 
@@ -13,15 +13,11 @@ Runner::Runner(int workers) {
 }
 
 int Runner::default_workers() {
-  const char* env = std::getenv("CODA_JOBS");
-  if (env != nullptr && env[0] != '\0') {
-    const int n = std::atoi(env);
-    if (n >= 1) {
-      return n;
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  // Strict parse: CODA_JOBS=abc/0/-3 warns (naming the rejected value) and
+  // falls back to hardware concurrency instead of being silently ignored.
+  return util::env_int("CODA_JOBS", fallback, 1);
 }
 
 std::vector<ExperimentReport> Runner::run(const std::vector<Job>& jobs,

@@ -56,6 +56,11 @@ EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
   return EventHandle(std::move(dead));
 }
 
+SimTime Simulator::next_event_time() {
+  return queue_.empty() ? std::numeric_limits<SimTime>::infinity()
+                        : queue_.next_time();
+}
+
 size_t Simulator::run_until(SimTime until) {
   size_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {

@@ -50,6 +50,12 @@ class Simulator {
 
   bool queue_empty() const { return queue_.empty(); }
 
+  // Time of the earliest live event, or +infinity when the queue is empty.
+  // Pacing hook for the service layer: a real-time driver sleeps until the
+  // wall-clock instant this virtual time maps to. Non-const because peeking
+  // lazily drops cancelled heap entries.
+  SimTime next_event_time();
+
  private:
   SimTime now_ = 0.0;
   EventQueue queue_;

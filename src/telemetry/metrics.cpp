@@ -1,5 +1,7 @@
 #include "telemetry/metrics.h"
 
+#include "util/strings.h"
+
 namespace coda::telemetry {
 
 void MetricRegistry::increment(const std::string& name, double amount) {
@@ -29,6 +31,40 @@ const util::TimeSeries& MetricRegistry::series(const std::string& name) const {
   static const util::TimeSeries kEmpty;
   auto it = series_.find(name);
   return it != series_.end() ? it->second : kEmpty;
+}
+
+MetricSnapshot snapshot(const MetricRegistry& registry) {
+  MetricSnapshot snap;
+  snap.counters.reserve(registry.counters().size());
+  for (const auto& [name, value] : registry.counters()) {
+    snap.counters.push_back({name, value});
+  }
+  snap.series_last.reserve(registry.all_series().size());
+  for (const auto& [name, series] : registry.all_series()) {
+    if (!series.empty()) {
+      snap.series_last.push_back({name, series.at(series.size() - 1).value});
+    }
+  }
+  return snap;
+}
+
+std::string format_snapshot(const MetricSnapshot& snap) {
+  std::string out;
+  out.reserve(64 * (snap.counters.size() + snap.series_last.size()));
+  auto append = [&out](const MetricSnapshot::Entry& e) {
+    if (!out.empty()) {
+      out.push_back(' ');
+    }
+    out += e.name;
+    out += util::strfmt("=%.6g", e.value);
+  };
+  for (const auto& e : snap.counters) {
+    append(e);
+  }
+  for (const auto& e : snap.series_last) {
+    append(e);
+  }
+  return out;
 }
 
 }  // namespace coda::telemetry

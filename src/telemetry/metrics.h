@@ -4,10 +4,13 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/timeseries.h"
 
 namespace coda::telemetry {
+
+struct MetricSnapshot;
 
 class MetricRegistry {
  public:
@@ -33,5 +36,24 @@ class MetricRegistry {
   std::map<std::string, double> counters_;
   std::map<std::string, util::TimeSeries> series_;
 };
+
+// Point-in-time view of a registry: every counter, and the most recent
+// sample of every series. The raw material for the service layer's METRICS
+// verb (and any future exposition format).
+struct MetricSnapshot {
+  struct Entry {
+    std::string name;
+    double value = 0.0;
+  };
+  std::vector<Entry> counters;      // name-sorted (map order)
+  std::vector<Entry> series_last;   // name-sorted; empty series skipped
+};
+
+MetricSnapshot snapshot(const MetricRegistry& registry);
+
+// Serializes a snapshot as one line of space-separated `name=value` pairs
+// (counters first, then series), values rendered with %.6g. Deterministic:
+// names come out sorted, so equal registries serialize identically.
+std::string format_snapshot(const MetricSnapshot& snap);
 
 }  // namespace coda::telemetry

@@ -271,4 +271,29 @@ util::Result<std::vector<JobSpec>> load_trace(const std::string& path) {
   return trace_from_csv(buf.str());
 }
 
+std::string trace_csv_header() { return util::join(kColumns, ","); }
+
+std::string job_to_csv_row(const JobSpec& job) {
+  const std::string text = trace_to_csv({job});
+  // trace_to_csv emits "header\nrow\n"; strip both delimiters.
+  const size_t nl = text.find('\n');
+  std::string row = text.substr(nl + 1);
+  if (!row.empty() && row.back() == '\n') {
+    row.pop_back();
+  }
+  return row;
+}
+
+util::Result<JobSpec> job_from_csv_row(const std::string& row) {
+  auto parsed = trace_from_csv(trace_csv_header() + "\n" + row + "\n");
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  if (parsed->size() != 1) {
+    return util::Error{util::ErrorCode::kParseError,
+                       "expected exactly one CSV row"};
+  }
+  return (*parsed)[0];
+}
+
 }  // namespace coda::workload

@@ -22,4 +22,20 @@ util::Status save_trace(const std::string& path,
                         const std::vector<JobSpec>& trace);
 util::Result<std::vector<JobSpec>> load_trace(const std::string& path);
 
+// ---- single-row helpers (service wire format / journal entries) ----
+// The daemon's SUBMIT verb carries one CSV row in this column order; the
+// command journal stores the row verbatim and replay re-parses it through
+// the same code path, so a spec never round-trips through lossy
+// re-serialization.
+
+// The canonical header line ("id,tenant,kind,...", no trailing newline).
+std::string trace_csv_header();
+
+// Serializes one job as a single CSV row (no header, no newline).
+std::string job_to_csv_row(const JobSpec& job);
+
+// Parses a single CSV row with the canonical columns. Same strict
+// validation as trace_from_csv.
+util::Result<JobSpec> job_from_csv_row(const std::string& row);
+
 }  // namespace coda::workload

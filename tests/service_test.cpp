@@ -1,0 +1,419 @@
+// Tests for the codad service layer: mailbox ordering under concurrent
+// producers, protocol framing across split reads, admission backpressure,
+// strict env parsing, and the headline guarantee — an offline replay of a
+// live session's journal reproduces its ExperimentReport byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/journal.h"
+#include "service/mailbox.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "sim/report_io.h"
+#include "sim/runner.h"
+#include "util/env.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace coda::service {
+namespace {
+
+// ---------------------------------------------------------------- mailbox
+
+TEST(Mailbox, DrainOrderIsPushOrder) {
+  Mailbox<int> box(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(box.try_push(i));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(box.drain(&out), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, BoundedPushFailsWhenFullAndAfterClose) {
+  Mailbox<int> box(2);
+  EXPECT_TRUE(box.try_push(1));
+  EXPECT_TRUE(box.try_push(2));
+  EXPECT_FALSE(box.try_push(3));  // full: the admission-control path
+  std::vector<int> out;
+  box.drain(&out);
+  EXPECT_TRUE(box.try_push(4));
+  box.close();
+  EXPECT_FALSE(box.try_push(5));
+  // Items queued before close stay drainable (the final sweep relies on
+  // this to answer every pending command at shutdown).
+  out.clear();
+  EXPECT_EQ(box.drain(&out), 1u);
+  EXPECT_EQ(out[0], 4);
+}
+
+TEST(Mailbox, ConcurrentProducersPreservePerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  // Encoded as producer * 1'000'000 + sequence so the consumer can check
+  // each producer's subsequence independently.
+  Mailbox<int> box(256);
+  std::vector<int> consumed;
+  consumed.reserve(kProducers * kPerProducer);
+  std::thread consumer([&] {
+    while (consumed.size() <
+           static_cast<size_t>(kProducers) * kPerProducer) {
+      box.drain_until(&consumed, std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(50));
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!box.try_push(p * 1000000 + i)) {
+          std::this_thread::yield();  // full: retry, as a connection would
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+  ASSERT_EQ(consumed.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  std::vector<int> next_seq(kProducers, 0);
+  for (int value : consumed) {
+    const int p = value / 1000000;
+    const int seq = value % 1000000;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next_seq[static_cast<size_t>(p)]);
+    ++next_seq[static_cast<size_t>(p)];
+  }
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(LineReader, ReassemblesArbitrarySplits) {
+  const std::string stream = "PING\nSUBMIT 1,2,3\r\nSTATUS 7\n";
+  // Feed the same byte stream one byte at a time, in pairs, and all at
+  // once: every chunking must yield the same three lines.
+  for (size_t chunk : {size_t{1}, size_t{2}, stream.size()}) {
+    LineReader reader(256);
+    std::vector<std::string> lines;
+    for (size_t off = 0; off < stream.size(); off += chunk) {
+      const size_t n = std::min(chunk, stream.size() - off);
+      ASSERT_TRUE(reader.feed(stream.data() + off, n, &lines));
+    }
+    ASSERT_EQ(lines.size(), 3u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], "PING");
+    EXPECT_EQ(lines[1], "SUBMIT 1,2,3");  // CRLF stripped
+    EXPECT_EQ(lines[2], "STATUS 7");
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+  }
+}
+
+TEST(LineReader, KeepsPartialLinePending) {
+  LineReader reader(256);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(reader.feed("STAT", 4, &lines));
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(reader.pending_bytes(), 4u);
+  ASSERT_TRUE(reader.feed("US 9\n", 5, &lines));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "STATUS 9");
+}
+
+TEST(LineReader, PoisonsOnOversizedLine) {
+  LineReader reader(8);
+  std::vector<std::string> lines;
+  EXPECT_FALSE(reader.feed("0123456789abcdef", 16, &lines));
+  EXPECT_TRUE(reader.poisoned());
+  // Poison is sticky: even a tiny follow-up chunk is rejected.
+  EXPECT_FALSE(reader.feed("\n", 1, &lines));
+  EXPECT_TRUE(lines.empty());
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestParsing) {
+  auto ping = parse_request("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->verb, Verb::kPing);
+
+  auto submit = parse_request("SUBMIT 0,1,cpu,0,Alexnet");
+  ASSERT_TRUE(submit.ok());
+  EXPECT_EQ(submit->verb, Verb::kSubmit);
+  EXPECT_EQ(submit->arg, "0,1,cpu,0,Alexnet");
+
+  auto status = parse_request("STATUS 42");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->verb, Verb::kStatus);
+  EXPECT_EQ(status->job_id, 42u);
+
+  EXPECT_FALSE(parse_request("").ok());
+  EXPECT_FALSE(parse_request("FROB").ok());
+  EXPECT_FALSE(parse_request("SUBMIT").ok());    // missing row
+  EXPECT_FALSE(parse_request("STATUS").ok());    // missing id
+  EXPECT_FALSE(parse_request("STATUS abc").ok());
+  EXPECT_FALSE(parse_request("PING extra").ok());
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  auto ok = parse_response(format_ok("id=3 vt=1.500"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->kind, Response::Kind::kOk);
+  EXPECT_EQ(ok->payload, "id=3 vt=1.500");
+
+  auto err = parse_response(
+      format_err(util::ErrorCode::kNotFound, "no such\njob"));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->kind, Response::Kind::kErr);
+  EXPECT_EQ(err->code, util::ErrorCode::kNotFound);
+  // Newlines are sanitized so a message can never forge a protocol line.
+  EXPECT_EQ(err->payload.find('\n'), std::string::npos);
+
+  auto busy = parse_response(format_busy(250));
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->kind, Response::Kind::kBusy);
+  EXPECT_EQ(busy->retry_after_ms, 250);
+
+  EXPECT_FALSE(parse_response("WAT 1").ok());
+}
+
+// ------------------------------------------------------------- env parser
+
+TEST(Env, ParseStrictInt) {
+  ASSERT_TRUE(util::parse_strict_int("42", 1).ok());
+  EXPECT_EQ(*util::parse_strict_int("42", 1), 42);
+  EXPECT_FALSE(util::parse_strict_int("", 1).ok());
+  EXPECT_FALSE(util::parse_strict_int("abc", 1).ok());
+  EXPECT_FALSE(util::parse_strict_int("4x", 1).ok());   // trailing junk
+  EXPECT_FALSE(util::parse_strict_int("0", 1).ok());    // below minimum
+  EXPECT_FALSE(util::parse_strict_int("-3", 1).ok());
+  EXPECT_FALSE(util::parse_strict_int("99999999999999999999", 1).ok());
+}
+
+TEST(Env, EnvIntFallsBackOnMalformedValue) {
+  ::setenv("CODA_TEST_KNOB", "7", 1);
+  EXPECT_EQ(util::env_int("CODA_TEST_KNOB", 3), 7);
+  ::setenv("CODA_TEST_KNOB", "zero", 1);
+  EXPECT_EQ(util::env_int("CODA_TEST_KNOB", 3), 3);
+  ::setenv("CODA_TEST_KNOB", "0", 1);
+  EXPECT_EQ(util::env_int("CODA_TEST_KNOB", 3), 3);
+  ::unsetenv("CODA_TEST_KNOB");
+  EXPECT_EQ(util::env_int("CODA_TEST_KNOB", 3), 3);
+}
+
+TEST(Env, RunnerDefaultWorkersRejectsMalformedCodaJobs) {
+  ::setenv("CODA_JOBS", "3", 1);
+  EXPECT_EQ(sim::Runner::default_workers(), 3);
+  ::setenv("CODA_JOBS", "abc", 1);
+  const int fallback = sim::Runner::default_workers();
+  EXPECT_GE(fallback, 1);
+  ::setenv("CODA_JOBS", "-2", 1);
+  EXPECT_EQ(sim::Runner::default_workers(), fallback);
+  ::unsetenv("CODA_JOBS");
+}
+
+// ------------------------------------------------------- live server tests
+
+std::string tiny_trace_csv(uint64_t seed) {
+  auto cfg = sim::standard_week_trace(seed);
+  cfg.duration_s = 2.0 * 3600.0;
+  cfg.cpu_jobs = 40;
+  cfg.gpu_jobs = 20;
+  return workload::trace_to_csv(workload::TraceGenerator(cfg).generate());
+}
+
+ServerConfig tiny_server_config(const std::string& tag, double speedup) {
+  ServerConfig config;
+  config.session.policy = sim::Policy::kCoda;
+  config.session.config.engine.cluster.node_count = 8;
+  config.session.config.horizon_s = 2.0 * 3600.0;
+  config.session.config.drain_slack_s = 86400.0;
+  config.session.speedup = speedup;
+  config.session.base_trace_csv = tiny_trace_csv(11);
+  config.journal_path =
+      "/tmp/coda_service_test_" + tag + "_" +
+      std::to_string(static_cast<long long>(::getpid())) + ".journal";
+  config.unix_socket_path =
+      "/tmp/coda_service_test_" + tag + "_" +
+      std::to_string(static_cast<long long>(::getpid())) + ".sock";
+  return config;
+}
+
+std::string submit_row(int cores, double work) {
+  workload::JobSpec job;
+  job.kind = workload::JobKind::kCpu;
+  job.cpu_cores = cores;
+  job.cpu_work_core_s = work;
+  job.mem_bw_gbps = 1.0;
+  job.llc_mb = 2.0;
+  return workload::job_to_csv_row(job);
+}
+
+TEST(Server, JournalReplayReproducesLiveReportByteForByte) {
+  // As-fast-as-possible pacing: the engine reaches the horizon at once and
+  // every live SUBMIT lands at nextafter(horizon) — the collision-heaviest
+  // injection point, which is exactly what replay must reproduce.
+  ServerConfig config = tiny_server_config("afap", 0.0);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->ping().ok());
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client->submit_row(submit_row(2 + i, 600.0 * (i + 1)));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->ok()) << resp->payload;
+  }
+  // Duplicate id: 1 is a base-trace job.
+  {
+    workload::JobSpec job;
+    job.id = 1;
+    job.kind = workload::JobKind::kCpu;
+    job.cpu_work_core_s = 10.0;
+    auto resp = client->submit_row(workload::job_to_csv_row(job));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->kind, Response::Kind::kErr);
+  }
+  {
+    auto resp = client->status(999999);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->kind, Response::Kind::kErr);
+    EXPECT_EQ(resp->code, util::ErrorCode::kNotFound);
+  }
+  auto drained = client->drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained->ok()) << drained->payload;
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+  ASSERT_TRUE(server.drained());
+
+  const std::string live_report = server.report_text();
+  ASSERT_FALSE(live_report.empty());
+  auto replayed = replay_journal_file(journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(sim::serialize_report(*replayed), live_report);
+  // The report file codad leaves on disk is the same bytes.
+  std::FILE* f = std::fopen((journal_path + ".report").c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string on_disk;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    on_disk.append(buf, n);
+  }
+  std::fclose(f);
+  EXPECT_EQ(on_disk, live_report);
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
+}
+
+TEST(Server, PacedSubmissionsReplayByteForByte) {
+  // Fast-but-paced: the 2-hour session compresses to ~70ms of wall time,
+  // so the three SUBMITs land at scattered mid-run virtual times instead
+  // of piling up at the horizon.
+  ServerConfig config = tiny_server_config("paced", 100000.0);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client->submit_row(submit_row(2, 300.0));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->ok()) << resp->payload;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  ASSERT_TRUE(client->drain().ok());
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+
+  auto replayed = replay_journal_file(journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(sim::serialize_report(*replayed), server.report_text());
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
+}
+
+TEST(Server, ConnectionLimitAnswersBusy) {
+  ServerConfig config = tiny_server_config("connlimit", 0.0);
+  const std::string journal_path = config.journal_path;
+  config.journal_path.clear();  // journaling not under test here
+  config.limits.max_connections = 1;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto first = Client::connect(endpoint);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->ping().ok());  // proves the slot is held
+
+  auto second = Client::connect(endpoint);
+  ASSERT_TRUE(second.ok());  // connect() succeeds; the acceptor then
+                             // answers BUSY and closes.
+  auto resp = second->call("PING");
+  // Either we read the BUSY line, or the server closed before our write
+  // landed — both are the backpressure path, never a hang.
+  if (resp.ok()) {
+    EXPECT_EQ(resp->kind, Response::Kind::kBusy);
+    EXPECT_GT(resp->retry_after_ms, 0);
+  }
+  ASSERT_TRUE(first->shutdown().ok());
+  server.wait();
+  (void)journal_path;
+}
+
+// ---------------------------------------------------------------- journal
+
+TEST(Journal, RejectsCorruptInput) {
+  EXPECT_FALSE(parse_journal("").ok());
+  EXPECT_FALSE(parse_journal("CODA_JOURNAL v99\n").ok());
+  // Valid magic but missing the required horizon.
+  EXPECT_FALSE(parse_journal("CODA_JOURNAL v1\npolicy CODA\n").ok());
+}
+
+TEST(Journal, WriterProducesReparsableSession) {
+  SessionSpec session;
+  session.policy = sim::Policy::kDrf;
+  session.config.horizon_s = 1234.5;
+  session.config.engine.cluster.node_count = 5;
+  session.speedup = 60.0;
+  session.base_trace_csv = workload::trace_csv_header() + "\n";
+  const std::string path =
+      "/tmp/coda_journal_roundtrip_" +
+      std::to_string(static_cast<long long>(::getpid())) + ".journal";
+  {
+    auto writer = JournalWriter::open(path, session);
+    ASSERT_TRUE(writer.ok()) << writer.error().message;
+    ASSERT_TRUE(writer->append_submit(17.25, 9, submit_row(2, 60.0)).ok());
+    writer->note("mid-session comment");
+    ASSERT_TRUE(writer->append_submit(18.5, 10, submit_row(1, 30.0)).ok());
+  }
+  auto loaded = load_journal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->session.policy, sim::Policy::kDrf);
+  EXPECT_EQ(loaded->session.config.engine.cluster.node_count, 5);
+  EXPECT_DOUBLE_EQ(loaded->session.config.horizon_s, 1234.5);
+  EXPECT_EQ(loaded->session.base_trace_csv, session.base_trace_csv);
+  ASSERT_EQ(loaded->submissions.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->submissions[0].virtual_time, 17.25);
+  EXPECT_EQ(loaded->submissions[0].job_id, 9u);
+  EXPECT_DOUBLE_EQ(loaded->submissions[1].virtual_time, 18.5);
+  EXPECT_EQ(loaded->submissions[1].job_id, 10u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coda::service
