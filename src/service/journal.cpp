@@ -63,6 +63,22 @@ util::Result<long long> parse_ll(const std::string& s) {
   return v;
 }
 
+// Full-u64-range parser: noise_seed and job ids are written with %llu, so
+// values >= 2^63 must round-trip (strtoll would reject them with ERANGE).
+util::Result<unsigned long long> parse_ull(const std::string& s) {
+  // strtoull silently wraps negative input, so reject it up front.
+  if (s.empty() || s[0] == '-') {
+    return parse_error("'" + s + "' is not an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    return parse_error("'" + s + "' is not an unsigned integer");
+  }
+  return v;
+}
+
 util::Result<sim::Policy> policy_from_string(const std::string& name) {
   for (sim::Policy p :
        {sim::Policy::kFifo, sim::Policy::kDrf, sim::Policy::kCoda}) {
@@ -142,6 +158,10 @@ util::Status JournalWriter::append_submit(double virtual_time,
       csv_row + "\n";
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
+    // The entry may be torn on disk; poison the journal so a later append
+    // cannot concatenate onto the partial line and produce a file that
+    // parses to the wrong session instead of failing loudly.
+    close();
     return util::Error{util::ErrorCode::kIoError, "journal append failed"};
   }
   return util::Status::Ok();
@@ -223,7 +243,7 @@ util::Result<JournalSession> parse_journal(const std::string& text) {
       }
       cfg.engine.util_noise_stddev = *v;
     } else if (key == "noise_seed") {
-      auto v = parse_ll(rest);
+      auto v = parse_ull(rest);
       if (!v.ok()) {
         return v.error();
       }
@@ -292,11 +312,11 @@ util::Result<JournalSession> parse_journal(const std::string& text) {
     if (!vt.ok()) {
       return vt.error();
     }
-    auto id = parse_ll(id_str);
+    auto id = parse_ull(id_str);
     if (!id.ok()) {
       return id.error();
     }
-    if (*id < 0 || row.empty()) {
+    if (row.empty()) {
       return parse_error("malformed submission entry");
     }
     out.submissions.push_back(

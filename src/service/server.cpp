@@ -102,6 +102,10 @@ struct Server::EngineState {
   size_t accepted_submits = 0;
   uint64_t next_auto_id = 1;
   double horizon = 0.0;
+  // Set when a journal append fails (the writer poisons itself): later
+  // submissions are refused rather than accepted unjournaled, which would
+  // silently break replay equivalence.
+  bool journal_failed = false;
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
@@ -220,14 +224,14 @@ void Server::wait() {
     acceptor_thread_.join();
   }
   close_all_connections();
-  std::vector<std::thread> threads;
+  std::vector<Connection> remaining;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
+    remaining.swap(connections_);
   }
-  for (auto& t : threads) {
-    if (t.joinable()) {
-      t.join();
+  for (auto& conn : remaining) {
+    if (conn.thread.joinable()) {
+      conn.thread.join();
     }
   }
   if (listen_fd_ >= 0) {
@@ -242,9 +246,34 @@ void Server::wait() {
 
 void Server::close_all_connections() {
   std::lock_guard<std::mutex> lock(conn_mu_);
-  for (int fd : conn_fds_) {
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
+  for (auto& conn : connections_) {
+    if (conn.state->fd >= 0) {
+      ::shutdown(conn.state->fd, SHUT_RDWR);
+    }
+  }
+}
+
+// Joins and discards every finished connection thread so a long-running
+// daemon does not accumulate one dead thread handle per connection ever
+// accepted. Joining happens outside conn_mu_; a done thread has nothing
+// left to run, so each join returns immediately.
+void Server::reap_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (it->state->done) {
+        finished.push_back(std::move(it->thread));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& t : finished) {
+    if (t.joinable()) {
+      t.join();
     }
   }
 }
@@ -313,18 +342,19 @@ void Server::engine_main() {
 
     batch.clear();
     mailbox_->drain_until(&batch, deadline);
+    // Answer every drained command even if one of them is SHUTDOWN: a
+    // command whose ReplySlot is never set would block its connection
+    // thread forever and deadlock wait().
     for (auto& cmd : batch) {
       handle_command(es, cmd);
-      if (stop_.load()) {
-        break;
-      }
     }
   }
 
   // Graceful exit: finish the session even on SIGTERM so the journal's
   // report exists, then answer everything still queued. Closing the
-  // mailbox first makes late try_push fail (-> BUSY at the connection),
-  // so no command can slip in after the final sweep and hang its client.
+  // mailbox first makes late try_push fail (-> ERR shutting-down at the
+  // connection), so no command can slip in after the final sweep and hang
+  // its client.
   if (!drained_.load()) {
     do_drain(es);
   }
@@ -391,6 +421,11 @@ void Server::handle_command(EngineState& es, Command& cmd) {
                           "session drained; submissions closed");
         break;
       }
+      if (es.journal_failed) {
+        resp = format_err(util::ErrorCode::kFailedPrecondition,
+                          "journal failed; submissions closed");
+        break;
+      }
       auto spec = workload::job_from_csv_row(req.arg);
       if (!spec.ok()) {
         resp = format_err(spec.error().code, spec.error().message);
@@ -417,6 +452,7 @@ void Server::handle_command(EngineState& es, Command& cmd) {
         // silently break replay equivalence.
         if (auto status = es.journal.append_submit(vt, id, req.arg);
             !status.ok()) {
+          es.journal_failed = true;
           resp = format_err(status.error().code, status.error().message);
           break;
         }
@@ -497,6 +533,7 @@ void Server::handle_command(EngineState& es, Command& cmd) {
 
 void Server::acceptor_main() {
   while (!stop_.load()) {
+    reap_connections();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (ready <= 0) {
@@ -512,13 +549,16 @@ void Server::acceptor_main() {
       continue;
     }
     active_connections_.fetch_add(1);
+    auto state = std::make_shared<ConnState>();
+    state->fd = fd;
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { connection_main(fd); });
+    connections_.push_back(
+        {std::thread([this, fd, state] { connection_main(fd, state); }),
+         state});
   }
 }
 
-void Server::connection_main(int fd) {
+void Server::connection_main(int fd, std::shared_ptr<ConnState> state) {
   LineReader reader(static_cast<size_t>(config_.limits.max_line_bytes));
   std::vector<std::string> lines;
   char buf[4096];
@@ -551,9 +591,16 @@ void Server::connection_main(int fd) {
       } else {
         auto slot = std::make_shared<ReplySlot>();
         if (!mailbox_->try_push({*req, slot})) {
-          // Admission queue full (or server stopping): explicit
-          // backpressure, never unbounded buffering.
-          resp = format_busy(config_.limits.retry_after_ms);
+          if (stop_.load() || mailbox_->closed()) {
+            // Terminating, not overloaded: a BUSY here would invite the
+            // client to retry against a server that will never answer.
+            resp = format_err(util::ErrorCode::kFailedPrecondition,
+                              "server shutting down");
+          } else {
+            // Admission queue full: explicit backpressure, never
+            // unbounded buffering.
+            resp = format_busy(config_.limits.retry_after_ms);
+          }
         } else {
           resp = slot->take();
         }
@@ -566,15 +613,14 @@ void Server::connection_main(int fd) {
   }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int& tracked : conn_fds_) {
-      if (tracked == fd) {
-        tracked = -1;
-        break;
-      }
-    }
+    state->fd = -1;
   }
   ::close(fd);
   active_connections_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    state->done = true;
+  }
 }
 
 }  // namespace coda::service

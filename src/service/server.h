@@ -95,12 +95,26 @@ class Server {
   struct Command;
   struct EngineState;
 
+  // Per-connection bookkeeping, guarded by conn_mu_. fd is tombstoned to
+  // -1 before the connection thread closes it so close_all_connections()
+  // never shutdown()s a recycled descriptor; done flips last so the
+  // acceptor can reap (join + erase) the finished thread.
+  struct ConnState {
+    int fd = -1;
+    bool done = false;
+  };
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<ConnState> state;
+  };
+
   void engine_main();
   void acceptor_main();
-  void connection_main(int fd);
+  void connection_main(int fd, std::shared_ptr<ConnState> state);
   void handle_command(EngineState& es, Command& cmd);
   void do_drain(EngineState& es);
   void close_all_connections();
+  void reap_connections();
 
   ServerConfig config_;
   std::unique_ptr<Mailbox<Command>> mailbox_;
@@ -110,8 +124,7 @@ class Server {
   std::thread engine_thread_;
   std::thread acceptor_thread_;
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::vector<Connection> connections_;
   std::atomic<int> active_connections_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> draining_{false};

@@ -375,6 +375,41 @@ TEST(Server, ConnectionLimitAnswersBusy) {
   (void)journal_path;
 }
 
+TEST(Server, ShutdownAnswersEveryInflightCommand) {
+  // Regression: a command drained into the same mailbox batch as SHUTDOWN
+  // used to be discarded unanswered, leaving its connection blocked forever
+  // on its reply slot and deadlocking wait(). Hammer the mailbox from
+  // several connections while SHUTDOWN lands; every call must resolve with
+  // a reply or a clean disconnect, and wait() must return.
+  ServerConfig config = tiny_server_config("shutdownrace", 0.0);
+  config.journal_path.clear();  // journaling not under test here
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  std::vector<std::thread> pingers;
+  for (int p = 0; p < 4; ++p) {
+    pingers.emplace_back([&endpoint] {
+      auto client = Client::connect(endpoint);
+      if (!client.ok()) {
+        return;
+      }
+      // Runs until the server closes the socket; a dropped reply would
+      // hang this call (and the test) forever.
+      while (client->call("PING").ok()) {
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto admin = Client::connect(endpoint);
+  ASSERT_TRUE(admin.ok());
+  ASSERT_TRUE(admin->shutdown().ok());
+  server.wait();
+  for (auto& t : pingers) {
+    t.join();
+  }
+}
+
 // ---------------------------------------------------------------- journal
 
 TEST(Journal, RejectsCorruptInput) {
@@ -412,6 +447,30 @@ TEST(Journal, WriterProducesReparsableSession) {
   EXPECT_EQ(loaded->submissions[0].job_id, 9u);
   EXPECT_DOUBLE_EQ(loaded->submissions[1].virtual_time, 18.5);
   EXPECT_EQ(loaded->submissions[1].job_id, 10u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, Uint64FieldsAboveInt64MaxRoundTrip) {
+  // noise_seed and job ids are written with %llu; values >= 2^63 must
+  // parse back (a signed parser rejects them, making the journal fail its
+  // own replay).
+  SessionSpec session;
+  session.config.horizon_s = 100.0;
+  session.config.engine.noise_seed = 0x8000000000000001ull;
+  const std::string path =
+      "/tmp/coda_journal_u64_" +
+      std::to_string(static_cast<long long>(::getpid())) + ".journal";
+  const uint64_t big_id = 0xFFFFFFFFFFFFFFF0ull;
+  {
+    auto writer = JournalWriter::open(path, session);
+    ASSERT_TRUE(writer.ok()) << writer.error().message;
+    ASSERT_TRUE(writer->append_submit(1.5, big_id, submit_row(1, 30.0)).ok());
+  }
+  auto loaded = load_journal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->session.config.engine.noise_seed, 0x8000000000000001ull);
+  ASSERT_EQ(loaded->submissions.size(), 1u);
+  EXPECT_EQ(loaded->submissions[0].job_id, big_id);
   std::remove(path.c_str());
 }
 
