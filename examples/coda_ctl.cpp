@@ -35,6 +35,10 @@ void usage() {
       "          [--user-facing 1]\n"
       "     gpu: --model NAME --iters N [--nodes N] [--gpus N] [--batch N]\n"
       "          [--cpus N]\n"
+      "          [--hint-category-unknown 1] [--hint-pipelined 1]\n"
+      "          [--hint-large-weights 1] [--hint-complex-prep 1]\n"
+      "     both: [--checkpoint-interval SECONDS]\n"
+      "          [--checkpoint-overhead SECONDS]\n"
       "  bench   --connections N --duration SECONDS [--rate CMDS_PER_SEC]\n"
       "          [--request LINE]\n");
 }
@@ -123,6 +127,15 @@ std::string build_submit_row(
         std::atoi(flag_or(flags, "batch", "64").c_str());
     job.iterations = std::atof(flag_or(flags, "iters", "1000").c_str());
     job.requested_cpus = std::atoi(flag_or(flags, "cpus", "2").c_str());
+    // Sec. V-B user hints: refine the allocator's N_start. The worst case
+    // (not even the category known) is opt-in via --hint-category-unknown.
+    job.hints.category_known =
+        flag_or(flags, "hint-category-unknown", "0") != "1";
+    job.hints.pipelined = flag_or(flags, "hint-pipelined", "0") == "1";
+    job.hints.large_weights =
+        flag_or(flags, "hint-large-weights", "0") == "1";
+    job.hints.complex_prep =
+        flag_or(flags, "hint-complex-prep", "0") == "1";
   } else if (kind == "cpu") {
     job.kind = workload::JobKind::kCpu;
     job.cpu_cores = std::atoi(flag_or(flags, "cores", "2").c_str());
@@ -132,6 +145,15 @@ std::string build_submit_row(
     job.user_facing = flag_or(flags, "user-facing", "0") == "1";
   } else {
     std::fprintf(stderr, "unknown --kind '%s' (cpu|gpu)\n", kind.c_str());
+    std::exit(2);
+  }
+  job.checkpoint_interval_s =
+      std::atof(flag_or(flags, "checkpoint-interval", "0").c_str());
+  job.checkpoint_overhead_s =
+      std::atof(flag_or(flags, "checkpoint-overhead", "0").c_str());
+  if (job.checkpoint_overhead_s > 0.0 && !job.checkpointing()) {
+    std::fprintf(stderr,
+                 "--checkpoint-overhead needs --checkpoint-interval > 0\n");
     std::exit(2);
   }
   return workload::job_to_csv_row(job);

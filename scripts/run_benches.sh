@@ -3,17 +3,36 @@
 # (cache populated by the cold pass), and writes per-binary wall-clocks to
 # BENCH_runtime.json at the repo root.
 #
-# Usage: scripts/run_benches.sh [build-dir]
+# Usage: scripts/run_benches.sh [build-dir] [--compare old.json]
 #   build-dir    defaults to build-bench (configured as Release)
+#   --compare    print per-bench cold/warm deltas against a previous
+#                BENCH_runtime.json and exit non-zero if the cold total
+#                regressed by more than 25% (CODA_BENCH_NO_GATE=1 keeps the
+#                report but disables the failure exit)
 #
 # Environment:
-#   CODA_JOBS       worker threads per bench process (default: all cores)
-#   CODA_FAST=1     smoke mode — ~1-day traces at 1/7 the jobs
-#   SKIP_SLOW=1     skip bench_full_month_replay and bench_microbench
+#   CODA_JOBS            worker threads per bench process (default: all cores)
+#   CODA_FAST=1          smoke mode — ~1-day traces at 1/7 the jobs
+#   SKIP_SLOW=1          skip bench_full_month_replay and bench_microbench
+#   CODA_BENCH_NO_GATE=1 --compare reports deltas but never fails the run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-bench}"
+BUILD_DIR="build-bench"
+COMPARE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "--compare needs a file argument" >&2; exit 2; }
+      COMPARE="$2"; shift 2 ;;
+    *)
+      BUILD_DIR="$1"; shift ;;
+  esac
+done
+if [[ -n "$COMPARE" && ! -r "$COMPARE" ]]; then
+  echo "compare baseline not readable: $COMPARE" >&2
+  exit 2
+fi
 OUT="BENCH_runtime.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
@@ -89,11 +108,30 @@ total() {
 COLD_MS=$(total cold)
 WARM_MS=$(total warm)
 
+# Snapshot the compare baseline before we overwrite $OUT (the baseline is
+# usually the committed BENCH_runtime.json itself).
+OLD_JSON=""
+if [[ -n "$COMPARE" ]]; then
+  OLD_JSON=$(mktemp)
+  trap 'rm -f "$OLD_JSON"' EXIT
+  cp "$COMPARE" "$OLD_JSON"
+fi
+
 # Microbench numbers (events/sec + week-replay wall-clock) in their own run;
 # cache off so the replay benchmark actually simulates.
 MICRO_JSON="$BUILD_DIR/microbench.json"
 CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_microbench" \
   --benchmark_format=json > "$MICRO_JSON" 2> /dev/null || true
+
+# Engine hot-path throughput: the CODA-policy events/sec headline from
+# bench_engine_micro (cache off — it drives a live engine, not reports).
+EVENTS_PER_SEC=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_engine_micro" \
+  | awk '/^BENCH_ENGINE_MICRO_JSON/ {
+      if (match($0, /"events_per_sec": *[0-9.]+/)) {
+        s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
+      }
+    }')
+EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
 
 {
   echo "{"
@@ -102,6 +140,7 @@ CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_microbench" \
   echo "  \"coda_jobs\": \"${CODA_JOBS:-auto}\","
   echo "  \"cold_total_s\": $(awk "BEGIN{print $COLD_MS/1000}"),"
   echo "  \"warm_total_s\": $(awk "BEGIN{print $WARM_MS/1000}"),"
+  echo "  \"events_per_sec\": $EVENTS_PER_SEC,"
   echo "  \"benches\": {"
   declare -n cold=TIMES_cold warm=TIMES_warm
   sep=""
@@ -119,4 +158,71 @@ CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_microbench" \
 echo ""
 echo "cold total: $(awk "BEGIN{print $COLD_MS/1000}") s"
 echo "warm total: $(awk "BEGIN{print $WARM_MS/1000}") s"
+echo "engine micro: $EVENTS_PER_SEC events/s"
 echo "wrote $OUT (microbench details: $MICRO_JSON)"
+
+# -------------------------------------------------------------- comparison
+if [[ -n "$COMPARE" ]]; then
+  # Per-bench "name": {"cold_s": X, "warm_s": Y} extraction from a previous
+  # BENCH_runtime.json (exactly the format this script writes).
+  old_field() {  # old_field <bench> <field>
+    awk -v b="\"$1\"" -v f="$2" '
+      index($0, b ":") {
+        if (match($0, "\"" f "\": *[0-9.eE+-]+")) {
+          s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s; exit
+        }
+      }' "$OLD_JSON"
+  }
+  old_total() {  # old_total <field>
+    awk -v f="$1" '
+      index($0, "\"" f "\"") {
+        if (match($0, "\"" f "\": *[0-9.eE+-]+")) {
+          s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s; exit
+        }
+      }' "$OLD_JSON"
+  }
+
+  echo ""
+  echo "== comparison vs $COMPARE =="
+  printf '  %-34s %10s %10s %8s   %10s %10s\n' \
+    bench old_cold_s new_cold_s delta old_warm_s new_warm_s
+  declare -n cmp_cold=TIMES_cold cmp_warm=TIMES_warm
+  for b in "${BENCHES[@]}"; do
+    oc=$(old_field "$b" cold_s); ow=$(old_field "$b" warm_s)
+    nc=$(awk "BEGIN{print ${cmp_cold[$b]}/1000}")
+    nw=$(awk "BEGIN{print ${cmp_warm[$b]}/1000}")
+    if [[ -z "$oc" ]]; then
+      printf '  %-34s %10s %10.2f %8s   %10s %10.2f\n' \
+        "$b" "-" "$nc" "new" "-" "$nw"
+      continue
+    fi
+    delta=$(awk "BEGIN{if ($oc > 0) printf \"%+.0f%%\", 100*($nc-$oc)/$oc;
+                       else print \"n/a\"}")
+    printf '  %-34s %10.2f %10.2f %8s   %10.2f %10.2f\n' \
+      "$b" "$oc" "$nc" "$delta" "$ow" "$nw"
+  done
+
+  OLD_COLD=$(old_total cold_total_s)
+  OLD_EPS=$(old_total events_per_sec)
+  NEW_COLD=$(awk "BEGIN{print $COLD_MS/1000}")
+  echo ""
+  awk "BEGIN{printf \"  cold total: %.2f s -> %.2f s (%+.0f%%)\n\", \
+       $OLD_COLD, $NEW_COLD, 100*($NEW_COLD-$OLD_COLD)/$OLD_COLD}"
+  if [[ -n "$OLD_EPS" && "$OLD_EPS" != "0" ]]; then
+    awk "BEGIN{printf \"  engine micro: %.0f -> %.0f events/s (%+.0f%%)\n\", \
+         $OLD_EPS, $EVENTS_PER_SEC, \
+         100*($EVENTS_PER_SEC-$OLD_EPS)/$OLD_EPS}"
+  fi
+
+  # Gate: >25% cold-suite regression fails the run so a perf loss cannot
+  # land silently. CODA_BENCH_NO_GATE=1 demotes it to a report.
+  REGRESSED=$(awk "BEGIN{print ($NEW_COLD > 1.25 * $OLD_COLD) ? 1 : 0}")
+  if [[ "$REGRESSED" == "1" ]]; then
+    if [[ "${CODA_BENCH_NO_GATE:-0}" == "1" ]]; then
+      echo "  WARNING: cold suite regressed >25% (gate disabled)" >&2
+    else
+      echo "  FAIL: cold suite regressed >25% vs $COMPARE" >&2
+      exit 1
+    fi
+  fi
+fi

@@ -71,6 +71,7 @@ void CodaScheduler::attach(const sched::SchedulerEnv& env) {
   gpu_cores_on_node_.assign(env_.cluster->node_count(), 0);
   borrowed_on_node_.assign(env_.cluster->node_count(), 0);
   cpu_jobs_by_node_.assign(env_.cluster->node_count(), {});
+  cross_borrowers_on_node_.assign(env_.cluster->node_count(), 0);
 
   if (config_.multi_array_enabled) {
     reserved_cores_ = std::clamp(config_.reserved_cores_per_node, 0,
@@ -387,12 +388,18 @@ bool CodaScheduler::migrate_cross_borrowers_for(
     const sched::PlacementRequest& request) {
   // Find 4-GPU-array nodes that would fit the request if their 1-GPU
   // borrowers were migrated away; migrate them (progress preserved).
+  if (cross_borrower_count_ == 0) {
+    return false;  // nothing to migrate; skip the per-node scan
+  }
   int prepared = 0;
   for (const auto& node : env_.cluster->nodes()) {
     if (prepared >= request.nodes) {
       break;
     }
-    if (!node_in_four_array(node.id())) {
+    // Per-node count first: scanning a node's allocation map for borrowers
+    // is only worth it when one actually lives there.
+    if (cross_borrowers_on_node_[node.id()] == 0 ||
+        !node_in_four_array(node.id())) {
       continue;
     }
     std::vector<cluster::JobId> borrowers;
@@ -421,7 +428,9 @@ bool CodaScheduler::migrate_cross_borrowers_for(
       one_gpu_array_.usage[spec.tenant] -= spec.total_gpus();
       for (const auto& np : it->second.placement.nodes) {
         gpu_cores_on_node_[np.node] -= np.cpus;
+        --cross_borrowers_on_node_[np.node];
       }
+      --cross_borrower_count_;
       running_gpu_.erase(it);
       const auto status = env_.preempt_job(job, /*keep_progress=*/true);
       CODA_ASSERT(status.ok());
@@ -445,6 +454,12 @@ void CodaScheduler::start_gpu_job(const workload::JobSpec& spec,
   r.cores_per_node = cores;
   r.four_array_job = four_array;
   r.cross_borrower = cross_borrower;
+  if (cross_borrower) {
+    ++cross_borrower_count_;
+    for (const auto& np : placement.nodes) {
+      ++cross_borrowers_on_node_[np.node];
+    }
+  }
   r.generation = next_generation_++;
   for (const auto& np : placement.nodes) {
     gpu_cores_on_node_[np.node] += np.cpus;
@@ -666,6 +681,12 @@ void CodaScheduler::on_job_evicted(const workload::JobSpec& spec) {
       allocator_.cancel(spec.id);
     }
     pending_outcomes_.erase(spec.id);
+    if (r.cross_borrower) {
+      --cross_borrower_count_;
+      for (const auto& np : r.placement.nodes) {
+        --cross_borrowers_on_node_[np.node];
+      }
+    }
     running_gpu_.erase(it);
     if (retry_after_eviction(spec)) {
       gpu_array_for(spec).push_front(spec);
@@ -703,6 +724,12 @@ void CodaScheduler::on_job_finished(const workload::JobSpec& spec) {
     }
     for (const auto& np : r.placement.nodes) {
       gpu_cores_on_node_[np.node] -= np.cpus;
+    }
+    if (r.cross_borrower) {
+      --cross_borrower_count_;
+      for (const auto& np : r.placement.nodes) {
+        --cross_borrowers_on_node_[np.node];
+      }
     }
     running_gpu_.erase(it);
   } else {

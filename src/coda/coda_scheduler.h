@@ -168,6 +168,10 @@ class CodaScheduler : public sched::Scheduler {
 
   std::map<cluster::JobId, RunningGpu> running_gpu_;
   std::map<cluster::JobId, RunningCpu> running_cpu_;
+  // Live cross-borrowers (1-GPU jobs on 4-GPU nodes). Usually zero, and
+  // every blocked 4-GPU start probes for migration candidates — the counter
+  // turns that probe into an O(1) no when there is nothing to migrate.
+  int cross_borrower_count_ = 0;
 
   std::vector<TuningOutcome> tuning_outcomes_;
   std::map<cluster::JobId, TuningOutcome> pending_outcomes_;
@@ -176,6 +180,7 @@ class CodaScheduler : public sched::Scheduler {
   // node allocation maps there would dominate the simulation).
   std::vector<int> gpu_cores_on_node_;       // cores held by GPU jobs
   std::vector<int> borrowed_on_node_;        // reserved cores lent to CPU jobs
+  std::vector<int> cross_borrowers_on_node_; // resident cross-borrower jobs
   std::vector<std::vector<cluster::JobId>> cpu_jobs_by_node_;
 
   void note_cpu_job_started(const RunningCpu& rc);

@@ -39,10 +39,11 @@ void ContentionEliminator::forget_job(cluster::JobId job) {
 }
 
 void ContentionEliminator::release_node(const cluster::Node& node) {
-  auto sample = env_->bandwidth->sample(node.id());
-  if (sample.pressure() >= config_.release_threshold) {
+  if (env_->bandwidth->pressure(node.id()) >= config_.release_threshold) {
     return;
   }
+  env_->bandwidth->sample_into(node.id(), &sample_scratch_);
+  const telemetry::NodeBandwidthSample& sample = sample_scratch_;
   // Anti-oscillation guard: only release a throttle when the *projected*
   // pressure — after the job roughly doubles its traffic back — still sits
   // below the trigger threshold. Without this, release/throttle would cycle
@@ -104,10 +105,13 @@ void ContentionEliminator::release_node(const cluster::Node& node) {
 void ContentionEliminator::check_node(
     const cluster::Node& node,
     const std::function<double(cluster::JobId)>& expected_util) {
-  const auto sample = env_->bandwidth->sample(node.id());
-  if (sample.pressure() < config_.bw_threshold) {
+  // Cheap screen first: most nodes sit below the threshold on most ticks,
+  // and the full per-job sample is only needed once one crosses it.
+  if (env_->bandwidth->pressure(node.id()) < config_.bw_threshold) {
     return;
   }
+  env_->bandwidth->sample_into(node.id(), &sample_scratch_);
+  const telemetry::NodeBandwidthSample& sample = sample_scratch_;
 
   // Threshold crossed — but only act when a DNN training job actually
   // suffers (Sec. V-D: threshold reached "and the GPU utilization of the

@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "perfmodel/train_perf.h"
 #include "sched/scheduler.h"
+#include "telemetry/mbm.h"
 
 namespace coda::core {
 
@@ -103,6 +104,10 @@ class ContentionEliminator {
   UserFacingPredicate is_user_facing_;
   EliminatorStats stats_;
   std::map<cluster::JobId, ThrottleRecord> throttled_;
+  // Probe scratch reused across check/release passes: the eliminator samples
+  // every node every check period, and each sample used to allocate a fresh
+  // jobs vector.
+  telemetry::NodeBandwidthSample sample_scratch_;
 };
 
 }  // namespace coda::core

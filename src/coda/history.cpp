@@ -5,74 +5,65 @@
 namespace coda::core {
 
 void HistoryLog::record(const HistoryRecord& record) {
-  by_owner_[{record.tenant, static_cast<int>(record.category)}].push_back(
-      records_.size());
   records_.push_back(record);
+
+  OwnerStats& stats =
+      by_owner_[{record.tenant, static_cast<int>(record.category)}];
+  stats.best_any = std::max(stats.best_any, record.optimal_cores);
+  int& shape_best =
+      stats.best_by_shape[{record.nodes, record.gpus_per_node}];
+  shape_best = std::max(shape_best, record.optimal_cores);
+
+  int& tenant_best = best_by_tenant_[record.tenant];
+  tenant_best = std::max(tenant_best, record.optimal_cores);
+
+  cores_per_gpu_sum_ +=
+      static_cast<double>(record.optimal_cores) / record.gpus_per_node;
+  const double gpus = record.nodes * record.gpus_per_node;
+  total_gpu_weight_ += gpus;
+  if (gpus >= 4.0) {
+    four_gpu_weight_ += gpus;
+  }
 }
 
 std::optional<int> HistoryLog::start_point(
     cluster::TenantId tenant, perfmodel::ModelCategory category, int nodes,
     int gpus_per_node) const {
   auto it = by_owner_.find({tenant, static_cast<int>(category)});
-  if (it == by_owner_.end() || it->second.empty()) {
+  if (it == by_owner_.end()) {
     return std::nullopt;
   }
   // Prefer records with the same GPU shape; fall back to any in category.
-  int best_same_shape = 0;
-  int best_any = 0;
-  for (size_t idx : it->second) {
-    const HistoryRecord& r = records_[idx];
-    best_any = std::max(best_any, r.optimal_cores);
-    if (r.nodes == nodes && r.gpus_per_node == gpus_per_node) {
-      best_same_shape = std::max(best_same_shape, r.optimal_cores);
-    }
+  auto shape_it = it->second.best_by_shape.find({nodes, gpus_per_node});
+  if (shape_it != it->second.best_by_shape.end() && shape_it->second > 0) {
+    return shape_it->second;
   }
-  return best_same_shape > 0 ? best_same_shape : best_any;
+  return it->second.best_any;
 }
 
 std::optional<int> HistoryLog::start_point_any(
     cluster::TenantId tenant) const {
-  int best = 0;
-  for (const auto& [key, indices] : by_owner_) {
-    if (key.first != tenant) {
-      continue;
-    }
-    for (size_t idx : indices) {
-      best = std::max(best, records_[idx].optimal_cores);
-    }
-  }
-  if (best == 0) {
+  auto it = best_by_tenant_.find(tenant);
+  if (it == best_by_tenant_.end() || it->second == 0) {
     return std::nullopt;
   }
-  return best;
+  return it->second;
 }
 
 std::optional<double> HistoryLog::mean_cores_per_gpu() const {
   if (records_.empty()) {
     return std::nullopt;
   }
-  double sum = 0.0;
-  for (const auto& r : records_) {
-    sum += static_cast<double>(r.optimal_cores) / r.gpus_per_node;
-  }
-  return sum / static_cast<double>(records_.size());
+  return cores_per_gpu_sum_ / static_cast<double>(records_.size());
 }
 
 std::optional<double> HistoryLog::four_gpu_fraction() const {
   if (records_.empty()) {
     return std::nullopt;
   }
-  // Weight by GPU demand, not job count: the sub-array split divides GPUs.
-  double four = 0.0;
-  double total = 0.0;
-  for (const auto& r : records_) {
-    const double gpus = r.nodes * r.gpus_per_node;
-    total += gpus;
-    if (gpus >= 4.0) {
-      four += gpus;
-    }
-  }
-  return total > 0.0 ? four / total : 0.0;
+  // Weighted by GPU demand, not job count: the sub-array split divides GPUs.
+  return total_gpu_weight_ > 0.0 ? four_gpu_weight_ / total_gpu_weight_
+                                 : 0.0;
 }
 
 }  // namespace coda::core

@@ -54,8 +54,21 @@ class HistoryLog {
 
  private:
   std::vector<HistoryRecord> records_;
-  // (tenant, category) -> indices into records_, for fast start_point.
-  std::map<std::pair<cluster::TenantId, int>, std::vector<size_t>> by_owner_;
+  // All queries are aggregates (maxima and sums), so record() folds each
+  // entry into running statistics and the lookups stay O(log n) regardless
+  // of how much history a tenant accumulates. The sums accumulate in record
+  // order — the same order the old full scans added in — so the derived
+  // means are bit-identical to recomputing from records_.
+  struct OwnerStats {
+    int best_any = 0;  // max optimal_cores in this (tenant, category)
+    // (nodes, gpus_per_node) -> max optimal_cores with that GPU shape.
+    std::map<std::pair<int, int>, int> best_by_shape;
+  };
+  std::map<std::pair<cluster::TenantId, int>, OwnerStats> by_owner_;
+  std::map<cluster::TenantId, int> best_by_tenant_;
+  double cores_per_gpu_sum_ = 0.0;
+  double four_gpu_weight_ = 0.0;
+  double total_gpu_weight_ = 0.0;
 };
 
 }  // namespace coda::core

@@ -11,6 +11,16 @@ NodeContentionReport NodeContentionModel::resolve(
     const cluster::NodeConfig& config,
     const std::vector<ResourceFootprint>& footprints) const {
   NodeContentionReport report;
+  resolve_into(config, footprints, &report);
+  return report;
+}
+
+void NodeContentionModel::resolve_into(
+    const cluster::NodeConfig& config,
+    const std::vector<ResourceFootprint>& footprints,
+    NodeContentionReport* out) const {
+  NodeContentionReport& report = *out;
+  report.jobs.clear();
   report.jobs.reserve(footprints.size());
 
   // Pass 1: node-wide totals after MBA throttling.
@@ -77,7 +87,6 @@ NodeContentionReport NodeContentionModel::resolve(
     }
     report.jobs.push_back(jc);
   }
-  return report;
 }
 
 }  // namespace coda::perfmodel

@@ -79,6 +79,13 @@ class NodeContentionModel {
       const cluster::NodeConfig& config,
       const std::vector<ResourceFootprint>& footprints) const;
 
+  // Allocation-free variant: overwrites `out` in place, reusing its jobs
+  // vector's capacity. The engine keeps one report per node and re-resolves
+  // on every population change — this keeps that hot path off the heap.
+  void resolve_into(const cluster::NodeConfig& config,
+                    const std::vector<ResourceFootprint>& footprints,
+                    NodeContentionReport* out) const;
+
  private:
   Params params_;
 };

@@ -13,9 +13,24 @@
 // The optimal core count is the knee where prep drops below the GPU phase —
 // allocating more cores no longer helps, matching Fig. 3's rise-then-plateau
 // curves and the allocator's stopping rule.
+//
+// Hot path (see DESIGN.md "Hot path & memoization"): every engine rate
+// update funnels through iter_time / gpu_utilization, so the model keeps a
+// small interned table of per-(model, TrainConfig) invariants (batch-ratio
+// powers, effective prep work, uncontended GPU phase, the uncontended knee
+// and optimum) and memoizes full evaluations on (cores, exact contention
+// factor bits). Memoized results are bit-for-bit identical to the reference
+// arithmetic — set_memoize(false) switches an instance to the original
+// unmemoized code path, and tests/perf_equivalence_test.cpp asserts equality
+// across the model zoo. An instance is NOT thread-safe (the caches mutate on
+// const evaluations); every engine/scheduler owns its own instance, which
+// matches how the parallel runner shards experiments across threads.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "perfmodel/dnn_model.h"
 
@@ -49,6 +64,20 @@ struct ContentionFactors {
 
 class TrainPerf {
  public:
+  // Memoization telemetry; surfaced as perf_cache_* metric counters by the
+  // simulation engine and printed by bench_engine_micro.
+  struct CacheStats {
+    uint64_t hits = 0;             // full evaluations served from the memo
+    uint64_t misses = 0;           // full evaluations computed and stored
+    uint64_t invariant_builds = 0; // distinct (model, config) entries built
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  TrainPerf() = default;
+
   // CPU data-preparation stage time per iteration on one node (seconds),
   // given `cores` allocated on that node.
   double prep_time(ModelId id, const TrainConfig& cfg, int cores,
@@ -96,14 +125,102 @@ class TrainPerf {
   int optimal_cores(ModelId id, const TrainConfig& cfg, int max_cores = 28,
                     double tolerance = 0.01) const;
 
+  // Toggles memoization (on by default). Turning it off clears every cache
+  // and routes evaluations through the original unmemoized arithmetic; the
+  // equivalence suite uses this as the bit-exact reference.
+  void set_memoize(bool on);
+  bool memoize() const { return memoize_; }
+  const CacheStats& cache_stats() const { return stats_; }
+
  private:
-  // Smallest core count where prep no longer bounds the pipeline (the knee
-  // of the utilization curve); max_cores when prep never fits.
-  int saturation_cores(ModelId id, const TrainConfig& cfg,
-                       const ContentionFactors& contention,
-                       int max_cores) const;
+  // ---- interned per-(model, config) invariants ----
+  struct InvKey {
+    int model = 0;
+    int nodes = 0;
+    int gpus_per_node = 0;
+    int batch_size = 0;
+    uint64_t net_bits = 0;  // bit pattern of net_gbps
+    bool operator==(const InvKey& o) const {
+      return model == o.model && nodes == o.nodes &&
+             gpus_per_node == o.gpus_per_node &&
+             batch_size == o.batch_size && net_bits == o.net_bits;
+    }
+  };
+  struct InvKeyHash {
+    size_t operator()(const InvKey& k) const;
+  };
+
+  // One full evaluation of the pipeline at (cores, contention factors).
+  struct EvalKey {
+    int cores = 0;
+    // Exact bit patterns of the contention factors. Quantization happens
+    // only in the HASH (low mantissa bits dropped so near-identical factors
+    // land in the same bucket); equality is exact, so a hit can never return
+    // a value computed from different inputs.
+    uint64_t prep_bits = 0;
+    uint64_t gpu_bits = 0;
+    bool operator==(const EvalKey& o) const {
+      return cores == o.cores && prep_bits == o.prep_bits &&
+             gpu_bits == o.gpu_bits;
+    }
+  };
+  struct EvalKeyHash {
+    size_t operator()(const EvalKey& k) const;
+  };
+  struct EvalEntry {
+    double prep = 0.0;
+    double gpu = 0.0;
+    double iter = 0.0;
+    double util = 0.0;
+  };
+
+  struct Invariants {
+    // Effective parallelizable prep work (batch power x multi-GPU sharing x
+    // multi-node collapse) and the uncontended GPU phase, both computed with
+    // the reference arithmetic so downstream expressions are bit-identical.
+    double prep_work = 0.0;
+    double gpu_base = 0.0;
+    double mem_per_gpu = 0.0;   // mem_bw_gbps x (BS/def)^mem_bs_exp
+    double pcie_per_gpu = 0.0;  // pcie_gbps x (BS/def)^mem_bs_exp
+    int opt_cores = -1;         // optimal_cores(default args); -1 = unfilled
+    double iter_at_opt = 0.0;   // uncontended iter_time at opt_cores
+    std::unordered_map<EvalKey, EvalEntry, EvalKeyHash> evals;
+  };
+
+  const Invariants& invariants(ModelId id, const TrainConfig& cfg) const;
+  const EvalEntry& evaluate(ModelId id, const TrainConfig& cfg, int cores,
+                            const ContentionFactors& contention) const;
+  // Closed-form/early-exit contended knee over the cached invariants;
+  // bit-identical to the reference linear scan.
+  int saturation_cores_fast(const ModelParams& p, const Invariants& inv,
+                            const ContentionFactors& contention,
+                            int max_cores) const;
+
+  // ---- reference (unmemoized) arithmetic: the original implementation ----
+  double ref_prep_time(ModelId id, const TrainConfig& cfg, int cores,
+                       const ContentionFactors& contention) const;
+  double ref_gpu_phase_time(ModelId id, const TrainConfig& cfg,
+                            const ContentionFactors& contention) const;
+  double ref_iter_time(ModelId id, const TrainConfig& cfg, int cores,
+                       const ContentionFactors& contention) const;
+  double ref_gpu_utilization(ModelId id, const TrainConfig& cfg, int cores,
+                             const ContentionFactors& contention) const;
+  int ref_saturation_cores(ModelId id, const TrainConfig& cfg,
+                           const ContentionFactors& contention,
+                           int max_cores) const;
+  int ref_optimal_cores(ModelId id, const TrainConfig& cfg, int max_cores,
+                        double tolerance) const;
 
   double batch_ratio(ModelId id, const TrainConfig& cfg) const;
+
+  bool memoize_ = true;
+  mutable CacheStats stats_;
+  // node-based map: Invariants addresses stay stable across rehashes.
+  mutable std::unordered_map<InvKey, std::unique_ptr<Invariants>, InvKeyHash>
+      interned_;
+  // One-entry lookup cache: evaluations cluster heavily on one (model, cfg).
+  mutable InvKey last_key_;
+  mutable Invariants* last_entry_ = nullptr;
 };
 
 }  // namespace coda::perfmodel

@@ -100,12 +100,29 @@ void DrfScheduler::kick() {
                 return a < b;
               });
     bool started = false;
+    // Within one offer round no job starts until the break below, so the
+    // cluster is frozen: a request shape that failed for one tenant fails
+    // identically for every later tenant and need not be searched again.
+    failed_shapes_.clear();
+    const auto already_failed = [this](const PlacementRequest& req) {
+      for (const auto& f : failed_shapes_) {
+        if (f.nodes == req.nodes && f.gpus_per_node == req.gpus_per_node &&
+            f.cpus_per_node == req.cpus_per_node) {
+          return true;
+        }
+      }
+      return false;
+    };
     for (cluster::TenantId id : order) {
       TenantState& state = tenants_[id];
       const workload::JobSpec& head = state.queue.front();
       const auto req = baseline_request(head);
+      if (already_failed(req)) {
+        continue;
+      }
       auto placement = find_placement(*env_.cluster, req);
       if (!placement.has_value()) {
+        failed_shapes_.push_back(req);
         continue;
       }
       const auto status = env_.start_job(head.id, *placement);

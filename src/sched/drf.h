@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "sched/placement.h"
 #include "sched/scheduler.h"
@@ -40,6 +41,9 @@ class DrfScheduler : public Scheduler {
 
   std::map<cluster::TenantId, TenantState> tenants_;
   size_t gpu_pending_ = 0;
+  // Request shapes that failed placement in the current offer round
+  // (capacity is constant until a start; scratch kept across kicks).
+  std::vector<PlacementRequest> failed_shapes_;
 };
 
 }  // namespace coda::sched

@@ -29,11 +29,33 @@ void FifoScheduler::kick() {
   // One pass over the backfill window in arrival order: start everything
   // that fits right now. Jobs that do not fit stay queued in place; with
   // window == 1 this degenerates to strict head-of-line-blocking FIFO.
+  //
+  // Free capacity only shrinks during the pass (starts allocate, nothing
+  // releases), and node feasibility is monotone in free resources — so once
+  // a request shape fails, every identical shape later in the window must
+  // fail too and its placement search can be skipped. Backlogged queues
+  // repeat a handful of shapes hundreds of times per kick.
   int examined = 0;
+  failed_shapes_.clear();
+  const auto already_failed = [this](const PlacementRequest& req) {
+    for (const auto& f : failed_shapes_) {
+      if (f.nodes == req.nodes && f.gpus_per_node == req.gpus_per_node &&
+          f.cpus_per_node == req.cpus_per_node) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (auto it = queue_.begin();
        it != queue_.end() && examined < backfill_window_; ++examined) {
-    auto placement = find_placement(*env_.cluster, baseline_request(*it));
+    const PlacementRequest request = baseline_request(*it);
+    if (already_failed(request)) {
+      ++it;
+      continue;
+    }
+    auto placement = find_placement(*env_.cluster, request);
     if (!placement.has_value()) {
+      failed_shapes_.push_back(request);
       ++it;
       continue;
     }

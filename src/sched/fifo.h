@@ -11,7 +11,7 @@
 // queueing behind bursts of CPU jobs.
 #pragma once
 
-#include <deque>
+#include <list>
 
 #include "sched/placement.h"
 #include "sched/scheduler.h"
@@ -39,8 +39,14 @@ class FifoScheduler : public Scheduler {
 
  private:
   int backfill_window_;
-  std::deque<workload::JobSpec> queue_;
+  // std::list, not deque: backfill erases from the middle of the queue, and
+  // a deque erase copies every JobSpec between the gap and the nearer end —
+  // quadratic during failure-storm backlogs. Iteration order is identical.
+  std::list<workload::JobSpec> queue_;
   size_t gpu_pending_ = 0;
+  // Request shapes that failed placement earlier in the current kick()
+  // pass (cleared on entry; scratch kept to avoid reallocating).
+  std::vector<PlacementRequest> failed_shapes_;
 };
 
 }  // namespace coda::sched

@@ -52,7 +52,37 @@ std::optional<Placement> find_placement(const cluster::Cluster& cluster,
                                         const NodeFilter& filter) {
   CODA_ASSERT(request.nodes >= 1);
   CODA_ASSERT(request.cpus_per_node >= 1 || request.gpus_per_node >= 1);
-  std::vector<Candidate> candidates;
+  // Single-node requests (every CPU job and most GPU jobs) dominate the
+  // schedulers' probe traffic: pick the best-fit node in one pass with no
+  // candidate buffer at all. The comparator is a strict total order (ties
+  // break on node id), so the running minimum is exactly sort()[0].
+  if (request.nodes == 1) {
+    Candidate best;
+    for (const auto& node : cluster.nodes()) {
+      if (!filter(node) ||
+          !node.can_fit(request.cpus_per_node, request.gpus_per_node)) {
+        continue;
+      }
+      Candidate c{&node, node.free_gpus() - request.gpus_per_node,
+                  node.free_cpus() - request.cpus_per_node};
+      if (best.node == nullptr || c < best) {
+        best = c;
+      }
+    }
+    if (best.node == nullptr) {
+      return std::nullopt;
+    }
+    Placement placement;
+    placement.nodes.push_back(NodePlacement{
+        best.node->id(), request.cpus_per_node, request.gpus_per_node});
+    return placement;
+  }
+  // Multi-node: rank every feasible node, take the best `nodes`. The
+  // scratch buffer is reused across calls (one per runner thread); only the
+  // leading `request.nodes` entries need to be ordered, and partial_sort
+  // selects the same prefix as a full sort under a total order.
+  static thread_local std::vector<Candidate> candidates;
+  candidates.clear();
   for (const auto& node : cluster.nodes()) {
     if (!filter(node)) {
       continue;
@@ -67,7 +97,8 @@ std::optional<Placement> find_placement(const cluster::Cluster& cluster,
   if (static_cast<int>(candidates.size()) < request.nodes) {
     return std::nullopt;
   }
-  std::sort(candidates.begin(), candidates.end());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + request.nodes, candidates.end());
   Placement placement;
   for (int i = 0; i < request.nodes; ++i) {
     placement.nodes.push_back(NodePlacement{candidates[static_cast<size_t>(i)].node->id(),

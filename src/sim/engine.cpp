@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/assert.h"
 #include "util/logging.h"
@@ -23,6 +24,15 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
     list.reserve(16);  // a 28-core node rarely hosts more residents
   }
   footprints_scratch_.reserve(32);
+  node_dirty_.assign(cluster_.node_count(), 0);
+  dirty_nodes_.reserve(cluster_.node_count());
+  if (config_.incremental_recompute) {
+    // Drain the dirty set after every dispatched event: each event's
+    // mutations happen at one simulated instant, so one recompute per
+    // touched node at the end of the dispatch observes the same state the
+    // eager path's last recompute would.
+    sim_.set_post_dispatch([this] { flush_dirty_nodes(); });
+  }
 
   series_.gpu_active = &metrics_.series_mut("gpu_active_rate");
   series_.cpu_active = &metrics_.series_mut("cpu_active_rate");
@@ -53,7 +63,7 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
     if (status.ok()) {
       event_log_.record(sim_.now(), EventKind::kBwCap, id,
                         static_cast<int>(node), cap);
-      recompute_node(node);
+      mark_node_dirty(node);
     }
     return status;
   };
@@ -61,7 +71,7 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
     mba_.clear_cap(node, id);
     event_log_.record(sim_.now(), EventKind::kBwCapClear, id,
                       static_cast<int>(node));
-    recompute_node(node);
+    mark_node_dirty(node);
   };
   env.bw_cap = [this](cluster::NodeId node, cluster::JobId id) {
     return mba_.cap(node, id);
@@ -105,12 +115,18 @@ void ClusterEngine::on_arrival(cluster::JobId id) {
   scheduler_->kick();
 }
 
-void ClusterEngine::run_until(double until) { sim_.run_until(until); }
+void ClusterEngine::run_until(double until) {
+  // Mutations made through the direct API (tests injecting failures, the
+  // service layer) land between dispatches; sync before the queue advances.
+  flush_dirty_nodes();
+  sim_.run_until(until);
+}
 
 void ClusterEngine::drain(double hard_cap) {
   // Periodic metric/eliminator events keep the queue non-empty forever, so
   // advance in chunks and stop once every submitted job completed or was
   // abandoned by the retry policy.
+  flush_dirty_nodes();
   while (sim_.now() < hard_cap &&
          finished_count_ + abandoned_count_ < records_.size()) {
     sim_.run_until(std::min(hard_cap, sim_.now() + 6.0 * 3600.0));
@@ -165,12 +181,13 @@ util::Status ClusterEngine::start_job(cluster::JobId id,
   CODA_ASSERT(inserted);
   RunningJob& running = it->second;
   for (const auto& np : placement.nodes) {
-    jobs_on_node_[np.node].push_back(id);
-    running.nodes[np.node].cpus = np.cpus;
+    PerNodeState& st = running.nodes[np.node];
+    st.cpus = np.cpus;
     rebuild_footprint(running, np.node);
+    jobs_on_node_[np.node].push_back(Resident{id, &running, &st});
   }
   for (const auto& np : placement.nodes) {
-    recompute_node(np.node);
+    mark_node_dirty(np.node);
   }
 
   // Queueing accounting.
@@ -231,7 +248,9 @@ util::Status ClusterEngine::stop_running_job(cluster::JobId id,
   std::vector<cluster::NodeId> affected;
   for (const auto& np : job.placement.nodes) {
     auto& list = jobs_on_node_[np.node];
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [id](const Resident& r) { return r.id == id; }),
+               list.end());
     auto release = cluster_.node(np.node).release(id);
     CODA_ASSERT(release.ok());
     affected.push_back(np.node);
@@ -239,7 +258,7 @@ util::Status ClusterEngine::stop_running_job(cluster::JobId id,
   mba_.clear_job(id);
   running_.erase(it);
   for (cluster::NodeId node : affected) {
-    recompute_node(node);
+    mark_node_dirty(node);
   }
   record.preempt_count += 1;
   pending_since_[id] = sim_.now();
@@ -269,7 +288,7 @@ util::Status ClusterEngine::resize_job(cluster::JobId id,
     }
   }
   rebuild_footprint(job, node);
-  recompute_node(node);
+  mark_node_dirty(node);
   event_log_.record(sim_.now(), EventKind::kResize, id,
                     static_cast<int>(node), new_cpus);
   return util::Status::Ok();
@@ -283,7 +302,11 @@ util::Status ClusterEngine::fail_node(cluster::NodeId node_id) {
   }
   // Evict every resident job (multi-node jobs die wholesale: the failed
   // leg takes the gang down). Snapshot ids first: eviction mutates lists.
-  const std::vector<cluster::JobId> victims = jobs_on_node_[node_id];
+  std::vector<cluster::JobId> victims;
+  victims.reserve(jobs_on_node_[node_id].size());
+  for (const Resident& r : jobs_on_node_[node_id]) {
+    victims.push_back(r.id);
+  }
   for (cluster::JobId id : victims) {
     if (running_.count(id) == 0) {
       continue;  // already evicted as another leg of a multi-node job
@@ -341,7 +364,9 @@ void ClusterEngine::finish_job(cluster::JobId id) {
   std::vector<cluster::NodeId> affected;
   for (const auto& np : job.placement.nodes) {
     auto& list = jobs_on_node_[np.node];
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [id](const Resident& r) { return r.id == id; }),
+               list.end());
     auto release = cluster_.node(np.node).release(id);
     CODA_ASSERT(release.ok());
     affected.push_back(np.node);
@@ -352,7 +377,7 @@ void ClusterEngine::finish_job(cluster::JobId id) {
   ++finished_count_;
   event_log_.record(sim_.now(), EventKind::kFinish, id);
   for (cluster::NodeId node : affected) {
-    recompute_node(node);
+    mark_node_dirty(node);
   }
   scheduler_->on_job_finished(record.spec);
   scheduler_->kick();
@@ -410,29 +435,68 @@ void ClusterEngine::rebuild_footprint(RunningJob& job, cluster::NodeId node) {
   }
 }
 
+void ClusterEngine::mark_node_dirty(cluster::NodeId node) {
+  if (!config_.incremental_recompute) {
+    recompute_node(node);
+    return;
+  }
+  // Rates are piecewise constant and integrated lazily, so progress must be
+  // brought up to now() at exactly the instants the eager path would have
+  // (each advance rounds; a different partition of the same interval gives
+  // different low bits). All of this dispatch's later mutations happen at
+  // the same now(), making the deferred recompute's advance a no-op.
+  for (const Resident& r : jobs_on_node_[node]) {
+    advance_progress(*r.job);
+  }
+  if (!node_dirty_[node]) {
+    node_dirty_[node] = 1;
+    dirty_nodes_.push_back(node);
+  }
+}
+
+void ClusterEngine::flush_dirty_nodes() const {
+  if (dirty_nodes_.empty()) {
+    return;
+  }
+  // Only derived state (contention reports, rates, finish events) moves;
+  // observable semantics match the eager path, hence the logical constness.
+  ClusterEngine* self = const_cast<ClusterEngine*>(this);
+  ++self->stats_.dirty_flushes;
+  // Ascending node order keeps the recompute sequence — and with it the
+  // finish-event insertion order — independent of mutation order.
+  std::sort(self->dirty_nodes_.begin(), self->dirty_nodes_.end());
+  for (cluster::NodeId node : self->dirty_nodes_) {
+    self->node_dirty_[node] = 0;
+    self->recompute_node(node);
+  }
+  self->dirty_nodes_.clear();
+}
+
 void ClusterEngine::recompute_node(cluster::NodeId node) {
+  ++stats_.node_recomputes;
   std::vector<perfmodel::ResourceFootprint>& footprints = footprints_scratch_;
   footprints.clear();
-  for (cluster::JobId id : jobs_on_node_[node]) {
-    auto it = running_.find(id);
-    CODA_ASSERT(it != running_.end());
-    PerNodeState& st = it->second.nodes.at(node);
+  const std::vector<Resident>& residents = jobs_on_node_[node];
+  for (const Resident& r : residents) {
+    PerNodeState& st = *r.state;
     if (!st.footprint.is_gpu_job) {
-      st.footprint.mem_bw_cap_gbps = mba_.cap(node, id);  // live MBA view
+      st.footprint.mem_bw_cap_gbps = mba_.cap(node, r.id);  // live MBA view
     }
     footprints.push_back(st.footprint);
   }
-  node_reports_[node] =
-      contention_.resolve(cluster_.node(node).config(), footprints);
+  contention_.resolve_into(cluster_.node(node).config(), footprints,
+                           &node_reports_[node]);
   const auto& report = node_reports_[node];
+  // resolve_into emits one row per footprint in input order, so the rows
+  // zip with the resident list — no per-row job lookup.
+  CODA_ASSERT(report.jobs.size() == residents.size());
   for (size_t i = 0; i < report.jobs.size(); ++i) {
-    const cluster::JobId id = report.jobs[i].job;
-    RunningJob& job = running_.at(id);
-    PerNodeState& st = job.nodes.at(node);
+    CODA_ASSERT(report.jobs[i].job == residents[i].id);
+    PerNodeState& st = *residents[i].state;
     st.factors = report.jobs[i].factors;
     st.cpu_rate_factor = report.jobs[i].cpu_rate_factor;
     st.achieved_bw = report.jobs[i].achieved_bw_gbps;
-    update_rate(job);
+    update_rate(*residents[i].job);
   }
 }
 
@@ -466,18 +530,33 @@ void ClusterEngine::advance_progress(RunningJob& job) {
 
 void ClusterEngine::update_rate(RunningJob& job) {
   advance_progress(job);
+  ++stats_.rate_updates;
+  const double old_rate = job.rate;
   const workload::JobSpec& spec = *job.spec;
   if (spec.is_gpu_job()) {
     // The slowest node gates a synchronous data-parallel job.
     double iter = 0.0;
     double util = 1.0;
-    for (const auto& [node, st] : job.nodes) {
-      iter = std::max(iter, perf_.iter_time(spec.model, spec.train_config,
-                                            std::max(1, st.cpus),
-                                            st.factors));
-      util = std::min(util, perf_.gpu_utilization(
-                                spec.model, spec.train_config,
-                                std::max(1, st.cpus), st.factors));
+    for (auto& [node, st] : job.nodes) {
+      const int cores = std::max(1, st.cpus);
+      uint64_t prep_bits;
+      uint64_t gpu_bits;
+      std::memcpy(&prep_bits, &st.factors.prep_inflation, sizeof(prep_bits));
+      std::memcpy(&gpu_bits, &st.factors.gpu_inflation, sizeof(gpu_bits));
+      if (st.eval_cpus != cores || st.eval_prep_bits != prep_bits ||
+          st.eval_gpu_bits != gpu_bits) {
+        st.eval_iter = perf_.iter_time(spec.model, spec.train_config, cores,
+                                       st.factors);
+        st.eval_util = perf_.gpu_utilization(spec.model, spec.train_config,
+                                             cores, st.factors);
+        st.eval_prep = perf_.prep_time(spec.model, spec.train_config, cores,
+                                       st.factors);
+        st.eval_cpus = cores;
+        st.eval_prep_bits = prep_bits;
+        st.eval_gpu_bits = gpu_bits;
+      }
+      iter = std::max(iter, st.eval_iter);
+      util = std::min(util, st.eval_util);
     }
     CODA_ASSERT(iter > 0.0);
     job.rate = 1.0 / iter;
@@ -493,12 +572,24 @@ void ClusterEngine::update_rate(RunningJob& job) {
     job.rate *= spec.checkpoint_interval_s /
                 (spec.checkpoint_interval_s + spec.checkpoint_overhead_s);
   }
+  // An unchanged rate leaves the finish instant where it is: the pending
+  // event's time equals now + remaining/rate in exact arithmetic (and with
+  // LESS accumulated rounding — it was anchored when the rate last actually
+  // changed). Skipping the cancel + re-push keeps neighbor-rate refreshes —
+  // the bulk of recompute work on uncontended nodes — entirely off the heap.
+  // Exact equality, not epsilon: a rate that moved even one ulp must move
+  // its event, or determinism across recompute orders is lost.
+  if (job.rate == old_rate && job.finish_event.pending()) {
+    ++stats_.reschedules_skipped;
+    return;
+  }
   reschedule_finish(job);
 }
 
 void ClusterEngine::reschedule_finish(RunningJob& job) {
   job.finish_event.cancel();
   CODA_ASSERT(job.rate > 0.0);
+  ++stats_.reschedules;
   const double dt = job.remaining / job.rate;
   const cluster::JobId id = job.id;
   job.finish_event =
@@ -510,8 +601,17 @@ void ClusterEngine::reschedule_finish(RunningJob& job) {
 telemetry::NodeBandwidthSample ClusterEngine::sample(
     cluster::NodeId node) const {
   telemetry::NodeBandwidthSample s;
-  s.node = node;
-  s.capacity_gbps = cluster_.node(node).config().mem_bw_gbps;
+  sample_into(node, &s);
+  return s;
+}
+
+void ClusterEngine::sample_into(cluster::NodeId node,
+                                telemetry::NodeBandwidthSample* out) const {
+  flush_dirty_nodes();
+  out->node = node;
+  out->capacity_gbps = cluster_.node(node).config().mem_bw_gbps;
+  out->total_gbps = 0.0;
+  out->jobs.clear();
   const auto& report = node_reports_[node];
   for (const auto& jc : report.jobs) {
     auto it = running_.find(jc.job);
@@ -522,13 +622,34 @@ telemetry::NodeBandwidthSample ClusterEngine::sample(
     jb.job = jc.job;
     jb.is_gpu_job = it->second.spec->is_gpu_job();
     jb.gbps = jc.achieved_bw_gbps;
-    s.total_gbps += jb.gbps;
-    s.jobs.push_back(jb);
+    // Totalled from the surviving rows, not report.total_demand_gbps: a job
+    // that finished since the last recompute must not haunt the probe.
+    out->total_gbps += jb.gbps;
+    out->jobs.push_back(jb);
   }
-  return s;
+}
+
+double ClusterEngine::pressure(cluster::NodeId node) const {
+  flush_dirty_nodes();
+  const double cap = cluster_.node(node).config().mem_bw_gbps;
+  if (cap <= 0.0) {
+    return 0.0;
+  }
+  // After the flush every report row is a live job (finish/evict mark the
+  // node dirty), so summing the report directly matches sample_into's
+  // live-filtered total — same rows, same order, same bits — without the
+  // per-row running_ lookups. The eliminator screens every node with this
+  // each tick; keeping it allocation- and lookup-free is what makes the
+  // periodic full-cluster scan cheap.
+  double total = 0.0;
+  for (const auto& jc : node_reports_[node].jobs) {
+    total += jc.achieved_bw_gbps;
+  }
+  return total / cap;
 }
 
 double ClusterEngine::gpu_utilization(cluster::JobId job) const {
+  flush_dirty_nodes();
   auto it = running_.find(job);
   if (it == running_.end() || !it->second.spec->is_gpu_job()) {
     return -1.0;
@@ -542,6 +663,7 @@ double ClusterEngine::gpu_utilization(cluster::JobId job) const {
 }
 
 double ClusterEngine::expected_gpu_utilization(cluster::JobId job) const {
+  flush_dirty_nodes();
   auto it = running_.find(job);
   if (it == running_.end() || !it->second.spec->is_gpu_job()) {
     return -1.0;
@@ -559,6 +681,7 @@ double ClusterEngine::expected_gpu_utilization(cluster::JobId job) const {
 // ----------------------------------------------------------------- metrics
 
 void ClusterEngine::sample_metrics() {
+  flush_dirty_nodes();
   const double t = sim_.now();
   series_.gpu_active->add(t, cluster_.gpu_active_rate());
   series_.cpu_active->add(t, cluster_.cpu_active_rate());
@@ -609,8 +732,23 @@ void ClusterEngine::sample_metrics() {
       gpu_util_weighted += job.gpu_util * gpus;
       active_gpus += gpus;
       for (const auto& [node, st] : job.nodes) {
-        const double prep = perf_.prep_time(spec.model, spec.train_config,
-                                            std::max(1, st.cpus), st.factors);
+        // update_rate keeps the eval cache in sync with (cpus, factors)
+        // whenever rates are fresh — which flush_dirty_nodes() above just
+        // guaranteed — so the prep stage costs no model lookup here. The
+        // bit-compare fallback covers any path that mutated state without a
+        // rate update; it returns the identical value either way.
+        uint64_t prep_bits;
+        uint64_t gpu_bits;
+        std::memcpy(&prep_bits, &st.factors.prep_inflation,
+                    sizeof(prep_bits));
+        std::memcpy(&gpu_bits, &st.factors.gpu_inflation, sizeof(gpu_bits));
+        const bool cached = st.eval_cpus == std::max(1, st.cpus) &&
+                            st.eval_prep_bits == prep_bits &&
+                            st.eval_gpu_bits == gpu_bits;
+        const double prep =
+            cached ? st.eval_prep
+                   : perf_.prep_time(spec.model, spec.train_config,
+                                     std::max(1, st.cpus), st.factors);
         const double iter = 1.0 / job.rate;
         cpu_busy += st.cpus * std::min(1.0, prep / iter);
         active_cores += st.cpus;
@@ -632,6 +770,19 @@ void ClusterEngine::sample_metrics() {
   }
   series_.mem_pressure->add(
       t, pressure / static_cast<double>(node_reports_.size()));
+
+  // Hot-path accounting, republished as gauges so reports (and the micro
+  // bench) can read cache effectiveness without new plumbing.
+  const perfmodel::TrainPerf::CacheStats& cs = perf_.cache_stats();
+  metrics_.set("perf_cache_hits", static_cast<double>(cs.hits));
+  metrics_.set("perf_cache_misses", static_cast<double>(cs.misses));
+  metrics_.set("engine_node_recomputes",
+               static_cast<double>(stats_.node_recomputes));
+  metrics_.set("engine_rate_updates", static_cast<double>(stats_.rate_updates));
+  metrics_.set("engine_reschedules_skipped",
+               static_cast<double>(stats_.reschedules_skipped));
+  metrics_.set("engine_dirty_flushes",
+               static_cast<double>(stats_.dirty_flushes));
 }
 
 }  // namespace coda::sim

@@ -11,6 +11,7 @@
 // re-schedules their completion events. Everything is deterministic.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -48,6 +49,13 @@ struct EngineConfig {
   // (see sim/event_log.h). Off by default: a month-long replay produces
   // hundreds of thousands of events.
   bool record_events = false;
+
+  // Batch node recomputes behind a dirty set drained once per dispatched
+  // event (and lazily before any telemetry read) instead of re-resolving
+  // contention on every placement/eviction/throttle mutation. Keep on; the
+  // eager path exists as the bit-exact reference for the equivalence suite
+  // (tests/perf_equivalence_test.cpp) and for debugging.
+  bool incremental_recompute = true;
 };
 
 // Per-job lifecycle record; the raw material for every queueing/latency
@@ -131,9 +139,24 @@ class ClusterEngine : public telemetry::BandwidthSource,
   size_t finished_jobs() const { return finished_count_; }
   size_t abandoned_jobs() const { return abandoned_count_; }
   const EventLog& event_log() const { return event_log_; }
+  const perfmodel::TrainPerf& perf() const { return perf_; }
+
+  // Hot-path accounting (events/sec companions; see bench_engine_micro).
+  // Republished as metric counters every metrics tick.
+  struct EngineStats {
+    uint64_t node_recomputes = 0;      // contention re-resolutions
+    uint64_t rate_updates = 0;         // per-job rate recomputations
+    uint64_t reschedules = 0;          // finish events (re)scheduled
+    uint64_t reschedules_skipped = 0;  // rate unchanged -> event kept
+    uint64_t dirty_flushes = 0;        // dirty-set drains that did work
+  };
+  const EngineStats& engine_stats() const { return stats_; }
 
   // ---- telemetry interfaces (simulated MBM / nvidia-smi) ----
   telemetry::NodeBandwidthSample sample(cluster::NodeId node) const override;
+  void sample_into(cluster::NodeId node,
+                   telemetry::NodeBandwidthSample* out) const override;
+  double pressure(cluster::NodeId node) const override;
   double gpu_utilization(cluster::JobId job) const override;
 
   // No-contention utilization a running GPU job should reach with its
@@ -147,6 +170,15 @@ class ClusterEngine : public telemetry::BandwidthSource,
     perfmodel::ContentionFactors factors;
     double cpu_rate_factor = 1.0;
     double achieved_bw = 0.0;
+    // One-entry eval cache: iter/util at (cpus, exact factor bits). A
+    // neighbor's recompute usually leaves this job's inputs untouched, and
+    // the bit-compare then skips even the perf model's memo hashtable.
+    int eval_cpus = -1;
+    uint64_t eval_prep_bits = 0;
+    uint64_t eval_gpu_bits = 0;
+    double eval_iter = 0.0;
+    double eval_util = 0.0;
+    double eval_prep = 0.0;  // prep-stage time; metrics ticks read it
   };
 
   struct RunningJob {
@@ -191,6 +223,16 @@ class ClusterEngine : public telemetry::BandwidthSource,
   void rebuild_footprint(RunningJob& job, cluster::NodeId node);
   // Re-resolves contention on a node and updates every resident job's rate.
   void recompute_node(cluster::NodeId node);
+  // Marks a node's contention state stale after a mutation. Incremental
+  // mode integrates resident jobs' progress now (rates are piecewise
+  // constant, so the integration points must match the eager path bit for
+  // bit) and defers the recompute to flush_dirty_nodes(); eager mode
+  // recomputes immediately.
+  void mark_node_dirty(cluster::NodeId node);
+  // Drains the dirty set in ascending node order. Runs after every event
+  // dispatch and lazily before any read that consumes rates or contention
+  // reports; const because it only syncs derived state (logical constness).
+  void flush_dirty_nodes() const;
   void update_rate(RunningJob& job);
   void advance_progress(RunningJob& job);
   void reschedule_finish(RunningJob& job);
@@ -211,8 +253,17 @@ class ClusterEngine : public telemetry::BandwidthSource,
 
   std::map<cluster::JobId, JobRecord> records_;
   std::map<cluster::JobId, RunningJob> running_;
+  // One resident job on one node. Caches the RunningJob and PerNodeState
+  // addresses (stable: both live in std::map nodes) so the recompute path
+  // never pays the two map lookups per resident; entries are removed before
+  // the owning RunningJob is erased.
+  struct Resident {
+    cluster::JobId id = 0;
+    RunningJob* job = nullptr;
+    PerNodeState* state = nullptr;
+  };
   // Jobs resident on each node (GPU jobs may appear on several nodes).
-  std::vector<std::vector<cluster::JobId>> jobs_on_node_;
+  std::vector<std::vector<Resident>> jobs_on_node_;
   // Last contention report per node (backs the MBM sample()).
   std::vector<perfmodel::NodeContentionReport> node_reports_;
   std::map<cluster::JobId, double> pending_since_;
@@ -221,6 +272,13 @@ class ClusterEngine : public telemetry::BandwidthSource,
   // Scratch buffer for recompute_node (reused across calls to avoid a
   // per-event allocation on the hottest engine path).
   std::vector<perfmodel::ResourceFootprint> footprints_scratch_;
+
+  // Dirty-node batching (incremental_recompute): per-node staleness bits
+  // plus the insertion list flushed (sorted) once per event dispatch.
+  std::vector<uint8_t> node_dirty_;
+  std::vector<cluster::NodeId> dirty_nodes_;
+
+  EngineStats stats_;
 
   // Metric series resolved once at construction; sample_metrics runs every
   // tick and must not pay a map<string> lookup per series.

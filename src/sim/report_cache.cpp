@@ -47,6 +47,7 @@ void mix_engine_config(CacheKeyHasher& h, const EngineConfig& cfg) {
   h.mix(cfg.util_noise_stddev);
   h.mix(cfg.noise_seed);
   h.mix(cfg.record_events);
+  h.mix(cfg.incremental_recompute);
 }
 
 void mix_coda_config(CacheKeyHasher& h, const core::CodaConfig& cfg) {

@@ -70,6 +70,9 @@ size_t Simulator::run_until(SimTime until) {
     fn();
     ++n;
     ++dispatched_;
+    if (post_dispatch_) {
+      post_dispatch_();
+    }
   }
   if (now_ < until) {
     now_ = until;  // advance the clock even if the queue drained early

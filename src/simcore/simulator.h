@@ -56,10 +56,18 @@ class Simulator {
   // lazily drops cancelled heap entries.
   SimTime next_event_time();
 
+  // Installs `fn` to run after every dispatched event, before the clock
+  // advances to the next one. The simulation engine uses this to drain its
+  // dirty-node set exactly once per dispatch: all mutations an event makes
+  // happen at one simulated instant, so batching their recomputes here is
+  // observationally identical to recomputing eagerly. Pass nullptr to clear.
+  void set_post_dispatch(EventFn fn) { post_dispatch_ = std::move(fn); }
+
  private:
   SimTime now_ = 0.0;
   EventQueue queue_;
   size_t dispatched_ = 0;
+  EventFn post_dispatch_;
 };
 
 }  // namespace coda::simcore

@@ -35,6 +35,26 @@ class BandwidthSource {
  public:
   virtual ~BandwidthSource() = default;
   virtual NodeBandwidthSample sample(cluster::NodeId node) const = 0;
+
+  // Allocation-free variant: fills `out` in place, reusing its vector
+  // capacity. Periodic consumers (the contention eliminator probes every
+  // node every check period) keep one scratch sample instead of rebuilding
+  // the per-job vector each tick. The default forwards to sample().
+  virtual void sample_into(cluster::NodeId node,
+                           NodeBandwidthSample* out) const {
+    *out = sample(node);
+  }
+
+  // Cheap threshold probe: the node's total achieved bandwidth as a
+  // fraction of capacity, without materializing the per-job breakdown. The
+  // eliminator screens every node every tick with this and only pulls the
+  // full sample for the rare node over its threshold. Must agree with
+  // sample(node).pressure(); the default guarantees that by construction.
+  virtual double pressure(cluster::NodeId node) const {
+    NodeBandwidthSample s;
+    sample_into(node, &s);
+    return s.pressure();
+  }
 };
 
 // Live per-job GPU utilization probe (nvidia-smi / DCGM stand-in);

@@ -8,6 +8,10 @@ void MetricRegistry::increment(const std::string& name, double amount) {
   counters_[name] += amount;
 }
 
+void MetricRegistry::set(const std::string& name, double value) {
+  counters_[name] = value;
+}
+
 double MetricRegistry::counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0.0;

@@ -16,6 +16,10 @@ class MetricRegistry {
  public:
   // Monotonic counter (creates on first use).
   void increment(const std::string& name, double amount = 1.0);
+  // Overwrites a counter with an absolute value (creates on first use).
+  // For gauges mirrored from an external accumulator — e.g. the engine
+  // republishes its perf-model cache hit/miss totals each metrics tick.
+  void set(const std::string& name, double value);
   double counter(const std::string& name) const;
 
   // Appends a (t, value) sample to the named series (creates on first use).

@@ -337,6 +337,65 @@ TEST(Engine, BandwidthSampleReportsPerJobTraffic) {
   EXPECT_NEAR(gpu_bw, 14.0, 1.5);
 }
 
+TEST(Engine, BandwidthSampleExcludesJobsFinishedSinceRecompute) {
+  // A job that finishes between a node recompute and a probe must not
+  // appear in the sample — neither as a row nor inside total_gbps. Checked
+  // in both engine modes: total_gbps is summed from the surviving rows, not
+  // copied from the (possibly stale) contention report.
+  for (bool incremental : {true, false}) {
+    SCOPED_TRACE(incremental ? "incremental" : "eager");
+    ProbeScheduler probe;
+    EngineConfig cfg = small_engine_config(1);
+    cfg.incremental_recompute = incremental;
+    ClusterEngine engine(cfg, &probe);
+    auto shortjob = workload::make_heat_job(workload::HeatParams{4}, 100.0);
+    shortjob.id = 1;  // 25 s at 4 cores
+    auto longjob = workload::make_heat_job(workload::HeatParams{4}, 4000.0);
+    longjob.id = 2;
+    engine.inject(shortjob, 0.0);
+    engine.inject(longjob, 0.0);
+    engine.run_until(0.0);
+    ASSERT_TRUE(probe.env().start_job(1, on_node(0, 4, 0)).ok());
+    ASSERT_TRUE(probe.env().start_job(2, on_node(0, 4, 0)).ok());
+
+    // Probe exactly at the short job's finish instant, then after it.
+    for (double t : {25.0, 30.0}) {
+      engine.run_until(t);
+      const auto sample = probe.env().bandwidth->sample(0);
+      ASSERT_EQ(sample.jobs.size(), 1u) << "t=" << t;
+      EXPECT_EQ(sample.jobs[0].job, 2u);
+      EXPECT_DOUBLE_EQ(sample.total_gbps, sample.jobs[0].gbps);
+    }
+    EXPECT_TRUE(engine.records().at(1).completed);
+  }
+}
+
+TEST(Engine, HotPathCountersPublished) {
+  ProbeScheduler probe;
+  EngineConfig cfg = small_engine_config(1);
+  cfg.metrics_period_s = 10.0;
+  ClusterEngine engine(cfg, &probe);
+  engine.inject(gpu_spec(1, ModelId::kVgg16, 1e9), 0.0);
+  engine.inject(gpu_spec(2, ModelId::kResnet50, 1e9, 4), 0.0);
+  engine.run_until(0.0);
+  ASSERT_TRUE(probe.env().start_job(1, on_node(0, 3, 1)).ok());
+  ASSERT_TRUE(probe.env().start_job(2, on_node(0, 4, 1)).ok());
+  engine.run_until(35.0);
+
+  const auto& stats = engine.engine_stats();
+  EXPECT_GT(stats.node_recomputes, 0u);
+  EXPECT_GT(stats.rate_updates, 0u);
+  EXPECT_GT(stats.dirty_flushes, 0u);
+  EXPECT_GT(engine.perf().cache_stats().hits, 0u);
+
+  // Republished as metric counters on every metrics tick.
+  EXPECT_GT(engine.metrics().counter("engine_node_recomputes"), 0.0);
+  EXPECT_GT(engine.metrics().counter("engine_rate_updates"), 0.0);
+  EXPECT_GT(engine.metrics().counter("perf_cache_hits"), 0.0);
+  EXPECT_EQ(engine.metrics().counter("engine_node_recomputes"),
+            static_cast<double>(stats.node_recomputes));
+}
+
 TEST(Engine, GpuUtilizationProbe) {
   ProbeScheduler probe;
   ClusterEngine engine(small_engine_config(1), &probe);

@@ -357,6 +357,33 @@ TEST(Characterization, SavesCsvFiles) {
   EXPECT_FALSE(save_characterization_csv("/nonexistent_dir_xyz").ok());
 }
 
+TEST(TrainPerf, RepeatedDemandProbesReturnIdenticalBits) {
+  // mem_bw/pcie demand derive from the cached per-(model, config) optimum;
+  // repeated calls must be bit-identical (the scheduler compares demands
+  // against thresholds, so even 1-ulp jitter would flip decisions) and must
+  // not rebuild the invariants each time.
+  TrainPerf perf;
+  const TrainConfig configs[] = {config_1n1g(), config_1n4g(), config_2n4g()};
+  for (ModelId id : kAllModels) {
+    for (const TrainConfig& cfg : configs) {
+      for (int cores : {1, 4, 16, 28}) {
+        const double mem = perf.mem_bw_demand_gbps(id, cfg, cores);
+        const double pcie = perf.pcie_demand_gbps(id, cfg, cores);
+        for (int i = 0; i < 3; ++i) {
+          ASSERT_EQ(perf.mem_bw_demand_gbps(id, cfg, cores), mem)
+              << to_string(id) << " " << cfg.name() << " cores=" << cores;
+          ASSERT_EQ(perf.pcie_demand_gbps(id, cfg, cores), pcie)
+              << to_string(id) << " " << cfg.name() << " cores=" << cores;
+        }
+      }
+    }
+  }
+  const uint64_t builds = perf.cache_stats().invariant_builds;
+  EXPECT_LE(builds, static_cast<uint64_t>(kModelCount) * 3u);
+  perf.mem_bw_demand_gbps(ModelId::kAlexnet, config_1n1g(), 8);
+  EXPECT_EQ(perf.cache_stats().invariant_builds, builds);
+}
+
 TEST(TrainPerf, ContentionInflatesIterTime) {
   TrainPerf perf;
   ContentionFactors hot;
