@@ -29,6 +29,8 @@ void usage() {
       stderr,
       "usage: coda_ctl <verb> (--socket PATH | --port N) [flags]\n"
       "  ping | cluster | metrics | drain | shutdown\n"
+      "     [--shard K] targets engine shard K (default: server routing;\n"
+      "     drain/shutdown without it fan out to every shard)\n"
       "  status  --id N\n"
       "  submit  [--row CSV] | [--kind cpu|gpu ...]\n"
       "     cpu: --cores N --work CORE_SECONDS [--bw GBPS] [--llc MB]\n"
@@ -40,7 +42,12 @@ void usage() {
       "     both: [--checkpoint-interval SECONDS]\n"
       "          [--checkpoint-overhead SECONDS]\n"
       "  bench   --connections N --duration SECONDS [--rate CMDS_PER_SEC]\n"
-      "          [--request LINE]\n");
+      "          [--request LINE] [--pipeline DEPTH] [--shards N]\n"
+      "     --pipeline D keeps D CID-tagged requests in flight per "
+      "connection\n"
+      "     --shards N round-robins SHARD 0..N-1 prefixes and prints a "
+      "per-shard\n"
+      "     breakdown plus a machine-readable 'bench-json:' line\n");
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
@@ -186,19 +193,33 @@ int cmd_bench(const service::Endpoint& endpoint,
   options.duration_s = std::atof(flag_or(flags, "duration", "5").c_str());
   options.rate = std::atof(flag_or(flags, "rate", "0").c_str());
   options.request_line = flag_or(flags, "request", "PING");
+  options.pipeline = std::atoi(flag_or(flags, "pipeline", "1").c_str());
+  options.shards = std::atoi(flag_or(flags, "shards", "0").c_str());
   auto report = service::run_bench(endpoint, options);
   if (!report.ok()) {
     std::fprintf(stderr, "bench failed: %s\n",
                  report.error().message.c_str());
     return 1;
   }
-  std::printf("bench: %zu sent, %zu ok, %zu busy, %zu errors in %.2fs\n",
+  std::printf("bench: %zu sent, %zu ok, %zu busy, %zu errors in %.2fs "
+              "(pipeline %d)\n",
               report->sent, report->ok, report->busy, report->errors,
-              report->wall_s);
+              report->wall_s, options.pipeline);
   std::printf("throughput %.0f cmds/sec | latency p50 %.3fms p99 %.3fms "
               "max %.3fms\n",
               report->throughput, report->p50_ms, report->p99_ms,
               report->max_ms);
+  for (size_t k = 0; k < report->shard_stats.size(); ++k) {
+    const auto& s = report->shard_stats[k];
+    std::printf("  shard %zu: %zu ok, %.0f cmds/sec, p50 %.3fms p99 %.3fms\n",
+                k, s.ok, s.throughput, s.p50_ms, s.p99_ms);
+  }
+  // One-line machine-readable summary for scripts (run_benches.sh).
+  std::printf("bench-json: {\"ok\": %zu, \"throughput\": %.1f, "
+              "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"busy\": %zu, "
+              "\"errors\": %zu}\n",
+              report->ok, report->throughput, report->p50_ms, report->p99_ms,
+              report->busy, report->errors);
   return report->errors == 0 ? 0 : 1;
 }
 
@@ -223,31 +244,39 @@ int main(int argc, char** argv) {
                  client.error().message.c_str());
     return 1;
   }
+  // `--shard K` pins the command to engine shard K via the wire prefix;
+  // without it the server applies its default routing (and fans DRAIN /
+  // SHUTDOWN out to every shard).
+  std::string prefix;
+  if (flags.count("shard") > 0) {
+    prefix = "SHARD " + flags.at("shard") + " ";
+  }
   if (verb == "ping") {
-    return print_response(client->ping());
+    return print_response(client->call(prefix + "PING"));
   }
   if (verb == "submit") {
-    return print_response(client->submit_row(build_submit_row(flags)));
+    return print_response(
+        client->call(prefix + "SUBMIT " + build_submit_row(flags)));
   }
   if (verb == "status") {
     if (flags.count("id") == 0) {
       std::fprintf(stderr, "status needs --id N\n");
       return 2;
     }
-    return print_response(client->status(
-        std::strtoull(flags.at("id").c_str(), nullptr, 10)));
+    return print_response(
+        client->call(prefix + "STATUS " + flags.at("id")));
   }
   if (verb == "cluster") {
-    return print_response(client->cluster());
+    return print_response(client->call(prefix + "CLUSTER"));
   }
   if (verb == "metrics") {
-    return print_response(client->metrics());
+    return print_response(client->call(prefix + "METRICS"));
   }
   if (verb == "drain") {
-    return print_response(client->drain());
+    return print_response(client->call(prefix + "DRAIN"));
   }
   if (verb == "shutdown") {
-    return print_response(client->shutdown());
+    return print_response(client->call(prefix + "SHUTDOWN"));
   }
   usage();
   return 2;

@@ -42,9 +42,13 @@ void usage() {
       "SIM_S_PER_WALL_S]\n"
       "             (--socket PATH | --port N) [--journal FILE] "
       "[--report FILE]\n"
+      "             [--shards N]\n"
       "  --speedup 3600 paces one sim-hour per wall-second; <= 0 runs "
       "as fast as possible\n"
-      "  --port 0 binds an ephemeral port (printed on startup)\n");
+      "  --port 0 binds an ephemeral port (printed on startup)\n"
+      "  --shards N runs N independent engine shards (default "
+      "CODA_SERVE_SHARDS or 1);\n"
+      "    shard k journals to JOURNAL.shard<k> when N > 1\n");
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv) {
@@ -139,6 +143,13 @@ int main(int argc, char** argv) {
     config.tcp_port = std::atoi(flags.at("port").c_str());
   }
   config.limits = service::ServiceLimits::from_env();
+  if (flags.count("shards") > 0) {
+    config.limits.shards = std::atoi(flags.at("shards").c_str());
+    if (config.limits.shards < 1) {
+      std::fprintf(stderr, "--shards must be >= 1\n");
+      return 2;
+    }
+  }
 
   // Resolve the horizon the same way run_experiment does (max submit time)
   // so live and replay agree on the exact stopping point; a daemon cannot
@@ -172,8 +183,9 @@ int main(int argc, char** argv) {
   } else {
     std::printf("codad listening on %s\n", flag_or(flags, "socket", "").c_str());
   }
-  std::printf("codad horizon %.0f sim-seconds, speedup %.0fx\n", horizon,
-              std::atof(flag_or(flags, "speedup", "3600").c_str()));
+  std::printf("codad horizon %.0f sim-seconds, speedup %.0fx, %d shard%s\n",
+              horizon, std::atof(flag_or(flags, "speedup", "3600").c_str()),
+              server.shard_count(), server.shard_count() == 1 ? "" : "s");
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);

@@ -133,6 +133,38 @@ EVENTS_PER_SEC=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_engine_micro" \
     }')
 EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
 
+# Serving-layer throughput: pipelined PINGs against a live 8-shard codad on
+# loopback TCP (2 connections, pipeline depth 16 — the epoll loop and the
+# shard mailboxes are the bottleneck, not the RTT).
+SERVE_CMDS_PER_SEC=0
+SERVE_LOG=$(mktemp)
+"$BUILD_DIR/examples/codad" --days 0.01 --seed 42 --port 0 --shards 8 \
+  --speedup 0 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+serve_port=""
+for _ in $(seq 1 50); do
+  serve_port=$(grep -a -o 'listening on 127.0.0.1:[0-9]*' "$SERVE_LOG" \
+               2>/dev/null | head -1 | sed 's/.*://') || true
+  [[ -n "$serve_port" ]] && break
+  sleep 0.1
+done
+if [[ -n "$serve_port" ]]; then
+  sleep 1  # let the tiny base trace finish simulating so the shards idle
+  SERVE_CMDS_PER_SEC=$("$BUILD_DIR/examples/coda_ctl" bench \
+      --port "$serve_port" --connections 2 --duration 3 \
+      --pipeline 16 --shards 8 \
+    | awk '/^bench-json:/ {
+        if (match($0, /"throughput": *[0-9.]+/)) {
+          s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
+        }
+      }')
+  "$BUILD_DIR/examples/coda_ctl" shutdown --port "$serve_port" \
+    > /dev/null 2>&1 || true
+fi
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SERVE_LOG"
+SERVE_CMDS_PER_SEC="${SERVE_CMDS_PER_SEC:-0}"
+
 {
   echo "{"
   echo "  \"build_type\": \"Release\","
@@ -141,6 +173,7 @@ EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
   echo "  \"cold_total_s\": $(awk "BEGIN{print $COLD_MS/1000}"),"
   echo "  \"warm_total_s\": $(awk "BEGIN{print $WARM_MS/1000}"),"
   echo "  \"events_per_sec\": $EVENTS_PER_SEC,"
+  echo "  \"serve_cmds_per_sec\": $SERVE_CMDS_PER_SEC,"
   echo "  \"benches\": {"
   declare -n cold=TIMES_cold warm=TIMES_warm
   sep=""
@@ -159,6 +192,7 @@ echo ""
 echo "cold total: $(awk "BEGIN{print $COLD_MS/1000}") s"
 echo "warm total: $(awk "BEGIN{print $WARM_MS/1000}") s"
 echo "engine micro: $EVENTS_PER_SEC events/s"
+echo "serve bench: $SERVE_CMDS_PER_SEC cmds/s (8 shards, pipeline 16)"
 echo "wrote $OUT (microbench details: $MICRO_JSON)"
 
 # -------------------------------------------------------------- comparison
@@ -204,6 +238,7 @@ if [[ -n "$COMPARE" ]]; then
 
   OLD_COLD=$(old_total cold_total_s)
   OLD_EPS=$(old_total events_per_sec)
+  OLD_SERVE=$(old_total serve_cmds_per_sec)
   NEW_COLD=$(awk "BEGIN{print $COLD_MS/1000}")
   echo ""
   awk "BEGIN{printf \"  cold total: %.2f s -> %.2f s (%+.0f%%)\n\", \
@@ -212,6 +247,11 @@ if [[ -n "$COMPARE" ]]; then
     awk "BEGIN{printf \"  engine micro: %.0f -> %.0f events/s (%+.0f%%)\n\", \
          $OLD_EPS, $EVENTS_PER_SEC, \
          100*($EVENTS_PER_SEC-$OLD_EPS)/$OLD_EPS}"
+  fi
+  if [[ -n "$OLD_SERVE" && "$OLD_SERVE" != "0" ]]; then
+    awk "BEGIN{printf \"  serve bench: %.0f -> %.0f cmds/s (%+.0f%%)\n\", \
+         $OLD_SERVE, $SERVE_CMDS_PER_SEC, \
+         100*($SERVE_CMDS_PER_SEC-$OLD_SERVE)/$OLD_SERVE}"
   fi
 
   # Gate: >25% cold-suite regression fails the run so a perf loss cannot
@@ -223,6 +263,20 @@ if [[ -n "$COMPARE" ]]; then
     else
       echo "  FAIL: cold suite regressed >25% vs $COMPARE" >&2
       exit 1
+    fi
+  fi
+  # Same gate for serving throughput: loopback numbers are noisy on a
+  # shared core, so only a halving (50% drop) fails the run.
+  if [[ -n "$OLD_SERVE" && "$OLD_SERVE" != "0" ]]; then
+    SERVE_REGRESSED=$(awk "BEGIN{
+      print ($SERVE_CMDS_PER_SEC < 0.5 * $OLD_SERVE) ? 1 : 0}")
+    if [[ "$SERVE_REGRESSED" == "1" ]]; then
+      if [[ "${CODA_BENCH_NO_GATE:-0}" == "1" ]]; then
+        echo "  WARNING: serve bench regressed >50% (gate disabled)" >&2
+      else
+        echo "  FAIL: serve bench regressed >50% vs $COMPARE" >&2
+        exit 1
+      fi
     fi
   fi
 fi

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the service layer: boots codad, drives one
-# session through coda_ctl (ping, submits, status, cluster, metrics,
-# drain, shutdown), then replays the journal offline with coda_cli and
-# requires the report to match the daemon's byte-for-byte.
+# End-to-end smoke test of the service layer: boots a 2-shard codad on an
+# ephemeral TCP port, drives a session through coda_ctl (ping, shard-
+# targeted pings, submits routed to both shards, status, cluster, metrics,
+# a pipelined bench burst, drain, shutdown), scrapes GET /metrics over
+# HTTP, then replays BOTH per-shard journals offline with coda_cli and
+# requires each report to match the daemon's byte-for-byte.
 #
 # Usage: scripts/serve_smoke.sh CODAD CODA_CTL CODA_CLI
 #   The three arguments are the binary paths; ctest passes them via
@@ -18,7 +20,6 @@ CTL=$2
 CLI=$3
 
 workdir=$(mktemp -d /tmp/coda_serve_smoke.XXXXXX)
-sock="$workdir/codad.sock"
 journal="$workdir/session.journal"
 daemon_pid=""
 
@@ -31,34 +32,59 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "==> starting codad (socket $sock)"
-"$CODAD" --days 0.02 --policy coda --nodes 12 --socket "$sock" \
+echo "==> starting codad (2 shards, ephemeral port)"
+"$CODAD" --days 0.02 --policy coda --nodes 12 --port 0 --shards 2 \
          --journal "$journal" --speedup 20000 >"$workdir/codad.log" 2>&1 &
 daemon_pid=$!
 
-# Wait for the listener (codad unlinks and rebinds the socket on start).
+# Wait for the listener banner ("codad listening on 127.0.0.1:PORT").
+port=""
 for _ in $(seq 1 50); do
-  [ -S "$sock" ] && break
+  port=$(grep -a -o 'listening on 127.0.0.1:[0-9]*' "$workdir/codad.log" \
+         2>/dev/null | head -1 | sed 's/.*://') || true
+  [ -n "$port" ] && break
   sleep 0.1
 done
-[ -S "$sock" ] || { echo "codad never bound $sock" >&2; cat "$workdir/codad.log" >&2; exit 1; }
+[ -n "$port" ] || { echo "codad never bound a port" >&2; cat "$workdir/codad.log" >&2; exit 1; }
 
-echo "==> driving the session"
-"$CTL" ping --socket "$sock"
-"$CTL" submit --socket "$sock" --kind cpu --cores 4 --work 900
-"$CTL" submit --socket "$sock" --kind gpu --model resnet50 --iters 1500
-"$CTL" submit --socket "$sock" --kind cpu --cores 2 --work 120 --user-facing 1
-"$CTL" cluster --socket "$sock"
-"$CTL" metrics --socket "$sock" >/dev/null
-"$CTL" drain --socket "$sock"
-"$CTL" shutdown --socket "$sock"
+echo "==> driving the session (port $port)"
+"$CTL" ping --port "$port"
+"$CTL" ping --port "$port" --shard 0 | grep -q 'shard=0'
+"$CTL" ping --port "$port" --shard 1 | grep -q 'shard=1'
+"$CTL" submit --port "$port" --kind cpu --cores 4 --work 900
+"$CTL" submit --port "$port" --kind gpu --model resnet50 --iters 1500
+"$CTL" submit --port "$port" --kind cpu --cores 2 --work 120 --user-facing 1
+"$CTL" cluster --port "$port"
+"$CTL" metrics --port "$port" --shard 1 >/dev/null
+
+echo "==> pipelined bench burst (both shards)"
+"$CTL" bench --port "$port" --connections 1 --duration 1 \
+       --pipeline 8 --shards 2 | grep -q 'bench-json:'
+
+if command -v curl >/dev/null 2>&1; then
+  echo "==> scraping GET /metrics"
+  scrape=$(curl -sf "http://127.0.0.1:$port/metrics")
+  echo "$scrape" | grep -q 'coda_shard_virtual_time{shard="0"}'
+  echo "$scrape" | grep -q 'coda_shard_virtual_time{shard="1"}'
+  echo "$scrape" | grep -q '# EOF'
+else
+  echo "==> curl unavailable; skipping HTTP scrape"
+fi
+
+"$CTL" drain --port "$port"
+"$CTL" shutdown --port "$port"
 wait "$daemon_pid"
 daemon_pid=""
 
-[ -s "$journal" ] || { echo "journal missing or empty" >&2; exit 1; }
-[ -s "$journal.report" ] || { echo "report missing or empty" >&2; exit 1; }
+for k in 0 1; do
+  [ -s "$journal.shard$k" ] || { echo "shard $k journal missing" >&2; exit 1; }
+  [ -s "$journal.shard$k.report" ] || { echo "shard $k report missing" >&2; exit 1; }
+done
 
-echo "==> replaying the journal offline"
-"$CLI" replay --journal "$journal" --expect-report "$journal.report"
+echo "==> replaying both shard journals offline"
+for k in 0 1; do
+  "$CLI" replay --journal "$journal.shard$k" \
+         --expect-report "$journal.shard$k.report"
+done
 
 echo "==> serve smoke clean"

@@ -35,6 +35,20 @@ class Client {
   // Sends one request line and blocks for the matching response line.
   util::Result<Response> call(const std::string& request_line);
 
+  // ---- pipelined API ----
+  // send() writes a framed request line without waiting; recv_tagged()
+  // blocks for the next response line and returns it with its CID echo (if
+  // any). A caller that tags requests with distinct `CID <n>` prefixes can
+  // keep many in flight and match replies as they complete, including
+  // out-of-order completions across shards. Do not interleave with call(),
+  // which assumes strict request-order replies.
+  util::Status send(const std::string& request_line);
+  // Writes pre-framed bytes (caller supplies the '\n' after every line) in
+  // one syscall — the load generator batches a whole pipeline window this
+  // way instead of paying a send(2) per command.
+  util::Status send_framed(const std::string& data);
+  util::Result<TaggedResponse> recv_tagged();
+
   // Convenience verbs.
   util::Result<Response> ping() { return call("PING"); }
   util::Result<Response> submit_row(const std::string& csv_row) {
@@ -64,6 +78,13 @@ struct BenchOptions {
   // Request line every worker repeats; PING measures the pure
   // mailbox/engine round trip.
   std::string request_line = "PING";
+  // Outstanding CID-tagged requests per connection. 1 = classic
+  // request/response; larger depths pipeline and measure the event loop
+  // rather than the RTT.
+  int pipeline = 1;
+  // > 0 spreads requests round-robin over `SHARD 0..shards-1` prefixes and
+  // reports a per-shard breakdown; 0 leaves routing to the server.
+  int shards = 0;
 };
 
 struct BenchReport {
@@ -76,6 +97,15 @@ struct BenchReport {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+
+  // Per-shard breakdown when BenchOptions::shards > 0 (index = shard).
+  struct ShardStats {
+    size_t ok = 0;
+    double throughput = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  std::vector<ShardStats> shard_stats;
 };
 
 // Opens `connections` sockets and hammers the daemon for `duration_s`,

@@ -156,13 +156,26 @@ util::Status JournalWriter::append_submit(double virtual_time,
   const std::string line = util::strfmt(
       "S %a %llu ", virtual_time, static_cast<unsigned long long>(job_id)) +
       csv_row + "\n";
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fflush(file_) != 0) {
-    // The entry may be torn on disk; poison the journal so a later append
-    // cannot concatenate onto the partial line and produce a file that
-    // parses to the wrong session instead of failing loudly.
+  // Group commit: no fflush here — flush() covers the whole batch. A short
+  // fwrite still poisons the journal so a later append cannot concatenate
+  // onto a torn line and produce a file that parses to the wrong session.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     close();
     return util::Error{util::ErrorCode::kIoError, "journal append failed"};
+  }
+  return util::Status::Ok();
+}
+
+util::Status JournalWriter::flush() {
+  if (file_ == nullptr) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "journal is closed"};
+  }
+  if (std::fflush(file_) != 0) {
+    // Entries since the last good flush may be torn on disk; poison the
+    // writer so the server stops acknowledging submissions.
+    close();
+    return util::Error{util::ErrorCode::kIoError, "journal flush failed"};
   }
   return util::Status::Ok();
 }

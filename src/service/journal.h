@@ -64,8 +64,11 @@ struct JournalSession {
   std::vector<JournalEntry> submissions;
 };
 
-// Append-only journal writer. Every append is flushed so a crashed daemon
-// leaves a replayable prefix.
+// Append-only journal writer with group commit: append_submit() buffers
+// (libc stream buffer, no syscall-per-append), flush() forces everything
+// buffered to the OS once per drained command batch. The serving loop
+// replies to a SUBMIT only after the flush that covers it, so a crashed
+// daemon leaves a replayable prefix of exactly the acknowledged entries.
 class JournalWriter {
  public:
   JournalWriter() = default;
@@ -75,13 +78,19 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  // Creates/truncates `path` and writes the session header.
+  // Creates/truncates `path` and writes the session header (flushed).
   static util::Result<JournalWriter> open(const std::string& path,
                                           const SessionSpec& session);
 
+  // Buffers one submission entry; durable only after the next flush().
+  // A short write poisons the writer (no appends after a torn line).
   util::Status append_submit(double virtual_time, uint64_t job_id,
                              const std::string& csv_row);
-  // Appends a '#' comment line (ignored by the parser).
+  // Group commit: pushes every buffered append to the OS. A failure
+  // poisons the writer — entries buffered since the last successful flush
+  // must be treated as lost.
+  util::Status flush();
+  // Appends a '#' comment line (ignored by the parser), flushed.
   void note(const std::string& comment);
   void close();
   bool is_open() const { return file_ != nullptr; }

@@ -33,15 +33,48 @@ class Mailbox {
   // Enqueues `item` unless the mailbox is full or closed. Returns whether
   // the item was accepted; wakes the consumer on success.
   bool try_push(T item) {
+    bool was_empty = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         return false;
       }
+      was_empty = items_.empty();
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    // The consumer only sleeps when the queue is empty, so a push onto a
+    // non-empty queue has nobody to wake.
+    if (was_empty) {
+      cv_.notify_one();
+    }
     return true;
+  }
+
+  // Moves a prefix of `items` in under ONE lock acquisition and at most one
+  // consumer wakeup — the producer-side half of batch processing. Returns
+  // how many items were accepted (less than items->size() when the bound or
+  // a close cuts the batch short); accepted items are left moved-from.
+  size_t try_push_batch(std::vector<T>* items) {
+    if (items->empty()) {
+      return 0;
+    }
+    size_t accepted = 0;
+    bool was_empty = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return 0;
+      }
+      was_empty = items_.empty();
+      while (accepted < items->size() && items_.size() < capacity_) {
+        items_.push_back(std::move((*items)[accepted]));
+        ++accepted;
+      }
+    }
+    if (was_empty && accepted > 0) {
+      cv_.notify_one();
+    }
+    return accepted;
   }
 
   // Moves every queued item into `out` (appended). Non-blocking.

@@ -1,6 +1,7 @@
 #include "service/protocol.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "util/env.h"
 #include "util/strings.h"
@@ -10,16 +11,50 @@ namespace coda::service {
 namespace {
 
 // Splits "VERB rest-of-line" (rest may itself contain spaces: CSV rows).
-void split_verb(const std::string& line, std::string* verb,
-                std::string* rest) {
+// Views into the caller's line — no copies on the per-command hot path.
+void split_verb(std::string_view line, std::string_view* verb,
+                std::string_view* rest) {
   const size_t sp = line.find(' ');
-  if (sp == std::string::npos) {
+  if (sp == std::string_view::npos) {
     *verb = line;
-    rest->clear();
+    *rest = std::string_view();
   } else {
     *verb = line.substr(0, sp);
     *rest = line.substr(sp + 1);
   }
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Strict non-negative integer parse on a view (digits only, no sign, no
+// surrounding junk); false on overflow or empty input.
+bool parse_uint_view(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
 }
 
 std::string sanitize(std::string s) {
@@ -64,16 +99,16 @@ const char* to_string(Verb verb) {
   return "?";
 }
 
-util::Result<Request> parse_request(const std::string& line) {
-  std::string verb;
-  std::string rest;
-  split_verb(util::trim(line), &verb, &rest);
+util::Result<Request> parse_request(std::string_view line) {
+  std::string_view verb;
+  std::string_view rest;
+  split_verb(trim_view(line), &verb, &rest);
   Request req;
   if (verb == "PING" || verb == "CLUSTER" || verb == "METRICS" ||
       verb == "DRAIN" || verb == "SHUTDOWN") {
     if (!rest.empty()) {
       return util::Error{util::ErrorCode::kParseError,
-                         verb + " takes no argument"};
+                         std::string(verb) + " takes no argument"};
     }
     req.verb = verb == "PING"      ? Verb::kPing
                : verb == "CLUSTER" ? Verb::kCluster
@@ -88,22 +123,86 @@ util::Result<Request> parse_request(const std::string& line) {
                          "SUBMIT needs a CSV job row"};
     }
     req.verb = Verb::kSubmit;
-    req.arg = rest;
+    req.arg = std::string(rest);
     return req;
   }
   if (verb == "STATUS") {
-    auto id = util::parse_strict_int(util::trim(rest), 0);
-    if (!id.ok()) {
+    const std::string_view id_view = trim_view(rest);
+    uint64_t id = 0;
+    if (!parse_uint_view(id_view, &id)) {
       return util::Error{util::ErrorCode::kParseError,
-                         "STATUS needs a job id: " + id.error().message};
+                         "STATUS needs a job id"};
     }
     req.verb = Verb::kStatus;
-    req.arg = util::trim(rest);
-    req.job_id = static_cast<uint64_t>(*id);
+    req.arg = std::string(id_view);
+    req.job_id = id;
     return req;
   }
   return util::Error{util::ErrorCode::kParseError,
-                     "unknown verb '" + verb + "'"};
+                     "unknown verb '" + std::string(verb) + "'"};
+}
+
+util::Result<Envelope> parse_envelope(std::string_view line) {
+  Envelope env;
+  std::string_view rest = trim_view(line);
+  bool saw_cid = false;
+  bool saw_shard = false;
+  while (true) {
+    std::string_view head;
+    std::string_view tail;
+    split_verb(rest, &head, &tail);
+    const bool is_cid = head == "CID";
+    const bool is_shard = head == "SHARD";
+    if (!is_cid && !is_shard) {
+      break;
+    }
+    if ((is_cid && saw_cid) || (is_shard && saw_shard)) {
+      return util::Error{util::ErrorCode::kParseError,
+                         "duplicate " + std::string(head) + " prefix"};
+    }
+    std::string_view value;
+    std::string_view after;
+    split_verb(tail, &value, &after);
+    uint64_t parsed = 0;
+    if (!parse_uint_view(value, &parsed)) {
+      return util::Error{util::ErrorCode::kParseError,
+                         std::string(head) + " needs an unsigned integer"};
+    }
+    if (is_cid) {
+      saw_cid = true;
+      env.has_cid = true;
+      env.cid = parsed;
+    } else {
+      saw_shard = true;
+      if (parsed > 1'000'000) {
+        return util::Error{util::ErrorCode::kParseError,
+                           "SHARD index out of range"};
+      }
+      env.shard = static_cast<int>(parsed);
+    }
+    rest = after;
+  }
+  auto req = parse_request(rest);
+  if (!req.ok()) {
+    return req.error();
+  }
+  env.request = std::move(*req);
+  return env;
+}
+
+uint64_t tenant_of_csv_row(std::string_view csv_row) {
+  // trace_io column order: id,tenant,kind,...
+  const size_t first = csv_row.find(',');
+  if (first == std::string_view::npos) {
+    return 0;
+  }
+  const size_t second = csv_row.find(',', first + 1);
+  const std::string_view field = trim_view(
+      csv_row.substr(first + 1, second == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : second - first - 1));
+  uint64_t tenant = 0;
+  return parse_uint_view(field, &tenant) ? tenant : 0;
 }
 
 std::string format_ok(const std::string& payload) {
@@ -119,77 +218,75 @@ std::string format_busy(int retry_after_ms) {
   return util::strfmt("BUSY retry-after-ms=%d", retry_after_ms);
 }
 
-util::Result<Response> parse_response(const std::string& line) {
-  std::string head;
-  std::string rest;
+util::Result<Response> parse_response(std::string_view line) {
+  std::string_view head;
+  std::string_view rest;
   split_verb(line, &head, &rest);
   Response resp;
   if (head == "OK") {
     resp.kind = Response::Kind::kOk;
-    resp.payload = rest;
+    resp.payload = std::string(rest);
     return resp;
   }
   if (head == "ERR") {
-    std::string code_name;
-    std::string message;
+    std::string_view code_name;
+    std::string_view message;
     split_verb(rest, &code_name, &message);
-    auto code = code_from_string(code_name);
+    auto code = code_from_string(std::string(code_name));
     if (!code.ok()) {
       return code.error();
     }
     resp.kind = Response::Kind::kErr;
     resp.code = *code;
-    resp.payload = message;
+    resp.payload = std::string(message);
     return resp;
   }
   if (head == "BUSY") {
-    constexpr const char* kKey = "retry-after-ms=";
-    if (rest.rfind(kKey, 0) != 0) {
+    constexpr std::string_view kKey = "retry-after-ms=";
+    if (rest.substr(0, kKey.size()) != kKey) {
       return util::Error{util::ErrorCode::kParseError,
                          "BUSY without retry-after-ms"};
     }
-    auto ms = util::parse_strict_int(rest.substr(std::string(kKey).size()), 0);
-    if (!ms.ok()) {
-      return util::Error{util::ErrorCode::kParseError,
-                         "bad retry-after-ms: " + ms.error().message};
+    uint64_t ms = 0;
+    if (!parse_uint_view(rest.substr(kKey.size()), &ms)) {
+      return util::Error{util::ErrorCode::kParseError, "bad retry-after-ms"};
     }
     resp.kind = Response::Kind::kBusy;
-    resp.retry_after_ms = static_cast<int>(*ms);
+    resp.retry_after_ms = static_cast<int>(ms);
     return resp;
   }
   return util::Error{util::ErrorCode::kParseError,
-                     "unrecognized response '" + head + "'"};
+                     "unrecognized response '" + std::string(head) + "'"};
+}
+
+util::Result<TaggedResponse> parse_tagged_response(std::string_view line) {
+  TaggedResponse tagged;
+  std::string_view body = line;
+  if (body.substr(0, 4) == "CID ") {
+    std::string_view head;
+    std::string_view rest;
+    split_verb(body.substr(4), &head, &rest);
+    uint64_t cid = 0;
+    if (!parse_uint_view(head, &cid)) {
+      return util::Error{util::ErrorCode::kParseError, "bad CID echo"};
+    }
+    tagged.has_cid = true;
+    tagged.cid = cid;
+    body = rest;
+  }
+  auto resp = parse_response(body);
+  if (!resp.ok()) {
+    return resp.error();
+  }
+  tagged.response = std::move(*resp);
+  return tagged;
 }
 
 bool LineReader::feed(const char* data, size_t n,
                       std::vector<std::string>* lines) {
-  if (poisoned_) {
-    return false;
-  }
-  size_t start = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (data[i] != '\n') {
-      continue;
-    }
-    buffer_.append(data + start, i - start);
-    start = i + 1;
-    if (buffer_.size() > max_line_bytes_) {
-      poisoned_ = true;
-      return false;
-    }
-    // Tolerate CRLF clients.
-    if (!buffer_.empty() && buffer_.back() == '\r') {
-      buffer_.pop_back();
-    }
-    lines->push_back(std::move(buffer_));
-    buffer_.clear();
-  }
-  buffer_.append(data + start, n - start);
-  if (buffer_.size() > max_line_bytes_) {
-    poisoned_ = true;
-    return false;
-  }
-  return true;
+  return feed_views(data, n, [lines](std::string_view line) {
+    lines->emplace_back(line);
+  });
 }
 
 }  // namespace coda::service

@@ -3,6 +3,8 @@
 //
 // Grammar (one request line -> one response line, '\n'-terminated):
 //
+//   line     := [envelope] request
+//   envelope := ("CID" SP uint | "SHARD" SP uint)*   ; each at most once
 //   request  := "PING"
 //             | "SUBMIT" SP csv-row          ; trace_io column order
 //             | "STATUS" SP job-id
@@ -10,18 +12,35 @@
 //             | "METRICS"
 //             | "DRAIN"
 //             | "SHUTDOWN"
-//   response := "OK" [SP payload]
+//   response := ["CID" SP uint SP] body       ; CID echoed iff sent
+//   body     := "OK" [SP payload]
 //             | "ERR" SP code SP message     ; code = util::ErrorCode name
 //             | "BUSY" SP "retry-after-ms=" int
+//
+// Pipelining: a client may write any number of request lines before
+// reading replies. Replies to requests *without* a CID come back in
+// request order (the server reorders across shards); replies to requests
+// *with* a CID are written as soon as their shard completes them — out of
+// order across shards — and the echoed CID pairs them with their request.
+//
+// Sharding: `SHARD <k>` routes the request to engine shard k (each shard
+// is an independent ClusterEngine with its own journal). Without the
+// prefix, SUBMIT routes by the row's tenant id (tenant mod shards) and
+// every other verb goes to shard 0; DRAIN and SHUTDOWN without a prefix
+// broadcast to every shard and answer once all shards finish.
 //
 // Payloads are space-separated `key=value` pairs. Messages never contain
 // newlines (sanitized on format). Framing is byte-stream tolerant: the
 // LineReader accumulates partial reads, yields complete lines, and rejects
 // lines longer than the per-connection limit.
+//
+// The same listener also answers `GET /metrics` as minimal HTTP/1.0 with
+// an OpenMetrics body (per-shard labels); see server.cpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/result.h"
@@ -50,8 +69,26 @@ struct Request {
 };
 
 // Parses one request line (no trailing newline). Fails with kParseError on
-// unknown verbs, missing or malformed arguments.
-util::Result<Request> parse_request(const std::string& line);
+// unknown verbs, missing or malformed arguments. Takes a view: the hot
+// serving path parses without copying the line.
+util::Result<Request> parse_request(std::string_view line);
+
+// A request plus its routing/correlation envelope.
+struct Envelope {
+  Request request;
+  int shard = -1;        // explicit SHARD prefix; -1 = unrouted (default)
+  bool has_cid = false;
+  uint64_t cid = 0;      // valid iff has_cid
+};
+
+// Parses the optional `CID n` / `SHARD k` prefixes (any order, each at
+// most once) followed by the request itself.
+util::Result<Envelope> parse_envelope(std::string_view line);
+
+// Extracts the tenant id from a SUBMIT csv row without a full JobSpec
+// parse (column 2 of the trace_io layout). Returns 0 on malformed rows —
+// the full parser rejects those later; routing just needs determinism.
+uint64_t tenant_of_csv_row(std::string_view csv_row);
 
 // ---- responses ----
 
@@ -72,7 +109,17 @@ std::string format_err(util::ErrorCode code, const std::string& message);
 std::string format_busy(int retry_after_ms);
 
 // Parses a response line (client side).
-util::Result<Response> parse_response(const std::string& line);
+util::Result<Response> parse_response(std::string_view line);
+
+// A response plus the correlation id the server echoed (if any).
+struct TaggedResponse {
+  Response response;
+  bool has_cid = false;
+  uint64_t cid = 0;
+};
+
+// Parses a response line that may carry a `CID n` prefix.
+util::Result<TaggedResponse> parse_tagged_response(std::string_view line);
 
 // ---- framing ----
 
@@ -87,6 +134,48 @@ class LineReader {
       : max_line_bytes_(max_line_bytes) {}
 
   bool feed(const char* data, size_t n, std::vector<std::string>* lines);
+
+  // Zero-copy variant used by the server's hot read path: `fn` is invoked
+  // with a view of every completed line. A line contained entirely in
+  // `data` is viewed in place — no allocation; only a line spanning reads
+  // touches the carry buffer. Views are valid just for the callback.
+  template <typename Fn>
+  bool feed_views(const char* data, size_t n, Fn&& fn) {
+    if (poisoned_) {
+      return false;
+    }
+    size_t start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (data[i] != '\n') {
+        continue;
+      }
+      std::string_view line;
+      if (buffer_.empty()) {
+        line = std::string_view(data + start, i - start);
+      } else {
+        buffer_.append(data + start, i - start);
+        line = buffer_;
+      }
+      if (line.size() > max_line_bytes_) {
+        poisoned_ = true;
+        return false;
+      }
+      start = i + 1;
+      // Tolerate CRLF clients.
+      if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+      }
+      fn(line);
+      buffer_.clear();
+    }
+    buffer_.append(data + start, n - start);
+    if (buffer_.size() > max_line_bytes_) {
+      poisoned_ = true;
+      return false;
+    }
+    return true;
+  }
+
   bool poisoned() const { return poisoned_; }
   // Bytes buffered waiting for their terminating newline.
   size_t pending_bytes() const { return buffer_.size(); }

@@ -1,8 +1,9 @@
 #include "service/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -11,9 +12,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <unordered_map>
 
 #include "sim/report_io.h"
 #include "telemetry/metrics.h"
@@ -28,27 +32,42 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-// Short-write tolerant send loop; MSG_NOSIGNAL keeps a dead peer from
-// killing the process with SIGPIPE.
-bool write_all(int fd, const char* data, size_t n) {
-  size_t off = 0;
-  while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    off += static_cast<size_t>(w);
-  }
-  return true;
+// Poller tags for the two non-connection fds; connection ids start above.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+// A connection whose peer stops reading accumulates replies here; past this
+// the connection is dropped rather than buffering without bound.
+constexpr size_t kMaxOutbufBytes = 8u << 20;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-bool write_line(int fd, const std::string& line) {
+// Best-effort blocking-ish write used only for pre-connection rejections
+// (the socket buffer of a fresh connection always has room for one line).
+void write_line_best_effort(int fd, const std::string& line) {
   const std::string framed = line + "\n";
-  return write_all(fd, framed.data(), framed.size());
+  (void)::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
 }
+
+std::string http_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string resp = util::strfmt("HTTP/1.0 %d %s\r\n", status, reason);
+  if (!content_type.empty()) {
+    resp += "Content-Type: " + content_type + "\r\n";
+  }
+  resp += util::strfmt("Content-Length: %zu\r\n", body.size());
+  resp += "Connection: close\r\n\r\n";
+  resp += body;
+  return resp;
+}
+
+constexpr const char* kOpenMetricsType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
 
 }  // namespace
 
@@ -62,38 +81,77 @@ ServiceLimits ServiceLimits::from_env() {
       util::env_int("CODA_SERVE_MAX_LINE", limits.max_line_bytes, 256);
   limits.retry_after_ms =
       util::env_int("CODA_SERVE_RETRY_MS", limits.retry_after_ms, 1);
+  limits.shards = util::env_int("CODA_SERVE_SHARDS", limits.shards, 1);
   return limits;
 }
 
-// One-shot rendezvous between a connection thread and the engine thread.
-struct Server::ReplySlot {
+// Fan-out state for DRAIN/SHUTDOWN/GET-metrics without a SHARD prefix: one
+// slot per shard, combined into a single reply by whoever finishes last.
+struct Server::Broadcast {
+  enum class Kind { kDrain = 0, kShutdown, kHttpMetrics };
+  Kind kind = Kind::kDrain;
   std::mutex mu;
-  std::condition_variable cv;
-  std::string line;
-  bool ready = false;
-
-  void set(std::string response) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      line = std::move(response);
-      ready = true;
-    }
-    cv.notify_one();
-  }
-
-  std::string take() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return ready; });
-    return std::move(line);
-  }
+  std::vector<std::string> parts;
+  size_t remaining = 0;
 };
 
 struct Server::Command {
   Request request;
-  std::shared_ptr<ReplySlot> reply;
+  uint64_t conn_id = 0;
+  // Reply-order slot for requests without a CID (see Conn). Unused (0) for
+  // CID-tagged requests, which are delivered on completion.
+  uint64_t ordered_seq = 0;
+  bool has_cid = false;
+  uint64_t cid = 0;
+  bool http = false;  // reply is an HTTP body, not a protocol line
+  int shard = 0;
+  std::shared_ptr<Broadcast> broadcast;  // null = unicast
 };
 
-// Engine-thread-local state; exists only for the engine thread's lifetime.
+struct Server::Completion {
+  uint64_t conn_id = 0;
+  uint64_t ordered_seq = 0;
+  bool has_cid = false;
+  uint64_t cid = 0;
+  bool http = false;
+  std::string line;  // protocol line, or the HTTP body when http
+};
+
+// Per-connection bookkeeping, owned exclusively by the I/O thread.
+struct Server::Conn {
+  explicit Conn(size_t max_line_bytes) : reader(max_line_bytes) {}
+
+  int fd = -1;
+  uint64_t id = 0;
+  LineReader reader;
+
+  std::string outbuf;
+  size_t outoff = 0;
+  bool want_write = false;
+
+  // Reply ordering. Every request without a CID is assigned the next
+  // ordered_seq; completions for those wait in pending_ordered until every
+  // earlier non-CID reply has been written, so a client that pipelines
+  // plain requests across shards still reads replies in request order.
+  uint64_t next_ordered_seq = 0;
+  uint64_t next_flush_seq = 0;
+  std::map<uint64_t, std::string> pending_ordered;
+
+  size_t inflight = 0;      // commands routed to shards, reply not delivered
+  bool http = false;        // first line was an HTTP request
+  bool http_sent = false;   // HTTP reply enqueued; close once flushed
+  bool read_closed = false; // EOF from peer; flush remaining replies, close
+  bool dead = false;        // swept (poller.del + close + erase) after phase
+};
+
+struct Server::Shard {
+  int index = 0;
+  std::unique_ptr<Mailbox<Command>> mailbox;
+  std::thread thread;
+  std::atomic<bool> drained{false};
+};
+
+// Engine-thread-local state; exists only for its shard thread's lifetime.
 struct Server::EngineState {
   sim::PolicyScheduler scheduler;
   std::unique_ptr<sim::ClusterEngine> engine;
@@ -102,10 +160,38 @@ struct Server::EngineState {
   size_t accepted_submits = 0;
   uint64_t next_auto_id = 1;
   double horizon = 0.0;
-  // Set when a journal append fails (the writer poisons itself): later
-  // submissions are refused rather than accepted unjournaled, which would
-  // silently break replay equivalence.
+  bool drained = false;
+  std::string drain_summary;
+  // Set when a journal append/flush fails (the writer poisons itself):
+  // later submissions are refused rather than accepted unjournaled, which
+  // would silently break replay equivalence.
   bool journal_failed = false;
+
+  // Group-commit staging: SUBMITs accepted in the current mailbox batch.
+  // Their journal entries are buffered, their jobs NOT yet injected, and
+  // their replies withheld until commit_staged() flushes the journal once
+  // for the whole batch.
+  struct StagedSubmit {
+    workload::JobSpec spec;
+    double virtual_time = 0.0;
+    bool journaled = false;
+    Command cmd;  // reply routing (request payload unused)
+  };
+  std::vector<StagedSubmit> staged;
+};
+
+struct Server::IoState {
+  Poller poller;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+  uint64_t next_conn_id = kFirstConnId;
+  std::vector<PollEvent> events;
+  std::vector<Completion> ready;
+  std::vector<uint64_t> dead_scratch;
+  // Per-shard routing batches: unicast commands parsed during this tick,
+  // handed to each shard's mailbox in ONE locked batch per tick instead of
+  // a lock + wakeup per command.
+  std::vector<std::vector<Command>> route_pending;
+  bool accepting = true;
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
@@ -124,14 +210,22 @@ util::Status Server::start() {
     return util::Error{util::ErrorCode::kInvalidArgument,
                        "session horizon must be resolved (> 0)"};
   }
+  if (config_.limits.shards < 1) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "shard count must be >= 1"};
+  }
   const bool unix_listener = !config_.unix_socket_path.empty();
   if (unix_listener == (config_.tcp_port >= 0)) {
     return util::Error{util::ErrorCode::kInvalidArgument,
                        "set exactly one of unix_socket_path / tcp_port"};
   }
+  if (!wakeup_.ok()) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot create wakeup descriptor"};
+  }
 
-  // Validate the base trace before anything goes live: the engine thread
-  // has no way to report a parse error back to the caller.
+  // Validate the base trace before anything goes live: the engine threads
+  // have no way to report a parse error back to the caller.
   if (!config_.session.base_trace_csv.empty()) {
     auto parsed = workload::trace_from_csv(config_.session.base_trace_csv);
     if (!parsed.ok()) {
@@ -169,6 +263,9 @@ util::Status Server::start() {
       return util::Error{util::ErrorCode::kIoError,
                          util::strfmt("socket: %s", std::strerror(errno))};
     }
+    // SO_REUSEADDR on the loopback listener only lets a restarted daemon
+    // rebind its fixed port through TIME_WAIT; it cannot hijack a live
+    // listener (Linux requires SO_REUSEPORT for that, which we do not set).
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -189,50 +286,74 @@ util::Status Server::start() {
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
     resolved_port_ = static_cast<int>(ntohs(bound.sin_port));
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  // Full kernel accept queue: connection bursts wait there instead of
+  // being refused; what the daemon itself turns away (max_connections) is
+  // counted in ServeCounters rather than dropped silently.
+  if (::listen(listen_fd_, SOMAXCONN) != 0 || !set_nonblocking(listen_fd_)) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return util::Error{util::ErrorCode::kIoError,
                        util::strfmt("listen: %s", std::strerror(errno))};
   }
 
-  mailbox_ = std::make_unique<Mailbox<Command>>(
-      static_cast<size_t>(config_.limits.admission_capacity));
+  const int n_shards = config_.limits.shards;
+  report_texts_.assign(static_cast<size_t>(n_shards), std::string());
+  shards_.clear();
+  for (int k = 0; k < n_shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = k;
+    shard->mailbox = std::make_unique<Mailbox<Command>>(
+        static_cast<size_t>(config_.limits.admission_capacity));
+    shards_.push_back(std::move(shard));
+  }
+  engines_running_.store(n_shards);
   started_ = true;
-  engine_thread_ = std::thread([this] { engine_main(); });
-  acceptor_thread_ = std::thread([this] { acceptor_main(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { engine_main(*s); });
+  }
+  io_thread_ = std::thread([this] { io_main(); });
   return util::Status::Ok();
 }
 
-void Server::request_shutdown() { stop_.store(true); }
+void Server::request_shutdown() {
+  stop_.store(true);
+  wakeup_.notify();
+}
 
-bool Server::drained() const { return drained_.load(); }
+bool Server::drained() const {
+  for (const auto& shard : shards_) {
+    if (!shard->drained.load()) {
+      return false;
+    }
+  }
+  return !shards_.empty();
+}
 
-std::string Server::report_text() const {
+std::string Server::report_text(int shard) const {
   std::lock_guard<std::mutex> lock(report_mu_);
-  return report_text_;
+  if (shard < 0 || static_cast<size_t>(shard) >= report_texts_.size()) {
+    return std::string();
+  }
+  return report_texts_[static_cast<size_t>(shard)];
+}
+
+ServeCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(counter_mu_);
+  return counters_;
 }
 
 void Server::wait() {
   if (!started_) {
     return;
   }
-  if (engine_thread_.joinable()) {
-    engine_thread_.join();
-  }
-  if (acceptor_thread_.joinable()) {
-    acceptor_thread_.join();
-  }
-  close_all_connections();
-  std::vector<Connection> remaining;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    remaining.swap(connections_);
-  }
-  for (auto& conn : remaining) {
-    if (conn.thread.joinable()) {
-      conn.thread.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
     }
+  }
+  if (io_thread_.joinable()) {
+    io_thread_.join();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -244,43 +365,38 @@ void Server::wait() {
   started_ = false;
 }
 
-void Server::close_all_connections() {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (auto& conn : connections_) {
-    if (conn.state->fd >= 0) {
-      ::shutdown(conn.state->fd, SHUT_RDWR);
-    }
+// --------------------------------------------------------- engine threads
+
+namespace {
+
+std::string shard_journal_path(const ServerConfig& config, int shard) {
+  if (config.journal_path.empty()) {
+    return std::string();
   }
+  if (config.limits.shards == 1) {
+    return config.journal_path;
+  }
+  return util::strfmt("%s.shard%d", config.journal_path.c_str(), shard);
 }
 
-// Joins and discards every finished connection thread so a long-running
-// daemon does not accumulate one dead thread handle per connection ever
-// accepted. Joining happens outside conn_mu_; a done thread has nothing
-// left to run, so each join returns immediately.
-void Server::reap_connections() {
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    auto it = connections_.begin();
-    while (it != connections_.end()) {
-      if (it->state->done) {
-        finished.push_back(std::move(it->thread));
-        it = connections_.erase(it);
-      } else {
-        ++it;
-      }
+std::string shard_report_path(const ServerConfig& config, int shard) {
+  if (config.limits.shards == 1) {
+    if (!config.report_path.empty()) {
+      return config.report_path;
     }
+    return config.journal_path.empty() ? std::string()
+                                       : config.journal_path + ".report";
   }
-  for (auto& t : finished) {
-    if (t.joinable()) {
-      t.join();
-    }
+  if (!config.report_path.empty()) {
+    return util::strfmt("%s.shard%d", config.report_path.c_str(), shard);
   }
+  const std::string journal = shard_journal_path(config, shard);
+  return journal.empty() ? std::string() : journal + ".report";
 }
 
-// --------------------------------------------------------- engine thread
+}  // namespace
 
-void Server::engine_main() {
+void Server::engine_main(Shard& shard) {
   EngineState es;
   es.scheduler =
       sim::make_policy_scheduler(config_.session.policy, config_.session.config);
@@ -298,12 +414,13 @@ void Server::engine_main() {
     }
   }
 
-  if (!config_.journal_path.empty()) {
-    auto journal = JournalWriter::open(config_.journal_path, config_.session);
+  const std::string journal_path = shard_journal_path(config_, shard.index);
+  if (!journal_path.empty()) {
+    auto journal = JournalWriter::open(journal_path, config_.session);
     if (journal.ok()) {
       es.journal = std::move(*journal);
     } else {
-      CODA_LOG_ERROR("journal disabled: %s",
+      CODA_LOG_ERROR("shard %d journal disabled: %s", shard.index,
                      journal.error().message.c_str());
     }
   }
@@ -312,9 +429,10 @@ void Server::engine_main() {
   const bool paced = speedup > 0.0;
   const auto wall_start = SteadyClock::now();
   std::vector<Command> batch;
+  std::vector<Completion> done;
 
   while (!stop_.load()) {
-    if (!drained_.load()) {
+    if (!es.drained) {
       double target = es.horizon;
       if (paced) {
         const double elapsed =
@@ -330,7 +448,7 @@ void Server::engine_main() {
     // Wake on the next command, the next due simulation event, or a 200 ms
     // heartbeat (which also bounds shutdown latency).
     auto deadline = SteadyClock::now() + std::chrono::milliseconds(200);
-    if (paced && !drained_.load()) {
+    if (paced && !es.drained) {
       const double next_t = es.engine->sim().next_event_time();
       if (next_t <= es.horizon) {
         const auto due =
@@ -341,33 +459,105 @@ void Server::engine_main() {
     }
 
     batch.clear();
-    mailbox_->drain_until(&batch, deadline);
+    done.clear();
+    shard.mailbox->drain_until(&batch, deadline);
     // Answer every drained command even if one of them is SHUTDOWN: a
-    // command whose ReplySlot is never set would block its connection
-    // thread forever and deadlock wait().
+    // command whose completion never reaches the I/O thread would leave
+    // its client blocked forever.
     for (auto& cmd : batch) {
-      handle_command(es, cmd);
+      handle_command(shard, es, cmd, &done);
     }
+    commit_staged(es, &done);
+    post_completions(&done);
   }
 
   // Graceful exit: finish the session even on SIGTERM so the journal's
   // report exists, then answer everything still queued. Closing the
   // mailbox first makes late try_push fail (-> ERR shutting-down at the
-  // connection), so no command can slip in after the final sweep and hang
+  // I/O thread), so no command can slip in after the final sweep and hang
   // its client.
-  if (!drained_.load()) {
-    do_drain(es);
+  done.clear();
+  commit_staged(es, &done);  // loop exited between batches; normally empty
+  if (!es.drained) {
+    do_drain(shard, es);
   }
-  mailbox_->close();
+  shard.mailbox->close();
   batch.clear();
-  mailbox_->drain(&batch);
+  shard.mailbox->drain(&batch);
   for (auto& cmd : batch) {
-    handle_command(es, cmd);
+    handle_command(shard, es, cmd, &done);
+  }
+  commit_staged(es, &done);
+  post_completions(&done);
+  engines_running_.fetch_sub(1);
+  wakeup_.notify();
+}
+
+void Server::post_completions(std::vector<Completion>* done) {
+  if (done->empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    for (auto& c : *done) {
+      completions_.push_back(std::move(c));
+    }
+  }
+  done->clear();
+  wakeup_.notify();
+}
+
+// Completes this shard's slot of a fan-out command; the last shard to
+// finish composes the combined reply (and, for SHUTDOWN, flips the global
+// stop flag — every shard has acknowledged by then).
+void Server::finish_broadcast(Command& cmd, std::string part,
+                              std::vector<Completion>* done) {
+  Broadcast& b = *cmd.broadcast;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.parts[static_cast<size_t>(cmd.shard)] = std::move(part);
+    last = --b.remaining == 0;
+  }
+  if (!last) {
+    return;
+  }
+  Completion c;
+  c.conn_id = cmd.conn_id;
+  c.ordered_seq = cmd.ordered_seq;
+  c.has_cid = cmd.has_cid;
+  c.cid = cmd.cid;
+  c.http = cmd.http;
+  switch (b.kind) {
+    case Broadcast::Kind::kDrain: {
+      std::string joined;
+      for (size_t i = 0; i < b.parts.size(); ++i) {
+        if (i > 0) {
+          joined += " | ";
+        }
+        joined += b.parts[i];
+      }
+      c.line = format_ok(joined);
+      break;
+    }
+    case Broadcast::Kind::kShutdown:
+      c.line = format_ok("bye");
+      break;
+    case Broadcast::Kind::kHttpMetrics: {
+      for (auto& p : b.parts) {
+        c.line += p;
+      }
+      break;
+    }
+  }
+  done->push_back(std::move(c));
+  if (b.kind == Broadcast::Kind::kShutdown) {
+    stop_.store(true);
+    wakeup_.notify();
   }
 }
 
-void Server::do_drain(EngineState& es) {
-  draining_.store(true);
+void Server::do_drain(Shard& shard, EngineState& es) {
   // Mirror sim::run_experiment's finish exactly: any divergence here would
   // break the journal replay's byte-identity guarantee.
   es.engine->run_until(es.horizon);
@@ -377,10 +567,7 @@ void Server::do_drain(EngineState& es) {
       es.horizon, es.scheduler.coda);
   std::string text = sim::serialize_report(report);
 
-  std::string report_path = config_.report_path;
-  if (report_path.empty() && !config_.journal_path.empty()) {
-    report_path = config_.journal_path + ".report";
-  }
+  const std::string report_path = shard_report_path(config_, shard.index);
   if (!report_path.empty()) {
     std::ofstream out(report_path, std::ios::binary);
     out << text;
@@ -394,85 +581,155 @@ void Server::do_drain(EngineState& es) {
         report.completed, report.submitted, es.accepted_submits));
     es.journal.close();
   }
+  es.drain_summary = util::strfmt(
+      "shard=%d drained completed=%zu submitted=%zu abandoned=%zu vt=%.1f%s%s",
+      shard.index, report.completed, report.submitted, report.abandoned,
+      es.engine->sim().now(), report_path.empty() ? "" : " report=",
+      report_path.c_str());
   {
     std::lock_guard<std::mutex> lock(report_mu_);
-    report_text_ = std::move(text);
-    drain_summary_ = util::strfmt(
-        "drained completed=%zu submitted=%zu abandoned=%zu vt=%.1f%s%s",
-        report.completed, report.submitted, report.abandoned,
-        es.engine->sim().now(),
-        report_path.empty() ? "" : " report=", report_path.c_str());
+    report_texts_[static_cast<size_t>(shard.index)] = std::move(text);
   }
-  drained_.store(true);
+  es.drained = true;
+  shard.drained.store(true);
 }
 
-void Server::handle_command(EngineState& es, Command& cmd) {
+// Flushes the journal once for every SUBMIT staged in this batch, then
+// injects the now-durable jobs and releases their replies. On a flush
+// failure nothing is injected: the journal is poisoned and every staged
+// submission is refused, so an acknowledged job is always both durable and
+// present in the engine.
+void Server::commit_staged(EngineState& es, std::vector<Completion>* done) {
+  if (es.staged.empty()) {
+    return;
+  }
+  bool flush_failed = false;
+  if (es.journal.is_open()) {
+    if (auto status = es.journal.flush(); !status.ok()) {
+      es.journal_failed = true;
+      flush_failed = true;
+      CODA_LOG_ERROR("journal group flush failed: %s",
+                     status.error().message.c_str());
+    }
+  }
+  for (auto& staged : es.staged) {
+    Completion c;
+    c.conn_id = staged.cmd.conn_id;
+    c.ordered_seq = staged.cmd.ordered_seq;
+    c.has_cid = staged.cmd.has_cid;
+    c.cid = staged.cmd.cid;
+    if (staged.journaled && flush_failed) {
+      c.line = format_err(util::ErrorCode::kIoError,
+                          "journal flush failed; submission not accepted");
+    } else {
+      es.engine->inject(staged.spec, staged.virtual_time);
+      es.accepted_submits += 1;
+      // Hot path: one snprintf into a stack buffer instead of strfmt's
+      // measure-allocate-format plus the format_ok concatenation.
+      char buf[64];
+      const int n = std::snprintf(
+          buf, sizeof(buf), "OK id=%llu vt=%.3f",
+          static_cast<unsigned long long>(staged.spec.id),
+          staged.virtual_time);
+      c.line.assign(buf, static_cast<size_t>(n));
+    }
+    done->push_back(std::move(c));
+  }
+  es.staged.clear();
+}
+
+void Server::handle_command(Shard& shard, EngineState& es, Command& cmd,
+                            std::vector<Completion>* done) {
   const Request& req = cmd.request;
   const sim::ClusterEngine& engine = *es.engine;
-  std::string resp;
+  auto reply = [&](std::string line) {
+    Completion c;
+    c.conn_id = cmd.conn_id;
+    c.ordered_seq = cmd.ordered_seq;
+    c.has_cid = cmd.has_cid;
+    c.cid = cmd.cid;
+    c.line = std::move(line);
+    done->push_back(std::move(c));
+  };
+
   switch (req.verb) {
-    case Verb::kPing:
-      resp = format_ok(util::strfmt("pong vt=%.3f", engine.sim().now()));
+    case Verb::kPing: {
+      char buf[64];
+      const int n = std::snprintf(buf, sizeof(buf), "OK pong shard=%d vt=%.3f",
+                                  shard.index, engine.sim().now());
+      reply(std::string(buf, static_cast<size_t>(n)));
       break;
+    }
 
     case Verb::kSubmit: {
-      if (draining_.load() || drained_.load()) {
-        resp = format_err(util::ErrorCode::kFailedPrecondition,
-                          "session drained; submissions closed");
+      if (es.drained) {
+        reply(format_err(util::ErrorCode::kFailedPrecondition,
+                         "session drained; submissions closed"));
         break;
       }
       if (es.journal_failed) {
-        resp = format_err(util::ErrorCode::kFailedPrecondition,
-                          "journal failed; submissions closed");
+        reply(format_err(util::ErrorCode::kFailedPrecondition,
+                         "journal failed; submissions closed"));
         break;
       }
       auto spec = workload::job_from_csv_row(req.arg);
       if (!spec.ok()) {
-        resp = format_err(spec.error().code, spec.error().message);
+        reply(format_err(spec.error().code, spec.error().message));
         break;
       }
       uint64_t id = spec->id;
       if (id == 0) {
         id = es.next_auto_id;
       }
-      if (engine.records().count(id) > 0) {
-        resp = format_err(
+      bool duplicate = engine.records().count(id) > 0;
+      for (const auto& staged : es.staged) {
+        duplicate = duplicate || staged.spec.id == id;
+      }
+      if (duplicate) {
+        reply(format_err(
             util::ErrorCode::kFailedPrecondition,
             util::strfmt("job id %llu already exists",
-                         static_cast<unsigned long long>(id)));
+                         static_cast<unsigned long long>(id))));
         break;
       }
       // Inject strictly after everything already dispatched and strictly
       // before everything still queued: the replay's pre-posted arrival
-      // lands at the same point of the event sequence.
+      // lands at the same point of the event sequence. now() cannot move
+      // between staging and commit (no events run inside a batch), so the
+      // instant recorded here is the instant the job is injected at.
       const double vt = std::nextafter(
           engine.sim().now(), std::numeric_limits<double>::infinity());
+      EngineState::StagedSubmit staged;
       if (es.journal.is_open()) {
         // Journal first (write-ahead): an unjournaled accepted job would
-        // silently break replay equivalence.
+        // silently break replay equivalence. The entry is only buffered;
+        // commit_staged() flushes once per batch and withholds the reply
+        // until the entry is durable.
         if (auto status = es.journal.append_submit(vt, id, req.arg);
             !status.ok()) {
           es.journal_failed = true;
-          resp = format_err(status.error().code, status.error().message);
+          reply(format_err(status.error().code, status.error().message));
           break;
         }
+        staged.journaled = true;
       }
-      spec->id = id;
-      spec->submit_time = vt;
-      es.engine->inject(*spec, vt);
-      es.accepted_submits += 1;
+      staged.spec = std::move(*spec);
+      staged.spec.id = id;
+      staged.spec.submit_time = vt;
+      staged.virtual_time = vt;
+      staged.cmd = cmd;
+      es.staged.push_back(std::move(staged));
       es.next_auto_id = std::max(es.next_auto_id, id + 1);
-      resp = format_ok(util::strfmt(
-          "id=%llu vt=%.3f", static_cast<unsigned long long>(id), vt));
-      break;
+      break;  // reply deferred to commit_staged()
     }
 
     case Verb::kStatus: {
+      commit_staged(es, done);  // same-batch SUBMITs must be visible
       const auto& records = engine.records();
       auto it = records.find(req.job_id);
       if (it == records.end()) {
-        resp = format_err(util::ErrorCode::kNotFound,
-                          "unknown job " + req.arg);
+        reply(format_err(util::ErrorCode::kNotFound,
+                         "unknown job " + req.arg));
         break;
       }
       const sim::JobRecord& r = it->second;
@@ -480,147 +737,713 @@ void Server::handle_command(EngineState& es, Command& cmd) {
                           : r.abandoned        ? "abandoned"
                           : r.first_start_time < 0.0 ? "pending"
                                                      : "active";
-      resp = format_ok(util::strfmt(
+      reply(format_ok(util::strfmt(
           "id=%llu state=%s kind=%s submitted=%.3f started=%.3f "
           "finished=%.3f queue_s=%.3f preempts=%d restarts=%d",
           static_cast<unsigned long long>(req.job_id), state,
           workload::to_string(r.spec.kind), r.submit_time,
           r.first_start_time, r.finish_time, r.queue_time_total,
-          r.preempt_count, r.restart_count));
+          r.preempt_count, r.restart_count)));
       break;
     }
 
     case Verb::kCluster: {
+      commit_staged(es, done);
       const auto& cluster = engine.cluster();
-      resp = format_ok(util::strfmt(
-          "vt=%.3f nodes=%zu cpus=%d/%d gpus=%d/%d running=%zu "
+      reply(format_ok(util::strfmt(
+          "shard=%d vt=%.3f nodes=%zu cpus=%d/%d gpus=%d/%d running=%zu "
           "finished=%zu abandoned=%zu",
-          engine.sim().now(), cluster.node_count(), cluster.used_cpus(),
-          cluster.total_cpus(), cluster.used_gpus(), cluster.total_gpus(),
-          engine.running_jobs(), engine.finished_jobs(),
-          engine.abandoned_jobs()));
+          shard.index, engine.sim().now(), cluster.node_count(),
+          cluster.used_cpus(), cluster.total_cpus(), cluster.used_gpus(),
+          cluster.total_gpus(), engine.running_jobs(),
+          engine.finished_jobs(), engine.abandoned_jobs())));
       break;
     }
 
     case Verb::kMetrics: {
+      commit_staged(es, done);
+      if (cmd.http) {
+        // One OpenMetrics block per shard; the I/O thread prepends the
+        // serving-layer block and appends the EOF marker.
+        const std::string labels = util::strfmt("shard=\"%d\"", shard.index);
+        std::string block = telemetry::format_openmetrics(
+            telemetry::snapshot(engine.metrics()), labels);
+        block += util::strfmt("# TYPE coda_shard_virtual_time gauge\n"
+                              "coda_shard_virtual_time{%s} %.6f\n",
+                              labels.c_str(), engine.sim().now());
+        block += util::strfmt("# TYPE coda_shard_drained gauge\n"
+                              "coda_shard_drained{%s} %d\n",
+                              labels.c_str(), es.drained ? 1 : 0);
+        finish_broadcast(cmd, std::move(block), done);
+        break;
+      }
       const std::string snap =
           telemetry::format_snapshot(telemetry::snapshot(engine.metrics()));
-      resp = format_ok(util::strfmt("vt=%.3f drained=%d ",
-                                    engine.sim().now(),
-                                    drained_.load() ? 1 : 0) +
-                       snap);
+      reply(format_ok(util::strfmt("shard=%d vt=%.3f drained=%d ",
+                                   shard.index, engine.sim().now(),
+                                   es.drained ? 1 : 0) +
+                      snap));
       break;
     }
 
     case Verb::kDrain: {
-      if (!drained_.load()) {
-        do_drain(es);
+      commit_staged(es, done);
+      if (!es.drained) {
+        do_drain(shard, es);
       }
-      std::lock_guard<std::mutex> lock(report_mu_);
-      resp = format_ok(drain_summary_);
+      if (cmd.broadcast) {
+        finish_broadcast(cmd, es.drain_summary, done);
+      } else {
+        reply(format_ok(es.drain_summary));
+      }
       break;
     }
 
     case Verb::kShutdown:
-      stop_.store(true);
-      resp = format_ok("bye");
+      // The drain itself happens after the serving loop exits (every shard
+      // sees stop_ and finishes through the same do_drain path); the reply
+      // only acknowledges the order, exactly like SIGTERM.
+      commit_staged(es, done);
+      if (cmd.broadcast) {
+        finish_broadcast(cmd, "bye", done);
+      } else {
+        stop_.store(true);
+        wakeup_.notify();
+        reply(format_ok("bye"));
+      }
       break;
   }
-  cmd.reply->set(std::move(resp));
 }
 
-// ----------------------------------------------------------- I/O threads
+// ------------------------------------------------------------- I/O thread
 
-void Server::acceptor_main() {
-  while (!stop_.load()) {
-    reap_connections();
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready <= 0) {
-      continue;
+void Server::io_main() {
+  io_ = std::make_unique<IoState>();
+  IoState& io = *io_;
+  io.route_pending.resize(shards_.size());
+  io.poller.add(listen_fd_, kListenTag, true, false);
+  io.poller.add(wakeup_.fd(), kWakeTag, true, false);
+
+  while (true) {
+    const bool stopping = stop_.load();
+    if (stopping && io.accepting) {
+      io.accepting = false;
+      io.poller.del(listen_fd_);
     }
+
+    io.poller.wait(stopping ? 20 : 200, &io.events);
+    for (const PollEvent& ev : io.events) {
+      if (ev.tag == kListenTag) {
+        if (io.accepting) {
+          accept_ready();
+        }
+        continue;
+      }
+      if (ev.tag == kWakeTag) {
+        wakeup_.drain();
+        continue;
+      }
+      auto it = io.conns.find(ev.tag);
+      if (it == io.conns.end()) {
+        continue;  // swept earlier this tick
+      }
+      Conn& conn = *it->second;
+      if (conn.dead) {
+        continue;
+      }
+      if (ev.readable || (ev.hangup && !conn.read_closed)) {
+        conn_readable(conn);
+      }
+      if (conn.dead) {
+        continue;
+      }
+      if (ev.writable) {
+        conn_writable(conn);
+      }
+      if (ev.hangup && !ev.readable && !ev.writable) {
+        conn.dead = true;
+      }
+    }
+
+    // Hand this tick's parsed commands to the shards, one batch per shard.
+    flush_route_pending();
+
+    // Deliver everything the shards completed since the last tick.
+    io.ready.clear();
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      io.ready.swap(completions_);
+    }
+    for (const Completion& c : io.ready) {
+      auto it = io.conns.find(c.conn_id);
+      if (it == io.conns.end()) {
+        continue;  // connection died with commands in flight
+      }
+      Conn& conn = *it->second;
+      if (conn.inflight > 0) {
+        --conn.inflight;
+      }
+      deliver(conn, c);
+    }
+
+    // One flush pass over every live connection: everything the tick
+    // enqueued (completions above, local replies during event handling)
+    // goes out in a single send(2) per connection.
+    for (const auto& [id, conn] : io.conns) {
+      if (!conn->dead) {
+        try_flush(*conn);
+        maybe_finish_conn(*conn);
+      }
+    }
+
+    // Sweep connections marked dead during this tick.
+    io.dead_scratch.clear();
+    for (const auto& [id, conn] : io.conns) {
+      if (conn->dead) {
+        io.dead_scratch.push_back(id);
+      }
+    }
+    for (uint64_t id : io.dead_scratch) {
+      drop_conn(id);
+    }
+
+    if (stopping && engines_running_.load() == 0) {
+      // Every shard has exited, so no further completions can appear.
+      // Anything still waiting to be routed gets its shutting-down answer
+      // (the closed mailboxes reject the whole batch), then drain the
+      // completion queue one last time, flush, and leave.
+      flush_route_pending();
+      io.ready.clear();
+      {
+        std::lock_guard<std::mutex> lock(completion_mu_);
+        io.ready.swap(completions_);
+      }
+      for (const Completion& c : io.ready) {
+        auto it = io.conns.find(c.conn_id);
+        if (it != io.conns.end() && !it->second->dead) {
+          deliver(*it->second, c);
+        }
+      }
+      final_flush_and_close();
+      break;
+    }
+  }
+  io_.reset();
+}
+
+void Server::accept_ready() {
+  IoState& io = *io_;
+  while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return;
+      }
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.accept_errors;
+      return;
     }
-    if (active_connections_.load() >= config_.limits.max_connections) {
-      (void)write_line(fd, format_busy(config_.limits.retry_after_ms));
+    if (io.conns.size() >=
+        static_cast<size_t>(config_.limits.max_connections)) {
+      // Accept-queue overflow at the daemon level: turned away loudly
+      // (BUSY + counter) instead of lingering in the kernel backlog.
+      write_line_best_effort(fd, format_busy(config_.limits.retry_after_ms));
       ::close(fd);
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.conn_rejected;
       continue;
     }
-    active_connections_.fetch_add(1);
-    auto state = std::make_shared<ConnState>();
-    state->fd = fd;
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections_.push_back(
-        {std::thread([this, fd, state] { connection_main(fd, state); }),
-         state});
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.accept_errors;
+      continue;
+    }
+    if (config_.unix_socket_path.empty()) {
+      // Server replies are tiny; without this they ride Nagle and every
+      // non-pipelined caller pays ~40 ms of delayed-ACK p99.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Conn>(
+        static_cast<size_t>(config_.limits.max_line_bytes));
+    conn->fd = fd;
+    conn->id = io.next_conn_id++;
+    if (!io.poller.add(fd, conn->id, true, false)) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.accept_errors;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.conn_accepted;
+    }
+    io.conns.emplace(conn->id, std::move(conn));
   }
 }
 
-void Server::connection_main(int fd, std::shared_ptr<ConnState> state) {
-  LineReader reader(static_cast<size_t>(config_.limits.max_line_bytes));
-  std::vector<std::string> lines;
-  char buf[4096];
-  bool open = true;
-  while (open && !stop_.load()) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n == 0) {
-      break;
+void Server::conn_readable(Conn& conn) {
+  char buf[16384];
+  const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+  if (n == 0) {
+    conn.read_closed = true;
+    maybe_finish_conn(conn);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return;
     }
-    if (n < 0) {
+    conn.dead = true;
+    return;
+  }
+  const bool fed =
+      conn.reader.feed_views(buf, static_cast<size_t>(n),
+                             [this, &conn](std::string_view line) {
+                               if (!conn.dead) {
+                                 process_line(conn, line);
+                               }
+                             });
+  if (!fed) {
+    enqueue_line(conn, false, 0,
+                 format_err(util::ErrorCode::kInvalidArgument,
+                            "line exceeds per-connection limit"));
+    conn.read_closed = true;
+    {
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.conn_dropped;
+    }
+    try_flush(conn);
+    maybe_finish_conn(conn);
+    return;
+  }
+  try_flush(conn);
+  maybe_finish_conn(conn);
+}
+
+void Server::conn_writable(Conn& conn) {
+  try_flush(conn);
+  maybe_finish_conn(conn);
+}
+
+void Server::process_line(Conn& conn, std::string_view line) {
+  if (conn.http) {
+    handle_http_line(conn, line);
+    return;
+  }
+  if (line.empty()) {
+    return;
+  }
+  if (line.substr(0, 4) == "GET " && conn.next_ordered_seq == 0 &&
+      conn.inflight == 0) {
+    conn.http = true;
+    handle_http_line(conn, line);
+    return;
+  }
+  auto env = parse_envelope(line);
+  if (!env.ok()) {
+    local_reply(conn, conn.next_ordered_seq++, false, 0,
+                format_err(env.error().code, env.error().message));
+    return;
+  }
+  route_command(conn, std::move(*env));
+}
+
+// First line of an HTTP connection: `GET <path> HTTP/1.x`. The request is
+// answered immediately (a GET has no body worth waiting for); header lines
+// that trickle in afterwards land here again and are ignored.
+void Server::handle_http_line(Conn& conn, std::string_view line) {
+  if (conn.http_sent || conn.inflight > 0) {
+    return;  // headers after the request line
+  }
+  std::string_view path;
+  {
+    const size_t sp = line.find(' ');
+    const size_t sp2 = line.find(' ', sp + 1);
+    if (sp != std::string_view::npos) {
+      path = line.substr(sp + 1, sp2 == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : sp2 - sp - 1);
+    }
+  }
+  if (path != "/metrics") {
+    conn.outbuf += http_response(404, "Not Found", "text/plain",
+                                 "only /metrics is served\n");
+    conn.http_sent = true;
+    update_write_interest(conn);
+    return;
+  }
+  // Fan the scrape out to every shard; the last one composes the body.
+  auto broadcast = std::make_shared<Broadcast>();
+  broadcast->kind = Broadcast::Kind::kHttpMetrics;
+  broadcast->parts.resize(shards_.size());
+  broadcast->remaining = shards_.size();
+  conn.inflight += 1;
+  bool any_pushed = false;
+  for (auto& shard : shards_) {
+    Command cmd;
+    cmd.request.verb = Verb::kMetrics;
+    cmd.conn_id = conn.id;
+    cmd.http = true;
+    cmd.shard = shard->index;
+    cmd.broadcast = broadcast;
+    if (shard->mailbox->try_push(std::move(cmd))) {
+      any_pushed = true;
+    } else {
+      Command failed;
+      failed.conn_id = conn.id;
+      failed.http = true;
+      failed.shard = shard->index;
+      failed.broadcast = broadcast;
+      std::vector<Completion> done;
+      finish_broadcast(failed,
+                       util::strfmt("# shard %d unavailable\n", shard->index),
+                       &done);
+      for (Completion& c : done) {
+        if (conn.inflight > 0) {
+          --conn.inflight;
+        }
+        deliver(conn, c);
+      }
+    }
+  }
+  (void)any_pushed;
+}
+
+void Server::route_command(Conn& conn, Envelope env) {
+  const int n_shards = static_cast<int>(shards_.size());
+  const Verb verb = env.request.verb;
+  const uint64_t ordered_seq =
+      env.has_cid ? 0 : conn.next_ordered_seq++;
+
+  if (env.shard >= n_shards) {
+    local_reply(conn, ordered_seq, env.has_cid, env.cid,
+                format_err(util::ErrorCode::kInvalidArgument,
+                           util::strfmt("shard %d out of range (0..%d)",
+                                        env.shard, n_shards - 1)));
+    return;
+  }
+  if (stop_.load()) {
+    local_reply(conn, ordered_seq, env.has_cid, env.cid,
+                format_err(util::ErrorCode::kFailedPrecondition,
+                           "server shutting down"));
+    return;
+  }
+
+  // SHUTDOWN always stops the whole daemon; DRAIN without an explicit
+  // shard finishes every shard. Both fan out and answer once. Pending
+  // unicast batches are flushed first so a pipelined SUBMIT ... DRAIN from
+  // one connection reaches the shard in that order.
+  if (verb == Verb::kShutdown || (verb == Verb::kDrain && env.shard < 0)) {
+    flush_route_pending();
+    auto broadcast = std::make_shared<Broadcast>();
+    broadcast->kind = verb == Verb::kShutdown ? Broadcast::Kind::kShutdown
+                                              : Broadcast::Kind::kDrain;
+    broadcast->parts.resize(static_cast<size_t>(n_shards));
+    broadcast->remaining = static_cast<size_t>(n_shards);
+    conn.inflight += 1;
+    for (auto& shard : shards_) {
+      Command cmd;
+      cmd.request = env.request;
+      cmd.conn_id = conn.id;
+      cmd.ordered_seq = ordered_seq;
+      cmd.has_cid = env.has_cid;
+      cmd.cid = env.cid;
+      cmd.shard = shard->index;
+      cmd.broadcast = broadcast;
+      if (!shard->mailbox->try_push(std::move(cmd))) {
+        // This shard cannot take the command (full or closed); complete
+        // its slot from here so the fan-in still converges.
+        Command failed;
+        failed.conn_id = conn.id;
+        failed.ordered_seq = ordered_seq;
+        failed.has_cid = env.has_cid;
+        failed.cid = env.cid;
+        failed.shard = shard->index;
+        failed.broadcast = broadcast;
+        std::vector<Completion> done;
+        finish_broadcast(
+            failed, util::strfmt("shard=%d unavailable", shard->index),
+            &done);
+        for (Completion& c : done) {
+          if (conn.inflight > 0) {
+            --conn.inflight;
+          }
+          deliver(conn, c);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(counter_mu_);
+      ++counters_.commands_routed;
+    }
+    return;
+  }
+
+  // Unicast routing: explicit SHARD prefix wins; otherwise SUBMIT routes
+  // by the row's tenant id and every other verb goes to shard 0.
+  int shard_index = env.shard;
+  if (shard_index < 0) {
+    shard_index =
+        verb == Verb::kSubmit && n_shards > 1
+            ? static_cast<int>(tenant_of_csv_row(env.request.arg) %
+                               static_cast<uint64_t>(n_shards))
+            : 0;
+  }
+  Command cmd;
+  cmd.request = std::move(env.request);
+  cmd.conn_id = conn.id;
+  cmd.ordered_seq = ordered_seq;
+  cmd.has_cid = env.has_cid;
+  cmd.cid = env.cid;
+  cmd.shard = shard_index;
+  conn.inflight += 1;
+  io_->route_pending[static_cast<size_t>(shard_index)].push_back(
+      std::move(cmd));
+}
+
+// Pushes this tick's per-shard command batches, each under one mailbox
+// lock. try_push_batch accepts a prefix, so per-connection order survives:
+// a rejected command only ever has rejected commands after it.
+void Server::flush_route_pending() {
+  IoState& io = *io_;
+  uint64_t routed = 0;
+  uint64_t busy = 0;
+  for (size_t k = 0; k < io.route_pending.size(); ++k) {
+    auto& pending = io.route_pending[k];
+    if (pending.empty()) {
+      continue;
+    }
+    const size_t accepted = shards_[k]->mailbox->try_push_batch(&pending);
+    routed += accepted;
+    if (accepted < pending.size()) {
+      const bool stopping = stop_.load() || shards_[k]->mailbox->closed();
+      for (size_t i = accepted; i < pending.size(); ++i) {
+        Command& cmd = pending[i];
+        auto it = io.conns.find(cmd.conn_id);
+        if (it == io.conns.end()) {
+          continue;
+        }
+        Conn& conn = *it->second;
+        if (conn.inflight > 0) {
+          --conn.inflight;
+        }
+        if (stopping) {
+          // Terminating, not overloaded: a BUSY here would invite the
+          // client to retry against a server that will never answer.
+          local_reply(conn, cmd.ordered_seq, cmd.has_cid, cmd.cid,
+                      format_err(util::ErrorCode::kFailedPrecondition,
+                                 "server shutting down"));
+        } else {
+          // Admission queue full: explicit backpressure, never unbounded
+          // buffering.
+          local_reply(conn, cmd.ordered_seq, cmd.has_cid, cmd.cid,
+                      format_busy(config_.limits.retry_after_ms));
+          ++busy;
+        }
+      }
+    }
+    pending.clear();
+  }
+  if (routed > 0 || busy > 0) {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    counters_.commands_routed += routed;
+    counters_.busy_rejections += busy;
+  }
+}
+
+// Immediate reply produced by the I/O thread itself (parse error, BUSY,
+// shutdown refusals). Runs through the same ordering machinery as engine
+// completions so pipelined clients still see request-order replies.
+void Server::local_reply(Conn& conn, uint64_t ordered_seq, bool has_cid,
+                         uint64_t cid, std::string line) {
+  Completion c;
+  c.conn_id = conn.id;
+  c.ordered_seq = ordered_seq;
+  c.has_cid = has_cid;
+  c.cid = cid;
+  c.line = std::move(line);
+  deliver(conn, c);
+}
+
+void Server::deliver(Conn& conn, const Completion& completion) {
+  if (conn.dead) {
+    return;
+  }
+  if (completion.http) {
+    // The completion body is the concatenated per-shard blocks; prepend
+    // the serving-layer block and close the exposition.
+    const ServeCounters snap = counters();
+    std::string body;
+    body += "# TYPE coda_serve_connections_active gauge\n";
+    body += util::strfmt("coda_serve_connections_active %zu\n",
+                         io_ ? io_->conns.size() : size_t{0});
+    body += "# TYPE coda_serve_connections_accepted_total counter\n";
+    body += util::strfmt("coda_serve_connections_accepted_total %llu\n",
+                         static_cast<unsigned long long>(snap.conn_accepted));
+    body += "# TYPE coda_serve_connections_rejected_total counter\n";
+    body += util::strfmt("coda_serve_connections_rejected_total %llu\n",
+                         static_cast<unsigned long long>(snap.conn_rejected));
+    body += "# TYPE coda_serve_connections_dropped_total counter\n";
+    body += util::strfmt("coda_serve_connections_dropped_total %llu\n",
+                         static_cast<unsigned long long>(snap.conn_dropped));
+    body += "# TYPE coda_serve_accept_errors_total counter\n";
+    body += util::strfmt("coda_serve_accept_errors_total %llu\n",
+                         static_cast<unsigned long long>(snap.accept_errors));
+    body += "# TYPE coda_serve_commands_routed_total counter\n";
+    body += util::strfmt("coda_serve_commands_routed_total %llu\n",
+                         static_cast<unsigned long long>(snap.commands_routed));
+    body += "# TYPE coda_serve_busy_rejections_total counter\n";
+    body += util::strfmt("coda_serve_busy_rejections_total %llu\n",
+                         static_cast<unsigned long long>(snap.busy_rejections));
+    body += completion.line;
+    body += "# EOF\n";
+    conn.outbuf += http_response(200, "OK", kOpenMetricsType, body);
+    conn.http_sent = true;
+    try_flush(conn);
+    maybe_finish_conn(conn);
+    return;
+  }
+  if (completion.has_cid) {
+    // Correlated reply: written the moment it completes, even if plain
+    // requests sent earlier are still in flight on another shard.
+    enqueue_line(conn, true, completion.cid, completion.line);
+  } else {
+    conn.pending_ordered[completion.ordered_seq] = completion.line;
+    flush_ordered(conn);
+  }
+  // No flush here: replies only accumulate in the outbuf. io_main flushes
+  // every touched connection once per tick — with a pipelining client that
+  // is one send(2) for a whole window of replies instead of one each.
+}
+
+void Server::flush_ordered(Conn& conn) {
+  auto it = conn.pending_ordered.begin();
+  while (it != conn.pending_ordered.end() &&
+         it->first == conn.next_flush_seq) {
+    enqueue_line(conn, false, 0, it->second);
+    it = conn.pending_ordered.erase(it);
+    ++conn.next_flush_seq;
+  }
+}
+
+void Server::enqueue_line(Conn& conn, bool has_cid, uint64_t cid,
+                          const std::string& line) {
+  if (conn.dead) {
+    return;
+  }
+  const size_t pending = conn.outbuf.size() - conn.outoff;
+  if (pending + line.size() > kMaxOutbufBytes) {
+    conn.dead = true;
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    ++counters_.conn_dropped;
+    return;
+  }
+  if (has_cid) {
+    char prefix[32];
+    const int n = std::snprintf(prefix, sizeof(prefix), "CID %llu ",
+                                static_cast<unsigned long long>(cid));
+    conn.outbuf.append(prefix, static_cast<size_t>(n));
+  }
+  conn.outbuf += line;
+  conn.outbuf += '\n';
+}
+
+void Server::try_flush(Conn& conn) {
+  if (conn.dead) {
+    return;
+  }
+  while (conn.outoff < conn.outbuf.size()) {
+    const ssize_t w =
+        ::send(conn.fd, conn.outbuf.data() + conn.outoff,
+               conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+    if (w < 0) {
       if (errno == EINTR) {
         continue;
       }
-      break;
-    }
-    lines.clear();
-    if (!reader.feed(buf, static_cast<size_t>(n), &lines)) {
-      (void)write_line(fd, format_err(util::ErrorCode::kInvalidArgument,
-                                      "line exceeds per-connection limit"));
-      break;
-    }
-    for (const auto& line : lines) {
-      if (line.empty()) {
-        continue;
-      }
-      auto req = parse_request(line);
-      std::string resp;
-      if (!req.ok()) {
-        resp = format_err(req.error().code, req.error().message);
-      } else {
-        auto slot = std::make_shared<ReplySlot>();
-        if (!mailbox_->try_push({*req, slot})) {
-          if (stop_.load() || mailbox_->closed()) {
-            // Terminating, not overloaded: a BUSY here would invite the
-            // client to retry against a server that will never answer.
-            resp = format_err(util::ErrorCode::kFailedPrecondition,
-                              "server shutting down");
-          } else {
-            // Admission queue full: explicit backpressure, never
-            // unbounded buffering.
-            resp = format_busy(config_.limits.retry_after_ms);
-          }
-        } else {
-          resp = slot->take();
-        }
-      }
-      if (!write_line(fd, resp)) {
-        open = false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;
       }
+      conn.dead = true;
+      return;
     }
+    conn.outoff += static_cast<size_t>(w);
   }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    state->fd = -1;
+  if (conn.outoff >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outoff = 0;
+  } else if (conn.outoff > (64u << 10)) {
+    conn.outbuf.erase(0, conn.outoff);
+    conn.outoff = 0;
   }
-  ::close(fd);
-  active_connections_.fetch_sub(1);
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    state->done = true;
+  update_write_interest(conn);
+}
+
+void Server::update_write_interest(Conn& conn) {
+  if (conn.dead || io_ == nullptr) {
+    return;
   }
+  const bool want_write = conn.outoff < conn.outbuf.size();
+  if (want_write != conn.want_write) {
+    conn.want_write = want_write;
+    io_->poller.mod(conn.fd, conn.id, !conn.read_closed, want_write);
+  }
+}
+
+void Server::maybe_finish_conn(Conn& conn) {
+  if (conn.dead) {
+    return;
+  }
+  const bool flushed = conn.outoff >= conn.outbuf.size();
+  if (conn.http_sent && flushed) {
+    conn.dead = true;  // HTTP/1.0: one response, then close
+    return;
+  }
+  if (conn.read_closed && flushed && conn.inflight == 0 &&
+      conn.pending_ordered.empty()) {
+    conn.dead = true;
+  }
+}
+
+void Server::drop_conn(uint64_t conn_id) {
+  IoState& io = *io_;
+  auto it = io.conns.find(conn_id);
+  if (it == io.conns.end()) {
+    return;
+  }
+  io.poller.del(it->second->fd);
+  ::close(it->second->fd);
+  io.conns.erase(it);
+}
+
+// Shutdown epilogue: give every connection a short bounded window to take
+// its remaining reply bytes, then close everything. Peers that are not
+// reading see a clean close instead of a hang.
+void Server::final_flush_and_close() {
+  IoState& io = *io_;
+  const auto deadline = SteadyClock::now() + std::chrono::seconds(1);
+  while (SteadyClock::now() < deadline) {
+    bool any_pending = false;
+    for (auto& [id, conn] : io.conns) {
+      if (conn->dead) {
+        continue;
+      }
+      try_flush(*conn);
+      if (!conn->dead && conn->outoff < conn->outbuf.size()) {
+        any_pending = true;
+      }
+    }
+    if (!any_pending) {
+      break;
+    }
+    io.poller.wait(10, &io.events);
+  }
+  for (auto& [id, conn] : io.conns) {
+    io.poller.del(conn->fd);
+    ::close(conn->fd);
+  }
+  io.conns.clear();
 }
 
 }  // namespace coda::service

@@ -1,36 +1,46 @@
 // codad's serving core: a live cluster controller around the deterministic
-// sim::ClusterEngine.
+// sim::ClusterEngine, sharded N ways behind one epoll event loop.
 //
-// Threading model (one rule: I/O threads never touch the simulator):
-//   - one engine thread owns the ClusterEngine and paces virtual time
-//     against the wall clock (speedup = sim-seconds per wall-second;
-//     <= 0 runs as fast as possible). Between event batches it drains the
-//     command mailbox: queries answer from engine state, accepted SUBMITs
-//     are injected at the current virtual instant and appended to the
-//     journal.
-//   - one acceptor thread plus one thread per connection parse the line
-//     protocol and push commands into the bounded mailbox; each command
-//     carries a reply slot its connection blocks on. A full mailbox is
-//     answered `BUSY retry-after-ms=...` by the connection thread alone —
-//     explicit admission control with no unbounded buffering.
+// Threading model (one rule: the I/O thread never touches a simulator):
+//   - one I/O thread runs a level-triggered epoll (poll fallback) loop over
+//     the nonblocking listener, a wakeup fd, and every connection. It
+//     accepts, frames lines, parses request envelopes, routes each command
+//     to its shard's bounded mailbox, and flushes per-connection write
+//     buffers. Clients may pipeline arbitrarily many requests; replies
+//     without a CID are reordered back into request order, replies with a
+//     CID are written the moment their shard completes them.
+//   - N engine threads (--shards / CODA_SERVE_SHARDS), each owning an
+//     independent ClusterEngine, mailbox, and journal. Between event
+//     batches a shard drains its mailbox, answers queries from engine
+//     state, and stages accepted SUBMITs; at the end of the batch the
+//     journal is flushed ONCE (group commit), the staged jobs are
+//     injected, and only then are the replies handed to the I/O thread —
+//     an acknowledged SUBMIT is always durable.
+//   - backpressure is explicit: a full shard mailbox is answered
+//     `BUSY retry-after-ms=...` by the I/O thread alone, and a connection
+//     whose write buffer outgrows its cap is dropped.
 //
-// Determinism: accepted submissions are injected at
-// nextafter(sim.now()) — an instant strictly after every event the engine
-// has dispatched and strictly before every event still queued — so an
-// offline replay that pre-posts the journaled arrivals dispatches the
-// exact same event sequence. DRAIN finishes the run through the same
+// Determinism (per shard): accepted submissions are injected at
+// nextafter(now()) — an instant strictly after every event the shard's
+// engine has dispatched and strictly before every event still queued — so
+// an offline replay that pre-posts the journaled arrivals dispatches the
+// exact same event sequence. DRAIN finishes each shard through the same
 // run_until(horizon) + drain(horizon + slack) path as sim::run_experiment
 // and builds the final report with the shared sim::build_report, which is
-// why the journal replay reproduces the live report byte-for-byte.
+// why every shard's journal replay reproduces that shard's live report
+// byte-for-byte.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "service/event_loop.h"
 #include "service/journal.h"
 #include "service/mailbox.h"
 #include "service/protocol.h"
@@ -42,23 +52,40 @@ namespace coda::service {
 // Per-process service limits, overridable via strict CODA_SERVE_* env knobs
 // (shared parser with CODA_JOBS; malformed values warn and fall back).
 struct ServiceLimits {
-  int admission_capacity = 1024;  // CODA_SERVE_QUEUE: mailbox bound
+  int admission_capacity = 1024;  // CODA_SERVE_QUEUE: per-shard mailbox bound
   int max_connections = 64;       // CODA_SERVE_MAX_CONNS
   int max_line_bytes = 1 << 16;   // CODA_SERVE_MAX_LINE: framing limit
   int retry_after_ms = 100;       // advertised in BUSY responses
+  int shards = 1;                 // CODA_SERVE_SHARDS: engine shard count
 
   static ServiceLimits from_env();
 };
 
 struct ServerConfig {
   SessionSpec session;          // policy + experiment config + base trace
-  std::string journal_path;     // empty disables journaling
-  std::string report_path;      // empty: journal_path + ".report"
+  // Journal path stem: with 1 shard the journal lands at journal_path and
+  // the report at report_path (default journal_path + ".report"); with N>1
+  // shards, shard k journals to journal_path + ".shard<k>" and reports to
+  // the matching ".shard<k>.report". Empty disables journaling.
+  std::string journal_path;
+  std::string report_path;      // single-shard only; empty: journal + ".report"
   // Listener: set exactly one. TCP binds 127.0.0.1 (port 0 = ephemeral,
   // resolved port available after start()).
   std::string unix_socket_path;
   int tcp_port = -1;
   ServiceLimits limits;
+};
+
+// Monotonic serving-layer counters, visible in METRICS and GET /metrics.
+// `conn_rejected` is the accept-queue overflow signal: connections the
+// daemon turned away with BUSY because max_connections was reached.
+struct ServeCounters {
+  uint64_t conn_accepted = 0;
+  uint64_t conn_rejected = 0;   // over max_connections -> BUSY + close
+  uint64_t conn_dropped = 0;    // protocol violation / write-buffer overflow
+  uint64_t accept_errors = 0;   // accept(2) failures (EMFILE etc.)
+  uint64_t commands_routed = 0; // commands handed to shard mailboxes
+  uint64_t busy_rejections = 0; // commands bounced BUSY off a full mailbox
 };
 
 class Server {
@@ -69,7 +96,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds the listener, spawns the engine and acceptor threads. The
+  // Binds the listener, spawns the engine shards and the I/O thread. The
   // session's horizon must be resolved (> 0).
   util::Status start();
 
@@ -78,60 +105,84 @@ class Server {
   void wait();
 
   // Initiates a graceful stop from outside the protocol (signal handlers
-  // route here): drains the engine if needed, writes the final report,
+  // route here): drains every shard if needed, writes the final reports,
   // closes every connection. Thread-safe, idempotent, non-blocking.
   void request_shutdown();
 
+  // True once every shard has drained.
   bool drained() const;
-  // Serialized final report (sim::serialize_report form); empty before the
-  // session drains. Byte-identical to what replay_journal_file() of this
-  // session's journal serializes to.
-  std::string report_text() const;
+  // Serialized final report of shard `shard` (sim::serialize_report form);
+  // empty before that shard drains. Byte-identical to what
+  // replay_journal_file() of that shard's journal serializes to.
+  std::string report_text(int shard = 0) const;
+  int shard_count() const { return static_cast<int>(shards_.size()); }
   // Resolved TCP port (after start(), TCP listeners only).
   int tcp_port() const { return resolved_port_; }
+  ServeCounters counters() const;
 
  private:
-  struct ReplySlot;
+  struct Broadcast;
   struct Command;
+  struct Completion;
+  struct Conn;
   struct EngineState;
+  struct Shard;
 
-  // Per-connection bookkeeping, guarded by conn_mu_. fd is tombstoned to
-  // -1 before the connection thread closes it so close_all_connections()
-  // never shutdown()s a recycled descriptor; done flips last so the
-  // acceptor can reap (join + erase) the finished thread.
-  struct ConnState {
-    int fd = -1;
-    bool done = false;
-  };
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<ConnState> state;
-  };
+  void io_main();
+  void engine_main(Shard& shard);
+  void handle_command(Shard& shard, EngineState& es, Command& cmd,
+                      std::vector<Completion>* done);
+  void commit_staged(EngineState& es, std::vector<Completion>* done);
+  void finish_broadcast(Command& cmd, std::string part,
+                        std::vector<Completion>* done);
+  void do_drain(Shard& shard, EngineState& es);
+  void post_completions(std::vector<Completion>* done);
 
-  void engine_main();
-  void acceptor_main();
-  void connection_main(int fd, std::shared_ptr<ConnState> state);
-  void handle_command(EngineState& es, Command& cmd);
-  void do_drain(EngineState& es);
-  void close_all_connections();
-  void reap_connections();
+  // ---- I/O-thread helpers (only ever called from io_main) ----
+  void accept_ready();
+  void flush_route_pending();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  void process_line(Conn& conn, std::string_view line);
+  void route_command(Conn& conn, Envelope env);
+  void local_reply(Conn& conn, uint64_t ordered_seq, bool has_cid,
+                   uint64_t cid, std::string line);
+  void deliver(Conn& conn, const Completion& completion);
+  void flush_ordered(Conn& conn);
+  void enqueue_line(Conn& conn, bool has_cid, uint64_t cid,
+                    const std::string& line);
+  void try_flush(Conn& conn);
+  void update_write_interest(Conn& conn);
+  void drop_conn(uint64_t conn_id);
+  void maybe_finish_conn(Conn& conn);
+  void handle_http_line(Conn& conn, std::string_view line);
+  void final_flush_and_close();
 
   ServerConfig config_;
-  std::unique_ptr<Mailbox<Command>> mailbox_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   int listen_fd_ = -1;
   int resolved_port_ = -1;
-  std::thread engine_thread_;
-  std::thread acceptor_thread_;
-  std::mutex conn_mu_;
-  std::vector<Connection> connections_;
-  std::atomic<int> active_connections_{0};
+  std::thread io_thread_;
+
+  // Engine -> I/O completion channel (unbounded on purpose: every entry
+  // answers a command already admitted through a bounded mailbox).
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+  WakeupFd wakeup_;
+  std::atomic<int> engines_running_{0};
+
   std::atomic<bool> stop_{false};
-  std::atomic<bool> draining_{false};
-  std::atomic<bool> drained_{false};
   mutable std::mutex report_mu_;
-  std::string report_text_;
-  std::string drain_summary_;
+  std::vector<std::string> report_texts_;   // indexed by shard
+
+  mutable std::mutex counter_mu_;
+  ServeCounters counters_;
+
+  // I/O-thread-only state (no locks): live connections by id.
+  struct IoState;
+  std::unique_ptr<IoState> io_;
+
   bool started_ = false;
 };
 

@@ -71,4 +71,31 @@ std::string format_snapshot(const MetricSnapshot& snap) {
   return out;
 }
 
+std::string format_openmetrics(const MetricSnapshot& snap,
+                               const std::string& labels) {
+  std::string out;
+  out.reserve(128 * (snap.counters.size() + snap.series_last.size()));
+  auto append = [&out, &labels](const MetricSnapshot::Entry& e) {
+    std::string name = "coda_";
+    for (char c : e.name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      name.push_back(ok ? c : '_');
+    }
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    if (!labels.empty()) {
+      out += "{" + labels + "}";
+    }
+    out += util::strfmt(" %.6g\n", e.value);
+  };
+  for (const auto& e : snap.counters) {
+    append(e);
+  }
+  for (const auto& e : snap.series_last) {
+    append(e);
+  }
+  return out;
+}
+
 }  // namespace coda::telemetry

@@ -60,4 +60,14 @@ MetricSnapshot snapshot(const MetricRegistry& registry);
 // names come out sorted, so equal registries serialize identically.
 std::string format_snapshot(const MetricSnapshot& snap);
 
+// Serializes a snapshot as OpenMetrics gauge lines: each entry becomes
+//   # TYPE coda_<name> gauge
+//   coda_<name>{<labels>} <value>
+// with the name sanitized to [a-zA-Z0-9_]. `labels` is inserted verbatim
+// (e.g. `shard="3"`); empty omits the braces. Deterministic for equal
+// snapshots. No terminating `# EOF` — callers composing a full exposition
+// (codad's GET /metrics) append it after the last block.
+std::string format_openmetrics(const MetricSnapshot& snap,
+                               const std::string& labels);
+
 }  // namespace coda::telemetry

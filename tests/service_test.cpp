@@ -4,9 +4,15 @@
 // live session's journal reproduces its ExperimentReport byte-for-byte.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -472,6 +478,265 @@ TEST(Journal, Uint64FieldsAboveInt64MaxRoundTrip) {
   ASSERT_EQ(loaded->submissions.size(), 1u);
   EXPECT_EQ(loaded->submissions[0].job_id, big_id);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------- pipelining and shards
+
+TEST(LineReader, WholeBatchOfCommandsInOneChunk) {
+  // A pipelining client writes a whole window in one send(); one recv()
+  // must frame every command.
+  std::string stream;
+  for (int i = 0; i < 16; ++i) {
+    stream += "CID " + std::to_string(i) + " PING\n";
+  }
+  LineReader reader(256);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(reader.feed(stream.data(), stream.size(), &lines));
+  ASSERT_EQ(lines.size(), 16u);
+  EXPECT_EQ(lines[0], "CID 0 PING");
+  EXPECT_EQ(lines[15], "CID 15 PING");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(LineReader, ChunkSplitMidCommandAcrossBatches) {
+  // A read boundary in the middle of one command of a multi-command batch:
+  // complete lines frame immediately, the partial one carries over.
+  LineReader reader(256);
+  std::vector<std::string> lines;
+  const std::string first = "PING\nSTATUS 7\nSUBM";
+  const std::string second = "IT 1,2,cpu\nPING\n";
+  ASSERT_TRUE(reader.feed(first.data(), first.size(), &lines));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(reader.pending_bytes(), 4u);  // "SUBM"
+  ASSERT_TRUE(reader.feed(second.data(), second.size(), &lines));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], "SUBMIT 1,2,cpu");
+  EXPECT_EQ(lines[3], "PING");
+}
+
+TEST(LineReader, FeedViewsMatchesFeedAcrossSplits) {
+  // The zero-copy path the server uses must frame exactly like feed(),
+  // whether a line sits inside one chunk or spans the carry buffer.
+  const std::string stream = "CID 1 SHARD 0 PING\r\nSTATUS 5\nPI";
+  for (size_t chunk : {size_t{1}, size_t{3}, stream.size()}) {
+    LineReader reader(64);
+    std::vector<std::string> lines;
+    for (size_t off = 0; off < stream.size(); off += chunk) {
+      const size_t n = std::min(chunk, stream.size() - off);
+      ASSERT_TRUE(reader.feed_views(
+          stream.data() + off, n,
+          [&lines](std::string_view line) { lines.emplace_back(line); }));
+    }
+    ASSERT_EQ(lines.size(), 2u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], "CID 1 SHARD 0 PING");
+    EXPECT_EQ(lines[1], "STATUS 5");
+    EXPECT_EQ(reader.pending_bytes(), 2u);  // "PI"
+  }
+}
+
+TEST(Protocol, EnvelopeParsing) {
+  auto bare = parse_envelope("PING");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(bare->has_cid);
+  EXPECT_EQ(bare->shard, -1);
+
+  auto cid = parse_envelope("CID 42 STATUS 7");
+  ASSERT_TRUE(cid.ok());
+  EXPECT_TRUE(cid->has_cid);
+  EXPECT_EQ(cid->cid, 42u);
+  EXPECT_EQ(cid->request.verb, Verb::kStatus);
+
+  // Both prefixes, either order.
+  for (const char* line :
+       {"CID 9 SHARD 3 PING", "SHARD 3 CID 9 PING"}) {
+    auto env = parse_envelope(line);
+    ASSERT_TRUE(env.ok()) << line;
+    EXPECT_TRUE(env->has_cid);
+    EXPECT_EQ(env->cid, 9u);
+    EXPECT_EQ(env->shard, 3);
+    EXPECT_EQ(env->request.verb, Verb::kPing);
+  }
+
+  EXPECT_FALSE(parse_envelope("CID 1 CID 2 PING").ok());      // duplicate
+  EXPECT_FALSE(parse_envelope("SHARD 0 SHARD 1 PING").ok());  // duplicate
+  EXPECT_FALSE(parse_envelope("CID x PING").ok());
+  EXPECT_FALSE(parse_envelope("SHARD 9999999 PING").ok());    // out of range
+  EXPECT_FALSE(parse_envelope("CID 7").ok());                 // no request
+}
+
+TEST(Mailbox, BatchPushAcceptsPrefixUpToCapacity) {
+  Mailbox<int> box(4);
+  std::vector<int> batch{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(box.try_push_batch(&batch), 4u);  // capacity bound
+  std::vector<int> drained;
+  box.drain(&drained);
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained[0], 1);
+  EXPECT_EQ(drained[3], 4);
+  box.close();
+  std::vector<int> more{7};
+  EXPECT_EQ(box.try_push_batch(&more), 0u);  // closed accepts nothing
+}
+
+ServerConfig sharded_server_config(const std::string& tag, int shards) {
+  ServerConfig config = tiny_server_config(tag, 0.0);
+  config.limits.shards = shards;
+  return config;
+}
+
+TEST(Server, PipelinedCidsCompleteAcrossShards) {
+  ServerConfig config = sharded_server_config("pipeline", 2);
+  config.journal_path.clear();
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_EQ(server.shard_count(), 2);
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  // A whole window written before reading anything, alternating shards:
+  // replies may interleave across shards but every CID must come back
+  // exactly once, stamped by the shard that served it.
+  constexpr int kWindow = 32;
+  for (int i = 0; i < kWindow; ++i) {
+    const std::string line = "CID " + std::to_string(100 + i) + " SHARD " +
+                             std::to_string(i % 2) + " PING";
+    ASSERT_TRUE(client->send(line).ok());
+  }
+  std::vector<bool> seen(kWindow, false);
+  for (int i = 0; i < kWindow; ++i) {
+    auto tagged = client->recv_tagged();
+    ASSERT_TRUE(tagged.ok()) << tagged.error().message;
+    ASSERT_TRUE(tagged->has_cid);
+    const int idx = static_cast<int>(tagged->cid) - 100;
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kWindow);
+    EXPECT_FALSE(seen[static_cast<size_t>(idx)]) << "duplicate CID";
+    seen[static_cast<size_t>(idx)] = true;
+    EXPECT_TRUE(tagged->response.ok());
+    const std::string want_shard = "shard=" + std::to_string(idx % 2);
+    EXPECT_NE(tagged->response.payload.find(want_shard), std::string::npos)
+        << tagged->response.payload;
+  }
+  // Un-CID'd replies still come back in request order after the window.
+  auto plain = client->call("PING");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->ok());
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+}
+
+TEST(Server, TwoShardJournalsReplayAndMatchSingleShardRuns) {
+  // Shard isolation: each shard of a 2-shard session must journal exactly
+  // its own submissions, replay byte-identically, AND match the report of
+  // a fresh single-shard server fed the same submissions — proving the
+  // shards really are independent deterministic engines.
+  ServerConfig config = sharded_server_config("twoshard", 2);
+  const std::string stem = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  std::vector<std::string> shard_reports(2);
+  {
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    auto r0 = client->call("SHARD 0 SUBMIT " + submit_row(2, 600.0));
+    ASSERT_TRUE(r0.ok());
+    EXPECT_TRUE(r0->ok()) << r0->payload;
+    auto r1 = client->call("SHARD 1 SUBMIT " + submit_row(4, 1200.0));
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1->ok()) << r1->payload;
+    ASSERT_TRUE(client->drain().ok());
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    ASSERT_TRUE(server.drained());
+    shard_reports[0] = server.report_text(0);
+    shard_reports[1] = server.report_text(1);
+  }
+  ASSERT_FALSE(shard_reports[0].empty());
+  ASSERT_FALSE(shard_reports[1].empty());
+  // The different submissions must have produced different outcomes.
+  EXPECT_NE(shard_reports[0], shard_reports[1]);
+
+  for (int k = 0; k < 2; ++k) {
+    const std::string journal = stem + ".shard" + std::to_string(k);
+    auto replayed = replay_journal_file(journal);
+    ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+    EXPECT_EQ(sim::serialize_report(*replayed),
+              shard_reports[static_cast<size_t>(k)])
+        << "shard " << k;
+    std::remove(journal.c_str());
+    std::remove((journal + ".report").c_str());
+  }
+
+  // Same-seed single-shard servers, one per shard's submission stream.
+  for (int k = 0; k < 2; ++k) {
+    ServerConfig single =
+        tiny_server_config("single" + std::to_string(k), 0.0);
+    single.journal_path.clear();
+    const Endpoint ep{single.unix_socket_path, -1};
+    Server server(std::move(single));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(ep);
+    ASSERT_TRUE(client.ok());
+    auto resp = client->submit_row(
+        k == 0 ? submit_row(2, 600.0) : submit_row(4, 1200.0));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->ok()) << resp->payload;
+    ASSERT_TRUE(client->drain().ok());
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    EXPECT_EQ(server.report_text(0), shard_reports[static_cast<size_t>(k)])
+        << "single-shard run " << k;
+  }
+}
+
+TEST(Server, HttpMetricsServedOnSameListener) {
+  ServerConfig config = sharded_server_config("http", 2);
+  config.journal_path.clear();
+  const std::string socket_path = config.unix_socket_path;
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto scrape = [&socket_path](const std::string& request) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_TRUE(::send(fd, request.data(), request.size(), 0) >= 0);
+    std::string body;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      body.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return body;
+  };
+
+  const std::string resp = scrape("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u) << resp.substr(0, 80);
+  EXPECT_NE(resp.find("application/openmetrics-text"), std::string::npos);
+  // Serving-layer block plus one block per shard, labelled.
+  EXPECT_NE(resp.find("coda_serve_connections_active"), std::string::npos);
+  EXPECT_NE(resp.find("coda_shard_virtual_time{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(resp.find("coda_shard_virtual_time{shard=\"1\"}"),
+            std::string::npos);
+  // OpenMetrics exposition must close with the EOF marker.
+  const std::string tail = "# EOF\n";
+  ASSERT_GE(resp.size(), tail.size());
+  EXPECT_EQ(resp.substr(resp.size() - tail.size()), tail);
+
+  const std::string miss = scrape("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(miss.rfind("HTTP/1.0 404", 0), 0u) << miss.substr(0, 80);
+
+  server.request_shutdown();
+  server.wait();
 }
 
 }  // namespace

@@ -81,5 +81,27 @@ TEST(Metrics, SeriesRecordSamples) {
   EXPECT_TRUE(m.series("unknown").empty());
 }
 
+TEST(Metrics, OpenMetricsExposition) {
+  MetricRegistry m;
+  m.increment("jobs.completed", 3.0);
+  m.sample("queue depth", 1.0, 7.0);  // space must sanitize to '_'
+  const MetricSnapshot snap = snapshot(m);
+
+  const std::string labelled = format_openmetrics(snap, "shard=\"2\"");
+  EXPECT_NE(labelled.find("# TYPE coda_jobs_completed gauge\n"),
+            std::string::npos);
+  EXPECT_NE(labelled.find("coda_jobs_completed{shard=\"2\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(labelled.find("coda_queue_depth{shard=\"2\"} 7\n"),
+            std::string::npos);
+  // No exposition terminator: the caller concatenates per-shard blocks and
+  // appends the single `# EOF` itself.
+  EXPECT_EQ(labelled.find("# EOF"), std::string::npos);
+
+  const std::string bare = format_openmetrics(snap, "");
+  EXPECT_NE(bare.find("coda_jobs_completed 3\n"), std::string::npos);
+  EXPECT_EQ(bare.find('{'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace coda::telemetry
