@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "flag_parse.h"
 #include "perfmodel/characterization.h"
 #include "perfmodel/train_perf.h"
 #include "service/journal.h"
@@ -31,39 +32,17 @@
 #include "workload/trace_io.h"
 
 using namespace coda;
+using examples::FlagMap;
+using examples::flag_double;
+using examples::flag_int;
+using examples::flag_or;
+using examples::flag_u64;
 
 namespace {
 
 void usage();
 
-// Tiny flag parser: --key value pairs after the subcommand.
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int from) {
-  std::map<std::string, std::string> flags;
-  for (int i = from; i < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    flags[argv[i] + 2] = argv[i + 1];
-  }
-  return flags;
-}
-
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it != flags.end() ? it->second : fallback;
-}
-
-std::vector<workload::JobSpec> make_or_load_trace(
-    const std::map<std::string, std::string>& flags) {
+std::vector<workload::JobSpec> make_or_load_trace(const FlagMap& flags) {
   if (flags.count("trace") > 0) {
     auto loaded = workload::load_trace(flags.at("trace"));
     if (!loaded.ok()) {
@@ -73,9 +52,8 @@ std::vector<workload::JobSpec> make_or_load_trace(
     }
     return std::move(loaded).value();
   }
-  const double days = std::atof(flag_or(flags, "days", "1").c_str());
-  auto cfg = sim::standard_week_trace(
-      std::strtoull(flag_or(flags, "seed", "42").c_str(), nullptr, 10));
+  const double days = flag_double(flags, "days", 1.0, 1e-6);
+  auto cfg = sim::standard_week_trace(flag_u64(flags, "seed", 42));
   cfg.duration_s = days * 86400.0;
   cfg.cpu_jobs = static_cast<int>(2500 * days);
   cfg.gpu_jobs = static_cast<int>(1250 * days);
@@ -190,10 +168,8 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
   const auto trace = make_or_load_trace(flags);
   const auto policy = parse_policy(flag_or(flags, "policy", "coda"));
   sim::ExperimentConfig config;
-  config.engine.cluster.node_count =
-      std::atoi(flag_or(flags, "nodes", "80").c_str());
-  config.engine.util_noise_stddev =
-      std::atof(flag_or(flags, "noise", "0").c_str());
+  config.engine.cluster.node_count = flag_int(flags, "nodes", 80, 1);
+  config.engine.util_noise_stddev = flag_double(flags, "noise", 0.0, 0.0);
   const auto report = sim::run_experiment(policy, trace, config);
 
   util::Table table(util::strfmt("replay | %s on %d nodes",
@@ -239,8 +215,12 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
                     "gpu jobs no-queue", "completed"});
   for (const auto& nodes_str :
        util::split(flag_or(flags, "nodes", "40,60,80,100"), ',')) {
+    auto nodes = util::parse_strict_int(nodes_str, 1);
+    if (!nodes.ok()) {
+      examples::flag_die("nodes", nodes_str, nodes.error().message);
+    }
     sim::ExperimentConfig config;
-    config.engine.cluster.node_count = std::atoi(nodes_str.c_str());
+    config.engine.cluster.node_count = static_cast<int>(*nodes);
     const auto report = sim::run_experiment(policy, trace, config);
     size_t instant = 0;
     for (double q : report.gpu_queue_times) {
@@ -320,7 +300,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
+  const auto flags = examples::parse_flag_pairs(argc, argv, 2, usage);
   if (cmd == "generate") {
     return cmd_generate(flags);
   }

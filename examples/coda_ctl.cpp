@@ -16,11 +16,17 @@
 #include <map>
 #include <string>
 
+#include "flag_parse.h"
 #include "perfmodel/dnn_model.h"
 #include "service/client.h"
 #include "workload/trace_io.h"
 
 using namespace coda;
+using examples::FlagMap;
+using examples::flag_bool;
+using examples::flag_double;
+using examples::flag_int;
+using examples::flag_or;
 
 namespace {
 
@@ -50,37 +56,11 @@ void usage() {
       "     breakdown plus a machine-readable 'bench-json:' line\n");
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int from) {
-  std::map<std::string, std::string> flags;
-  for (int i = from; i < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    flags[argv[i] + 2] = argv[i + 1];
-  }
-  return flags;
-}
-
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it != flags.end() ? it->second : fallback;
-}
-
-service::Endpoint make_endpoint(
-    const std::map<std::string, std::string>& flags) {
+service::Endpoint make_endpoint(const FlagMap& flags) {
   service::Endpoint endpoint;
   endpoint.unix_socket_path = flag_or(flags, "socket", "");
   if (flags.count("port") > 0) {
-    endpoint.tcp_port = std::atoi(flags.at("port").c_str());
+    endpoint.tcp_port = flag_int(flags, "port", -1, 0);
   }
   if (endpoint.unix_socket_path.empty() && endpoint.tcp_port < 0) {
     std::fprintf(stderr, "need --socket PATH or --port N\n");
@@ -92,14 +72,13 @@ service::Endpoint make_endpoint(
 
 // Builds the SUBMIT csv row. id 0 lets the daemon assign one;
 // submit_time is ignored by the daemon (arrival is "now").
-std::string build_submit_row(
-    const std::map<std::string, std::string>& flags) {
+std::string build_submit_row(const FlagMap& flags) {
   if (flags.count("row") > 0) {
     return flags.at("row");
   }
   workload::JobSpec job;
-  job.tenant = static_cast<cluster::TenantId>(
-      std::atoi(flag_or(flags, "tenant", "0").c_str()));
+  job.tenant =
+      static_cast<cluster::TenantId>(flag_int(flags, "tenant", 0, 0));
   const std::string kind = flag_or(flags, "kind", "cpu");
   if (kind == "gpu") {
     job.kind = workload::JobKind::kGpuTraining;
@@ -127,37 +106,33 @@ std::string build_submit_row(
       std::fprintf(stderr, "\n");
       std::exit(2);
     }
-    job.train_config.nodes = std::atoi(flag_or(flags, "nodes", "1").c_str());
-    job.train_config.gpus_per_node =
-        std::atoi(flag_or(flags, "gpus", "1").c_str());
-    job.train_config.batch_size =
-        std::atoi(flag_or(flags, "batch", "64").c_str());
-    job.iterations = std::atof(flag_or(flags, "iters", "1000").c_str());
-    job.requested_cpus = std::atoi(flag_or(flags, "cpus", "2").c_str());
+    job.train_config.nodes = flag_int(flags, "nodes", 1, 1);
+    job.train_config.gpus_per_node = flag_int(flags, "gpus", 1, 1);
+    job.train_config.batch_size = flag_int(flags, "batch", 64, 1);
+    job.iterations = flag_double(flags, "iters", 1000.0, 0.0);
+    job.requested_cpus = flag_int(flags, "cpus", 2, 0);
     // Sec. V-B user hints: refine the allocator's N_start. The worst case
     // (not even the category known) is opt-in via --hint-category-unknown.
     job.hints.category_known =
-        flag_or(flags, "hint-category-unknown", "0") != "1";
-    job.hints.pipelined = flag_or(flags, "hint-pipelined", "0") == "1";
-    job.hints.large_weights =
-        flag_or(flags, "hint-large-weights", "0") == "1";
-    job.hints.complex_prep =
-        flag_or(flags, "hint-complex-prep", "0") == "1";
+        !flag_bool(flags, "hint-category-unknown", false);
+    job.hints.pipelined = flag_bool(flags, "hint-pipelined", false);
+    job.hints.large_weights = flag_bool(flags, "hint-large-weights", false);
+    job.hints.complex_prep = flag_bool(flags, "hint-complex-prep", false);
   } else if (kind == "cpu") {
     job.kind = workload::JobKind::kCpu;
-    job.cpu_cores = std::atoi(flag_or(flags, "cores", "2").c_str());
-    job.cpu_work_core_s = std::atof(flag_or(flags, "work", "600").c_str());
-    job.mem_bw_gbps = std::atof(flag_or(flags, "bw", "1").c_str());
-    job.llc_mb = std::atof(flag_or(flags, "llc", "2").c_str());
-    job.user_facing = flag_or(flags, "user-facing", "0") == "1";
+    job.cpu_cores = flag_int(flags, "cores", 2, 1);
+    job.cpu_work_core_s = flag_double(flags, "work", 600.0, 0.0);
+    job.mem_bw_gbps = flag_double(flags, "bw", 1.0, 0.0);
+    job.llc_mb = flag_double(flags, "llc", 2.0, 0.0);
+    job.user_facing = flag_bool(flags, "user-facing", false);
   } else {
     std::fprintf(stderr, "unknown --kind '%s' (cpu|gpu)\n", kind.c_str());
     std::exit(2);
   }
   job.checkpoint_interval_s =
-      std::atof(flag_or(flags, "checkpoint-interval", "0").c_str());
+      flag_double(flags, "checkpoint-interval", 0.0, 0.0);
   job.checkpoint_overhead_s =
-      std::atof(flag_or(flags, "checkpoint-overhead", "0").c_str());
+      flag_double(flags, "checkpoint-overhead", 0.0, 0.0);
   if (job.checkpoint_overhead_s > 0.0 && !job.checkpointing()) {
     std::fprintf(stderr,
                  "--checkpoint-overhead needs --checkpoint-interval > 0\n");
@@ -186,15 +161,14 @@ int print_response(const util::Result<service::Response>& response) {
   return 1;
 }
 
-int cmd_bench(const service::Endpoint& endpoint,
-              const std::map<std::string, std::string>& flags) {
+int cmd_bench(const service::Endpoint& endpoint, const FlagMap& flags) {
   service::BenchOptions options;
-  options.connections = std::atoi(flag_or(flags, "connections", "4").c_str());
-  options.duration_s = std::atof(flag_or(flags, "duration", "5").c_str());
-  options.rate = std::atof(flag_or(flags, "rate", "0").c_str());
+  options.connections = flag_int(flags, "connections", 4, 1);
+  options.duration_s = flag_double(flags, "duration", 5.0, 0.0);
+  options.rate = flag_double(flags, "rate", 0.0, 0.0);
   options.request_line = flag_or(flags, "request", "PING");
-  options.pipeline = std::atoi(flag_or(flags, "pipeline", "1").c_str());
-  options.shards = std::atoi(flag_or(flags, "shards", "0").c_str());
+  options.pipeline = flag_int(flags, "pipeline", 1, 1);
+  options.shards = flag_int(flags, "shards", 0, 0);
   auto report = service::run_bench(endpoint, options);
   if (!report.ok()) {
     std::fprintf(stderr, "bench failed: %s\n",
@@ -231,7 +205,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string verb = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
+  const auto flags = examples::parse_flag_pairs(argc, argv, 2, usage);
   const service::Endpoint endpoint = make_endpoint(flags);
 
   if (verb == "bench") {
@@ -249,7 +223,7 @@ int main(int argc, char** argv) {
   // SHUTDOWN out to every shard).
   std::string prefix;
   if (flags.count("shard") > 0) {
-    prefix = "SHARD " + flags.at("shard") + " ";
+    prefix = "SHARD " + std::to_string(flag_int(flags, "shard", 0, 0)) + " ";
   }
   if (verb == "ping") {
     return print_response(client->call(prefix + "PING"));
@@ -263,8 +237,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "status needs --id N\n");
       return 2;
     }
-    return print_response(
-        client->call(prefix + "STATUS " + flags.at("id")));
+    return print_response(client->call(
+        prefix + "STATUS " + std::to_string(flag_int(flags, "id", 0, 0))));
   }
   if (verb == "cluster") {
     return print_response(client->call(prefix + "CLUSTER"));

@@ -6,8 +6,12 @@
 //   codad --days 0.1 --policy coda --socket /tmp/coda.sock
 //         --journal /tmp/coda.journal --speedup 3600
 //   codad --trace trace.csv --port 7070 --journal session.journal
+//   codad --days 0.1 --port 0 --retry 1 --mtbf 14400 --outage-s 600
+//         --coda-multi-array 0 --journal session.journal
 //
-// Drive it with coda_ctl; replay the session offline with
+// Every experiment knob set here lands in the v2 journal header, so
+// non-default sessions replay faithfully. Drive it with coda_ctl; replay
+// the session offline with
 //   coda_cli replay --journal /tmp/coda.journal
 //       --expect-report /tmp/coda.journal.report
 #include <csignal>
@@ -17,15 +21,23 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 
+#include "flag_parse.h"
 #include "service/server.h"
 #include "sim/experiment.h"
 #include "util/logging.h"
 #include "workload/trace_io.h"
 
 using namespace coda;
+using examples::FlagMap;
+using examples::flag_bool;
+using examples::flag_double;
+using examples::flag_int;
+using examples::flag_or;
+using examples::flag_u64;
 
 namespace {
 
@@ -42,38 +54,41 @@ void usage() {
       "SIM_S_PER_WALL_S]\n"
       "             (--socket PATH | --port N) [--journal FILE] "
       "[--report FILE]\n"
-      "             [--shards N]\n"
+      "             [--shards N] [experiment knobs]\n"
       "  --speedup 3600 paces one sim-hour per wall-second; <= 0 runs "
       "as fast as possible\n"
       "  --port 0 binds an ephemeral port (printed on startup)\n"
       "  --shards N runs N independent engine shards (default "
       "CODA_SERVE_SHARDS or 1);\n"
-      "    shard k journals to JOURNAL.shard<k> when N > 1\n");
+      "    shard k journals to JOURNAL.shard<k> when N > 1\n"
+      "experiment knobs (all journaled in the v2 header):\n"
+      "  engine:  --noise SIGMA --noise-seed N --metrics-period S\n"
+      "           --frag-min-cpus N --mba-fraction F --cpu-only-nodes N\n"
+      "           --record-events 0|1 --incremental 0|1 --drain-slack S\n"
+      "  retry:   --retry 0|1 --retry-backoff-base S --retry-backoff-max S\n"
+      "           --retry-max N\n"
+      "  failure: --mtbf S (0 disables) --outage-s S --failure-seed N\n"
+      "  coda:    --coda-multi-array 0|1 --coda-cpu-preemption 0|1\n"
+      "           --coda-eliminator 0|1 --coda-release-when-calm 0|1\n"
+      "           --coda-reserved-cores N --coda-four-gpu-frac F\n"
+      "           --coda-static-bw-cap GBPS\n"
+      "           --coda-search-mode hillclimb|stepwise|oneshot\n");
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
-      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
-      usage();
-      std::exit(2);
-    }
-    flags[argv[i] + 2] = argv[i + 1];
-  }
-  return flags;
-}
-
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it != flags.end() ? it->second : fallback;
-}
+// Unlike coda_ctl's verb-specific flag sets, codad has one flat namespace —
+// reject unknown flags so `--speedpu 3600` cannot silently run defaults.
+const std::set<std::string> kKnownFlags = {
+    "trace", "days", "seed", "policy", "nodes", "horizon", "speedup",
+    "socket", "port", "journal", "report", "shards",
+    "noise", "noise-seed", "metrics-period", "frag-min-cpus",
+    "mba-fraction", "cpu-only-nodes", "record-events", "incremental",
+    "drain-slack",
+    "retry", "retry-backoff-base", "retry-backoff-max", "retry-max",
+    "mtbf", "outage-s", "failure-seed",
+    "coda-multi-array", "coda-cpu-preemption", "coda-eliminator",
+    "coda-release-when-calm", "coda-reserved-cores", "coda-four-gpu-frac",
+    "coda-static-bw-cap", "coda-search-mode",
+};
 
 sim::Policy parse_policy(const std::string& name) {
   if (name == "fifo") {
@@ -92,8 +107,7 @@ sim::Policy parse_policy(const std::string& name) {
 // The journal stores trace *text*, so the base trace must exist as text
 // before the engine ever parses it: a file is read verbatim, a synthetic
 // trace is canonicalized through trace_to_csv first.
-std::string make_base_trace_csv(
-    const std::map<std::string, std::string>& flags) {
+std::string make_base_trace_csv(const FlagMap& flags) {
   if (flags.count("trace") > 0) {
     std::FILE* f = std::fopen(flags.at("trace").c_str(), "rb");
     if (f == nullptr) {
@@ -110,9 +124,8 @@ std::string make_base_trace_csv(
     std::fclose(f);
     return text;
   }
-  const double days = std::atof(flag_or(flags, "days", "0.1").c_str());
-  auto cfg = sim::standard_week_trace(
-      std::strtoull(flag_or(flags, "seed", "42").c_str(), nullptr, 10));
+  const double days = flag_double(flags, "days", 0.1, 1e-6);
+  auto cfg = sim::standard_week_trace(flag_u64(flags, "seed", 42));
   cfg.duration_s = days * 86400.0;
   cfg.cpu_jobs = static_cast<int>(2500 * days);
   cfg.gpu_jobs = static_cast<int>(1250 * days);
@@ -120,10 +133,88 @@ std::string make_base_trace_csv(
   return workload::trace_to_csv(trace);
 }
 
+core::SearchMode parse_search_mode(const std::string& name) {
+  if (name == "hillclimb") {
+    return core::SearchMode::kHillClimb;
+  }
+  if (name == "stepwise") {
+    return core::SearchMode::kStepwise;
+  }
+  if (name == "oneshot") {
+    return core::SearchMode::kOneShot;
+  }
+  std::fprintf(stderr,
+               "unknown --coda-search-mode '%s' "
+               "(hillclimb|stepwise|oneshot)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+// Every experiment knob a flag can set. All of it is recorded in the v2
+// journal header, which is what makes these sessions replayable.
+void apply_experiment_flags(const FlagMap& flags,
+                            sim::ExperimentConfig* config) {
+  auto& engine = config->engine;
+  engine.util_noise_stddev = flag_double(flags, "noise", 0.0, 0.0);
+  engine.noise_seed = flag_u64(flags, "noise-seed", engine.noise_seed);
+  engine.metrics_period_s =
+      flag_double(flags, "metrics-period", engine.metrics_period_s, 1e-3);
+  engine.frag_min_cpus =
+      flag_int(flags, "frag-min-cpus", engine.frag_min_cpus, 0);
+  engine.cluster.mba_fraction =
+      flag_double(flags, "mba-fraction", engine.cluster.mba_fraction, 0.0);
+  engine.cluster.cpu_only_node_count =
+      flag_int(flags, "cpu-only-nodes", 0, 0);
+  engine.record_events = flag_bool(flags, "record-events", false);
+  engine.incremental_recompute = flag_bool(flags, "incremental", true);
+  config->drain_slack_s =
+      flag_double(flags, "drain-slack", config->drain_slack_s, 0.0);
+
+  auto& retry = config->retry;
+  retry.enabled = flag_bool(flags, "retry", retry.enabled);
+  retry.backoff_base_s =
+      flag_double(flags, "retry-backoff-base", retry.backoff_base_s, 0.0);
+  retry.backoff_max_s =
+      flag_double(flags, "retry-backoff-max", retry.backoff_max_s, 0.0);
+  retry.max_retries = flag_int(flags, "retry-max", retry.max_retries, 0);
+
+  auto& failures = config->failures;
+  failures.node_mtbf_s = flag_double(flags, "mtbf", 0.0, 0.0);
+  failures.outage_s = flag_double(flags, "outage-s", failures.outage_s, 0.0);
+  failures.seed = flag_u64(flags, "failure-seed", failures.seed);
+
+  auto& coda = config->coda;
+  coda.multi_array_enabled =
+      flag_bool(flags, "coda-multi-array", coda.multi_array_enabled);
+  coda.cpu_preemption_enabled =
+      flag_bool(flags, "coda-cpu-preemption", coda.cpu_preemption_enabled);
+  coda.eliminator.enabled =
+      flag_bool(flags, "coda-eliminator", coda.eliminator.enabled);
+  coda.eliminator.release_when_calm = flag_bool(
+      flags, "coda-release-when-calm", coda.eliminator.release_when_calm);
+  coda.reserved_cores_per_node =
+      flag_int(flags, "coda-reserved-cores", coda.reserved_cores_per_node, 0);
+  coda.four_gpu_node_fraction = flag_double(
+      flags, "coda-four-gpu-frac", coda.four_gpu_node_fraction, 0.0);
+  coda.static_bw_cap_gbps =
+      flag_double(flags, "coda-static-bw-cap", coda.static_bw_cap_gbps, 0.0);
+  if (flags.count("coda-search-mode") > 0) {
+    coda.allocator.search_mode =
+        parse_search_mode(flags.at("coda-search-mode"));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto flags = parse_flags(argc, argv);
+  const auto flags = examples::parse_flag_pairs(argc, argv, 1, usage);
+  for (const auto& [key, value] : flags) {
+    if (kKnownFlags.count(key) == 0) {
+      std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
+      usage();
+      return 2;
+    }
+  }
   if (flags.count("socket") == 0 && flags.count("port") == 0) {
     std::fprintf(stderr, "need --socket PATH or --port N\n");
     usage();
@@ -133,28 +224,25 @@ int main(int argc, char** argv) {
   service::ServerConfig config;
   config.session.policy = parse_policy(flag_or(flags, "policy", "coda"));
   config.session.config.engine.cluster.node_count =
-      std::atoi(flag_or(flags, "nodes", "80").c_str());
-  config.session.speedup = std::atof(flag_or(flags, "speedup", "3600").c_str());
+      flag_int(flags, "nodes", 80, 1);
+  config.session.speedup = flag_double(flags, "speedup", 3600.0);
   config.session.base_trace_csv = make_base_trace_csv(flags);
+  apply_experiment_flags(flags, &config.session.config);
   config.journal_path = flag_or(flags, "journal", "");
   config.report_path = flag_or(flags, "report", "");
   config.unix_socket_path = flag_or(flags, "socket", "");
   if (flags.count("port") > 0) {
-    config.tcp_port = std::atoi(flags.at("port").c_str());
+    config.tcp_port = flag_int(flags, "port", -1, 0);
   }
   config.limits = service::ServiceLimits::from_env();
   if (flags.count("shards") > 0) {
-    config.limits.shards = std::atoi(flags.at("shards").c_str());
-    if (config.limits.shards < 1) {
-      std::fprintf(stderr, "--shards must be >= 1\n");
-      return 2;
-    }
+    config.limits.shards = flag_int(flags, "shards", 1, 1);
   }
 
   // Resolve the horizon the same way run_experiment does (max submit time)
   // so live and replay agree on the exact stopping point; a daemon cannot
   // defer this because SUBMITs arrive after start.
-  double horizon = std::atof(flag_or(flags, "horizon", "0").c_str());
+  double horizon = flag_double(flags, "horizon", 0.0, 0.0);
   if (horizon <= 0.0) {
     auto parsed = workload::trace_from_csv(config.session.base_trace_csv);
     if (!parsed.ok()) {
@@ -184,7 +272,7 @@ int main(int argc, char** argv) {
     std::printf("codad listening on %s\n", flag_or(flags, "socket", "").c_str());
   }
   std::printf("codad horizon %.0f sim-seconds, speedup %.0fx, %d shard%s\n",
-              horizon, std::atof(flag_or(flags, "speedup", "3600").c_str()),
+              horizon, flag_double(flags, "speedup", 3600.0),
               server.shard_count(), server.shard_count() == 1 ? "" : "s");
   std::fflush(stdout);
 

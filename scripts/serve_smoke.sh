@@ -32,9 +32,18 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "==> starting codad (2 shards, ephemeral port)"
+echo "==> starting codad (2 shards, ephemeral port, non-default session)"
+# Every knob off its default: the v2 journal header must carry the full
+# config, and both shard replays below must reproduce it byte-for-byte
+# (under v1 these replayed with default retry/failure/CODA knobs and
+# silently diverged).
 "$CODAD" --days 0.02 --policy coda --nodes 12 --port 0 --shards 2 \
-         --journal "$journal" --speedup 20000 >"$workdir/codad.log" 2>&1 &
+         --journal "$journal" --speedup 20000 \
+         --retry 1 --retry-backoff-base 60 --retry-backoff-max 600 \
+         --retry-max 3 \
+         --mtbf 600 --outage-s 300 --failure-seed 7 \
+         --noise 0.02 --coda-multi-array 0 \
+         >"$workdir/codad.log" 2>&1 &
 daemon_pid=$!
 
 # Wait for the listener banner ("codad listening on 127.0.0.1:PORT").
@@ -79,6 +88,10 @@ daemon_pid=""
 for k in 0 1; do
   [ -s "$journal.shard$k" ] || { echo "shard $k journal missing" >&2; exit 1; }
   [ -s "$journal.shard$k.report" ] || { echo "shard $k report missing" >&2; exit 1; }
+  head -1 "$journal.shard$k" | grep -q '^CODA_JOURNAL v2$' \
+    || { echo "shard $k journal is not v2" >&2; exit 1; }
+  grep -q '^config.retry.max_retries 3$' "$journal.shard$k" \
+    || { echo "shard $k journal lost the retry config" >&2; exit 1; }
 done
 
 echo "==> replaying both shard journals offline"

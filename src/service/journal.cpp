@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -14,7 +16,81 @@ namespace coda::service {
 namespace {
 
 constexpr const char* kMagic = "CODA_JOURNAL";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionV1 = "v1";
+constexpr const char* kVersionV2 = "v2";
+
+// Every ExperimentConfig field outside the nine legacy header keys, as
+// `config.<name>` lines. This X-macro is the single source of truth for
+// the v2 config block: the writer and the parser both expand it, so the
+// two can never enumerate different field sets. When a config struct
+// grows a field, add it here AND to experiment_cache_key in
+// sim/report_cache.cpp — tests/config_coverage_test.cpp's sizeof
+// tripwires fail the build until both are updated.
+//
+// X(key, member) where `member` is a path inside sim::ExperimentConfig;
+// the member's type picks the wire encoding (hexfloat double, int,
+// 0/1 bool, u64, or the allocator SearchMode enum integer).
+#define CODA_JOURNAL_V2_FIELDS(X)                                            \
+  X("config.cluster.node.cores", engine.cluster.node.cores)                  \
+  X("config.cluster.node.gpus", engine.cluster.node.gpus)                    \
+  X("config.cluster.node.mem_bw_gbps", engine.cluster.node.mem_bw_gbps)     \
+  X("config.cluster.node.pcie_gbps", engine.cluster.node.pcie_gbps)         \
+  X("config.cluster.node.llc_mb", engine.cluster.node.llc_mb)               \
+  X("config.cluster.node.mba_capable", engine.cluster.node.mba_capable)     \
+  X("config.cluster.mba_fraction", engine.cluster.mba_fraction)             \
+  X("config.cluster.cpu_only_nodes", engine.cluster.cpu_only_node_count)    \
+  X("config.cluster.cpu_only_node.cores", engine.cluster.cpu_only_node.cores) \
+  X("config.cluster.cpu_only_node.gpus", engine.cluster.cpu_only_node.gpus) \
+  X("config.cluster.cpu_only_node.mem_bw_gbps",                             \
+    engine.cluster.cpu_only_node.mem_bw_gbps)                               \
+  X("config.cluster.cpu_only_node.pcie_gbps",                               \
+    engine.cluster.cpu_only_node.pcie_gbps)                                 \
+  X("config.cluster.cpu_only_node.llc_mb",                                  \
+    engine.cluster.cpu_only_node.llc_mb)                                    \
+  X("config.cluster.cpu_only_node.mba_capable",                             \
+    engine.cluster.cpu_only_node.mba_capable)                               \
+  X("config.engine.record_events", engine.record_events)                    \
+  X("config.engine.incremental_recompute", engine.incremental_recompute)    \
+  X("config.retry.enabled", retry.enabled)                                  \
+  X("config.retry.backoff_base_s", retry.backoff_base_s)                    \
+  X("config.retry.backoff_max_s", retry.backoff_max_s)                      \
+  X("config.retry.max_retries", retry.max_retries)                          \
+  X("config.failures.node_mtbf_s", failures.node_mtbf_s)                    \
+  X("config.failures.outage_s", failures.outage_s)                          \
+  X("config.failures.seed", failures.seed)                                  \
+  X("config.coda.allocator.search_mode", coda.allocator.search_mode)        \
+  X("config.coda.allocator.profile_step_s", coda.allocator.profile_step_s)  \
+  X("config.coda.allocator.max_profile_steps",                              \
+    coda.allocator.max_profile_steps)                                       \
+  X("config.coda.allocator.improvement_eps",                                \
+    coda.allocator.improvement_eps)                                         \
+  X("config.coda.allocator.plateau_util", coda.allocator.plateau_util)      \
+  X("config.coda.allocator.min_cores", coda.allocator.min_cores)            \
+  X("config.coda.allocator.max_cores", coda.allocator.max_cores)            \
+  X("config.coda.eliminator.enabled", coda.eliminator.enabled)              \
+  X("config.coda.eliminator.check_period_s", coda.eliminator.check_period_s) \
+  X("config.coda.eliminator.bw_threshold", coda.eliminator.bw_threshold)    \
+  X("config.coda.eliminator.util_drop_tolerance",                           \
+    coda.eliminator.util_drop_tolerance)                                    \
+  X("config.coda.eliminator.mba_throttle_factor",                           \
+    coda.eliminator.mba_throttle_factor)                                    \
+  X("config.coda.eliminator.release_when_calm",                             \
+    coda.eliminator.release_when_calm)                                      \
+  X("config.coda.eliminator.release_threshold",                             \
+    coda.eliminator.release_threshold)                                      \
+  X("config.coda.reserved_cores_per_node", coda.reserved_cores_per_node)    \
+  X("config.coda.four_gpu_node_fraction", coda.four_gpu_node_fraction)      \
+  X("config.coda.reservation_update_period_s",                              \
+    coda.reservation_update_period_s)                                       \
+  X("config.coda.multi_array_enabled", coda.multi_array_enabled)            \
+  X("config.coda.cpu_preemption_enabled", coda.cpu_preemption_enabled)      \
+  X("config.coda.static_bw_cap_gbps", coda.static_bw_cap_gbps)
+
+constexpr size_t kV2FieldCount = 0
+#define CODA_COUNT_FIELD(key, member) +1
+    CODA_JOURNAL_V2_FIELDS(CODA_COUNT_FIELD)
+#undef CODA_COUNT_FIELD
+    ;
 
 util::Error io_error(const std::string& path, const char* what) {
   return util::Error{util::ErrorCode::kIoError,
@@ -42,10 +118,18 @@ util::Result<double> parse_hexfloat(const std::string& s) {
   if (s.empty()) {
     return parse_error("empty number");
   }
+  // Same endptr/ERANGE discipline as workload/trace_io: errno must be
+  // cleared first (strtod only sets it), and an out-of-range value is an
+  // error — "1e999" parsing as HUGE_VAL would silently replay a different
+  // session instead of failing loudly.
+  errno = 0;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end != s.c_str() + s.size()) {
     return parse_error("'" + s + "' is not a number");
+  }
+  if (errno == ERANGE) {
+    return parse_error("'" + s + "' is out of range");
   }
   return v;
 }
@@ -89,6 +173,110 @@ util::Result<sim::Policy> policy_from_string(const std::string& name) {
   return parse_error("unknown policy '" + name + "'");
 }
 
+// ---- config.* wire encoding, one overload pair per member type ----
+
+std::string format_value(double v) { return util::strfmt("%a", v); }
+std::string format_value(int v) { return util::strfmt("%d", v); }
+std::string format_value(bool v) { return v ? "1" : "0"; }
+std::string format_value(uint64_t v) {
+  return util::strfmt("%llu", static_cast<unsigned long long>(v));
+}
+std::string format_value(core::SearchMode v) {
+  return format_value(static_cast<int>(v));
+}
+
+util::Status assign_value(const std::string& key, const std::string& s,
+                          double* out) {
+  auto v = parse_hexfloat(s);
+  if (!v.ok()) {
+    return parse_error("bad value for '" + key + "': " +
+                       v.error().message);
+  }
+  *out = *v;
+  return util::Status::Ok();
+}
+
+util::Status assign_value(const std::string& key, const std::string& s,
+                          int* out) {
+  auto v = parse_ll(s);
+  if (!v.ok() || *v < std::numeric_limits<int>::min() ||
+      *v > std::numeric_limits<int>::max()) {
+    return parse_error("bad value for '" + key + "': '" + s +
+                       "' is not an int");
+  }
+  *out = static_cast<int>(*v);
+  return util::Status::Ok();
+}
+
+util::Status assign_value(const std::string& key, const std::string& s,
+                          bool* out) {
+  if (s == "0") {
+    *out = false;
+  } else if (s == "1") {
+    *out = true;
+  } else {
+    return parse_error("bad value for '" + key + "': '" + s +
+                       "' is not 0 or 1");
+  }
+  return util::Status::Ok();
+}
+
+util::Status assign_value(const std::string& key, const std::string& s,
+                          uint64_t* out) {
+  auto v = parse_ull(s);
+  if (!v.ok()) {
+    return parse_error("bad value for '" + key + "': " +
+                       v.error().message);
+  }
+  *out = static_cast<uint64_t>(*v);
+  return util::Status::Ok();
+}
+
+util::Status assign_value(const std::string& key, const std::string& s,
+                          core::SearchMode* out) {
+  int raw = 0;
+  if (auto status = assign_value(key, s, &raw); !status.ok()) {
+    return status;
+  }
+  if (raw < static_cast<int>(core::SearchMode::kHillClimb) ||
+      raw > static_cast<int>(core::SearchMode::kOneShot)) {
+    return parse_error("bad value for '" + key + "': search mode " + s +
+                       " out of range");
+  }
+  *out = static_cast<core::SearchMode>(raw);
+  return util::Status::Ok();
+}
+
+// Dispatches one `config.<name> <value>` line into the ExperimentConfig.
+// `seen` records which listed fields the header provided so the caller can
+// reject a v2 header that omits any (or repeats one).
+util::Status parse_config_field(const std::string& key,
+                                const std::string& rest,
+                                sim::ExperimentConfig* cfg,
+                                std::set<std::string>* seen) {
+#define CODA_PARSE_FIELD(wire_key, member)                   \
+  if (key == wire_key) {                                     \
+    if (!seen->insert(key).second) {                         \
+      return parse_error("duplicate config key '" + key + "'"); \
+    }                                                        \
+    return assign_value(key, rest, &cfg->member);            \
+  }
+  CODA_JOURNAL_V2_FIELDS(CODA_PARSE_FIELD)
+#undef CODA_PARSE_FIELD
+  return parse_error("unknown config key '" + key + "'");
+}
+
+// The first listed field `seen` is missing, for the error message.
+std::string first_missing_config_field(const std::set<std::string>& seen) {
+#define CODA_CHECK_FIELD(wire_key, member)   \
+  if (seen.count(wire_key) == 0) {           \
+    return wire_key;                         \
+  }
+  CODA_JOURNAL_V2_FIELDS(CODA_CHECK_FIELD)
+#undef CODA_CHECK_FIELD
+  return std::string();
+}
+
 }  // namespace
 
 JournalWriter::~JournalWriter() { close(); }
@@ -114,15 +302,10 @@ void JournalWriter::close() {
   }
 }
 
-util::Result<JournalWriter> JournalWriter::open(const std::string& path,
-                                                const SessionSpec& session) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return io_error(path, "cannot open for write");
-  }
+std::string serialize_session_header(const SessionSpec& session) {
   const auto& eng = session.config.engine;
   std::string header;
-  header += util::strfmt("%s %s\n", kMagic, kVersion);
+  header += util::strfmt("%s %s\n", kMagic, kVersionV2);
   header += util::strfmt("policy %s\n", sim::to_string(session.policy));
   header += util::strfmt("nodes %d\n", eng.cluster.node_count);
   header += util::strfmt("metrics_period %a\n", eng.metrics_period_s);
@@ -133,9 +316,24 @@ util::Result<JournalWriter> JournalWriter::open(const std::string& path,
   header += util::strfmt("horizon %a\n", session.config.horizon_s);
   header += util::strfmt("drain_slack %a\n", session.config.drain_slack_s);
   header += util::strfmt("speedup %a\n", session.speedup);
+#define CODA_WRITE_FIELD(wire_key, member)                              \
+  header += wire_key " " +                                              \
+            format_value(session.config.member) + "\n";
+  CODA_JOURNAL_V2_FIELDS(CODA_WRITE_FIELD)
+#undef CODA_WRITE_FIELD
   header += util::strfmt("base_trace_bytes %zu\n",
                          session.base_trace_csv.size());
   header += session.base_trace_csv;
+  return header;
+}
+
+util::Result<JournalWriter> JournalWriter::open(const std::string& path,
+                                                const SessionSpec& session) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return io_error(path, "cannot open for write");
+  }
+  const std::string header = serialize_session_header(session);
   if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
       std::fflush(f) != 0) {
     std::fclose(f);
@@ -210,13 +408,17 @@ util::Result<JournalSession> parse_journal(const std::string& text) {
   if (!magic.ok()) {
     return magic.error();
   }
-  if (*magic != std::string(kMagic) + " " + kVersion) {
+  bool is_v2 = false;
+  if (*magic == std::string(kMagic) + " " + kVersionV2) {
+    is_v2 = true;
+  } else if (*magic != std::string(kMagic) + " " + kVersionV1) {
     return parse_error("bad magic/version line '" + *magic + "'");
   }
 
   // ---- header key/value lines, terminated by base_trace_bytes ----
   auto& cfg = out.session.config;
   bool saw_horizon = false;
+  std::set<std::string> seen_config;
   while (true) {
     auto line = next_line();
     if (!line.ok()) {
@@ -280,7 +482,22 @@ util::Result<JournalSession> parse_journal(const std::string& text) {
         return v.error();
       }
       out.session.speedup = *v;
+    } else if (is_v2 && key.compare(0, 7, "config.") == 0) {
+      if (auto status = parse_config_field(key, rest, &cfg, &seen_config);
+          !status.ok()) {
+        return status.error();
+      }
     } else if (key == "base_trace_bytes") {
+      // A v2 header must provide every listed config field: a journal from
+      // a *newer* writer would fail above on its unknown key, and one with
+      // fields stripped (truncation, hand edits) must not silently replay
+      // under defaults.
+      if (is_v2 && seen_config.size() != kV2FieldCount) {
+        return parse_error(util::strfmt(
+            "v2 header has %zu of %zu config fields (first missing: %s)",
+            seen_config.size(), kV2FieldCount,
+            first_missing_config_field(seen_config).c_str()));
+      }
       auto v = parse_ll(rest);
       if (!v.ok()) {
         return v.error();

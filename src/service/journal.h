@@ -4,7 +4,7 @@
 //
 // Format (line-oriented text):
 //
-//   CODA_JOURNAL v1
+//   CODA_JOURNAL v2
 //   policy <FIFO|DRF|CODA>
 //   nodes <int>
 //   metrics_period <hexfloat>
@@ -14,13 +14,28 @@
 //   horizon <hexfloat>
 //   drain_slack <hexfloat>
 //   speedup <hexfloat>
+//   config.<field> <value>        (one line per remaining config field)
+//   ...
 //   base_trace_bytes <N>
 //   <N raw bytes: the base trace CSV exactly as the daemon parsed it>
 //   S <hexfloat virtual-time> <job-id> <raw SUBMIT csv row>
 //   ...
 //   # free-form comment lines are ignored
 //
-// Two invariants make replay exact:
+// The `config.` block records every sim::ExperimentConfig field the nine
+// legacy keys above don't cover: the full cluster node shape (incl.
+// CPU-only nodes and the MBA fraction), record_events /
+// incremental_recompute, sched::RetryPolicy, sim::FailureConfig and every
+// core::CodaConfig / AllocatorConfig / EliminatorConfig knob. Doubles are
+// hexfloats, bools are 0/1, the allocator search mode is its enum integer.
+// The single source of truth for the block is the CODA_JOURNAL_V2_FIELDS
+// X-macro in journal.cpp: writer and parser expand the same list, the v2
+// parser rejects unknown `config.*` keys AND headers missing any listed
+// field, and tests/config_coverage_test.cpp trips at compile time when a
+// config struct grows a field the list (or the report cache key) doesn't
+// enumerate — a knob can never be dropped silently again.
+//
+// Three invariants make replay exact:
 //  1. Text is the source of truth. The daemon parses the base trace and
 //     every SUBMIT row from text and journals that text verbatim; replay
 //     parses the same bytes through the same parser, so no double ever
@@ -29,10 +44,14 @@
 //     replay injects at bit-identical times, and the paced server only
 //     injects at fully-caught-up instants (see server.cpp), which makes
 //     pre-posted replay arrivals dispatch in the same order.
+//  3. The header is the complete ExperimentConfig. A codad started with a
+//     non-default retry policy, failure injection, or any CodaConfig
+//     ablation replays under exactly those knobs (failure outages are
+//     pre-posted by the shared sim::schedule_failures in both paths).
 //
-// v1 scope: scheduler/retry/failure knobs beyond the header fields are the
-// library defaults; the version gate recomputes nothing silently — a future
-// field change must bump v1.
+// Backward compatibility: v1 files (which recorded only the nine legacy
+// keys) still parse; every config field takes its library default, which
+// is exactly what the v1 daemon ran with.
 #pragma once
 
 #include <cstdio>
@@ -99,7 +118,14 @@ class JournalWriter {
   std::FILE* file_ = nullptr;
 };
 
-// Parses a journal file (header, base trace, submissions).
+// The exact v2 header text JournalWriter::open writes for `session`
+// (magic through the base trace bytes). Exposed so tests can assert the
+// round trip without a file: parse_journal(serialize_session_header(s))
+// must reproduce every config field bit-for-bit.
+std::string serialize_session_header(const SessionSpec& session);
+
+// Parses a journal file (header, base trace, submissions). Accepts v2 and,
+// for journals from the previous release, v1 (config fields default).
 util::Result<JournalSession> load_journal(const std::string& path);
 util::Result<JournalSession> parse_journal(const std::string& text);
 

@@ -414,6 +414,11 @@ void Server::engine_main(Shard& shard) {
     }
   }
 
+  // Same call, same place in the setup order as sim::run_experiment (after
+  // the trace, before the first run_until): a live session with failure
+  // injection pre-posts the exact outage schedule its replay will.
+  sim::schedule_failures(es.engine.get(), config_.session.config, es.horizon);
+
   const std::string journal_path = shard_journal_path(config_, shard.index);
   if (!journal_path.empty()) {
     auto journal = JournalWriter::open(journal_path, config_.session);

@@ -70,25 +70,31 @@ ExperimentReport run_experiment(Policy policy,
     }
   }
 
-  if (config.failures.enabled()) {
-    // Poisson node churn over the trace window. Overlapping outages on one
-    // node collapse harmlessly: fail_node/recover_node reject the redundant
-    // transition and schedule_node_outage ignores the status.
-    util::Rng rng(config.failures.seed);
-    const int nodes = config.engine.cluster.node_count;
-    double t = rng.exponential(1.0 / config.failures.node_mtbf_s);
-    while (t < horizon) {
-      const auto node = static_cast<cluster::NodeId>(
-          rng.uniform_int(0, nodes - 1));
-      engine.schedule_node_outage(node, t, config.failures.outage_s);
-      t += rng.exponential(1.0 / config.failures.node_mtbf_s);
-    }
-  }
+  schedule_failures(&engine, config, horizon);
 
   engine.run_until(horizon);
   engine.drain(horizon + config.drain_slack_s);
 
   return build_report(policy, engine, trace.size(), horizon, ps.coda);
+}
+
+void schedule_failures(ClusterEngine* engine, const ExperimentConfig& config,
+                       double horizon) {
+  if (!config.failures.enabled()) {
+    return;
+  }
+  // Poisson node churn over the trace window. Overlapping outages on one
+  // node collapse harmlessly: fail_node/recover_node reject the redundant
+  // transition and schedule_node_outage ignores the status.
+  util::Rng rng(config.failures.seed);
+  const int nodes = config.engine.cluster.node_count;
+  double t = rng.exponential(1.0 / config.failures.node_mtbf_s);
+  while (t < horizon) {
+    const auto node =
+        static_cast<cluster::NodeId>(rng.uniform_int(0, nodes - 1));
+    engine->schedule_node_outage(node, t, config.failures.outage_s);
+    t += rng.exponential(1.0 / config.failures.node_mtbf_s);
+  }
 }
 
 ExperimentReport build_report(Policy policy, const ClusterEngine& engine,

@@ -98,6 +98,14 @@ ExperimentReport run_experiment(Policy policy,
                                 const std::vector<workload::JobSpec>& trace,
                                 const ExperimentConfig& config = {});
 
+// Pre-posts the Poisson node-outage schedule drawn from config.failures
+// onto the engine (no-op when failures are disabled). Must run after
+// load_trace and before the first run_until. Shared by run_experiment and
+// the live codad shards so a journaled session with failure injection
+// replays the exact same outages bit-for-bit.
+void schedule_failures(ClusterEngine* engine, const ExperimentConfig& config,
+                       double horizon);
+
 // A scheduler instantiated for `policy`, plus a typed view of it when the
 // policy is CODA (the report pulls tuning/eliminator telemetry off it).
 struct PolicyScheduler {

@@ -27,6 +27,12 @@ uint64_t fnv1a(const char* data, size_t n) {
   return h;
 }
 
+// The mix_* functions below must enumerate every ExperimentConfig field —
+// a missed knob makes the cache return a stale report for a changed
+// config. The journal's CODA_JOURNAL_V2_FIELDS X-macro (service/
+// journal.cpp) enumerates the same surface; tests/config_coverage_test.cpp
+// trips at compile time when a config struct grows a field, pointing at
+// both sites.
 void mix_node_config(CacheKeyHasher& h, const cluster::NodeConfig& node) {
   h.mix(node.cores);
   h.mix(node.gpus);

@@ -32,6 +32,44 @@ Result<long long> parse_strict_int(const std::string& text,
   return v;
 }
 
+Result<double> parse_strict_double(const std::string& text,
+                                   double min_value) {
+  if (text.empty()) {
+    return Error{ErrorCode::kParseError, "empty value"};
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Error{ErrorCode::kParseError,
+                 strfmt("'%s' is not a number", text.c_str())};
+  }
+  if (errno == ERANGE) {
+    return Error{ErrorCode::kParseError,
+                 strfmt("'%s' is out of range", text.c_str())};
+  }
+  if (v < min_value) {
+    return Error{ErrorCode::kInvalidArgument,
+                 strfmt("%g is below the minimum %g", v, min_value)};
+  }
+  return v;
+}
+
+Result<unsigned long long> parse_strict_u64(const std::string& text) {
+  if (text.empty() || text[0] == '-') {
+    return Error{ErrorCode::kParseError,
+                 strfmt("'%s' is not an unsigned integer", text.c_str())};
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return Error{ErrorCode::kParseError,
+                 strfmt("'%s' is not an unsigned integer", text.c_str())};
+  }
+  return v;
+}
+
 int env_int(const char* name, int fallback, int min_value) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') {
@@ -57,16 +95,13 @@ double env_double(const char* name, double fallback, double min_value) {
   if (raw == nullptr || raw[0] == '\0') {
     return fallback;
   }
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end != raw + std::string(raw).size() || errno == ERANGE ||
-      v < min_value) {
+  auto parsed = parse_strict_double(raw, min_value);
+  if (!parsed.ok()) {
     CODA_LOG_WARN("ignoring %s=%s (not a number >= %g); using %g", name, raw,
                   min_value, fallback);
     return fallback;
   }
-  return v;
+  return *parsed;
 }
 
 }  // namespace coda::util

@@ -20,6 +20,14 @@ namespace coda::util {
 Result<long long> parse_strict_int(const std::string& text,
                                    long long min_value);
 
+// Same contract for doubles: whole-string parse, no overflow (ERANGE),
+// value >= min_value. Accepts anything strtod does (including hexfloats).
+Result<double> parse_strict_double(const std::string& text, double min_value);
+
+// Full-u64-range strict parse (seeds, job ids). Rejects negative input
+// up front — strtoull would silently wrap it.
+Result<unsigned long long> parse_strict_u64(const std::string& text);
+
 // Reads integer env var `name`. Returns `fallback` when the variable is
 // unset or empty. When it is set but malformed or below `min_value`, logs a
 // warning naming the variable and the rejected value, then returns

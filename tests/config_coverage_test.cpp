@@ -1,0 +1,101 @@
+// Tripwires that keep the experiment-config surface area honest.
+//
+// Two pieces of code must enumerate every knob in sim::ExperimentConfig:
+//
+//   * src/service/journal.cpp  — the CODA_JOURNAL_V2_FIELDS X-macro (the
+//     journal header; a missing field makes a non-default session replay
+//     under the wrong config), and
+//   * src/sim/report_cache.cpp — experiment_cache_key (a missing field
+//     makes the cache return a stale report for a changed config).
+//
+// Neither can see a new struct field automatically, so this test fails the
+// build when a config struct changes size on the reference platform
+// (x86-64 Linux, the CI target). If a static_assert below fires:
+//
+//   1. add the new field to CODA_JOURNAL_V2_FIELDS in journal.cpp (writer
+//      and parser pick it up automatically; bump kExpectedV2Fields below),
+//   2. mix the field into experiment_cache_key in report_cache.cpp,
+//   3. update the sizeof constant here.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "service/journal.h"
+#include "sim/experiment.h"
+
+namespace coda {
+namespace {
+
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(sched::RetryPolicy) == 32,
+              "RetryPolicy changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(sim::FailureConfig) == 24,
+              "FailureConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(cluster::NodeConfig) == 40,
+              "NodeConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(cluster::ClusterConfig) == 104,
+              "ClusterConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(sim::EngineConfig) == 144,
+              "EngineConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(core::AllocatorConfig) == 48,
+              "AllocatorConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(core::EliminatorConfig) == 56,
+              "EliminatorConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(core::CodaConfig) == 144,
+              "CodaConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+static_assert(sizeof(sim::ExperimentConfig) == 360,
+              "ExperimentConfig changed: update CODA_JOURNAL_V2_FIELDS "
+              "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+#endif
+
+// The number of `config.` lines the v2 header carries. Duplicated from
+// journal.cpp's kV2FieldCount on purpose: growing the X-macro without
+// thinking about the cache key (step 2 above) should fail a test, not
+// silently agree with itself.
+constexpr int kExpectedV2Fields = 43;
+
+TEST(ConfigCoverage, V2HeaderCarriesEveryField) {
+  service::SessionSpec session;
+  session.config.horizon_s = 3600.0;
+  const std::string header = service::serialize_session_header(session);
+
+  std::set<std::string> keys;
+  std::istringstream lines(header);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, 7, "config.") != 0) {
+      continue;
+    }
+    const auto space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string key = line.substr(0, space);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate key " << key;
+    EXPECT_GT(line.size(), space + 1) << "empty value for " << key;
+  }
+  EXPECT_EQ(static_cast<int>(keys.size()), kExpectedV2Fields);
+}
+
+// A default-config header must parse back to a default config: every
+// serialized value is accepted by its own parser, and removing a field
+// from the writer trips the parser's completeness check.
+TEST(ConfigCoverage, DefaultHeaderRoundTrips) {
+  service::SessionSpec session;
+  session.config.horizon_s = 7200.0;
+  const std::string header = service::serialize_session_header(session);
+  auto parsed = service::parse_journal(header);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(service::serialize_session_header(parsed->session), header);
+}
+
+}  // namespace
+}  // namespace coda

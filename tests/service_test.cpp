@@ -24,6 +24,7 @@
 #include "sim/report_io.h"
 #include "sim/runner.h"
 #include "util/env.h"
+#include "util/rng.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_io.h"
 
@@ -202,6 +203,28 @@ TEST(Env, ParseStrictInt) {
   EXPECT_FALSE(util::parse_strict_int("0", 1).ok());    // below minimum
   EXPECT_FALSE(util::parse_strict_int("-3", 1).ok());
   EXPECT_FALSE(util::parse_strict_int("99999999999999999999", 1).ok());
+}
+
+TEST(Env, ParseStrictDouble) {
+  ASSERT_TRUE(util::parse_strict_double("2.5", 0.0).ok());
+  EXPECT_DOUBLE_EQ(*util::parse_strict_double("2.5", 0.0), 2.5);
+  ASSERT_TRUE(util::parse_strict_double("0x1.8p+1", 0.0).ok());  // hexfloat
+  EXPECT_DOUBLE_EQ(*util::parse_strict_double("0x1.8p+1", 0.0), 3.0);
+  EXPECT_FALSE(util::parse_strict_double("", 0.0).ok());
+  EXPECT_FALSE(util::parse_strict_double("fast", 0.0).ok());
+  EXPECT_FALSE(util::parse_strict_double("2.5x", 0.0).ok());  // trailing junk
+  EXPECT_FALSE(util::parse_strict_double("-1", 0.0).ok());    // below minimum
+  EXPECT_FALSE(util::parse_strict_double("1e999", 0.0).ok());  // overflow
+}
+
+TEST(Env, ParseStrictU64) {
+  ASSERT_TRUE(util::parse_strict_u64("18446744073709551615").ok());
+  EXPECT_EQ(*util::parse_strict_u64("18446744073709551615"),
+            0xFFFFFFFFFFFFFFFFull);
+  EXPECT_FALSE(util::parse_strict_u64("").ok());
+  EXPECT_FALSE(util::parse_strict_u64("-1").ok());  // strtoull would wrap
+  EXPECT_FALSE(util::parse_strict_u64("7up").ok());
+  EXPECT_FALSE(util::parse_strict_u64("18446744073709551616").ok());
 }
 
 TEST(Env, EnvIntFallsBackOnMalformedValue) {
@@ -478,6 +501,272 @@ TEST(Journal, Uint64FieldsAboveInt64MaxRoundTrip) {
   ASSERT_EQ(loaded->submissions.size(), 1u);
   EXPECT_EQ(loaded->submissions[0].job_id, big_id);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------ journal v2 config block
+
+// A SessionSpec with every journaled knob off its default — the adversarial
+// input for header round-trip and live-vs-replay tests.
+SessionSpec non_default_session() {
+  SessionSpec session;
+  session.policy = sim::Policy::kCoda;
+  session.speedup = 0.0;
+  auto& c = session.config;
+  c.horizon_s = 2.0 * 3600.0;
+  c.drain_slack_s = 86400.0;
+  auto& cluster = c.engine.cluster;
+  cluster.node_count = 8;
+  cluster.node.cores = 24;
+  cluster.node.mem_bw_gbps = 120.0;
+  cluster.mba_fraction = 0.25;
+  cluster.cpu_only_node_count = 2;
+  cluster.cpu_only_node.cores = 32;
+  cluster.cpu_only_node.mba_capable = false;
+  c.engine.util_noise_stddev = 0.05;
+  c.engine.noise_seed = 99;
+  c.engine.record_events = true;
+  c.engine.incremental_recompute = false;
+  c.retry.enabled = true;
+  c.retry.backoff_base_s = 45.0;
+  c.retry.backoff_max_s = 900.0;
+  c.retry.max_retries = 3;
+  c.failures.node_mtbf_s = 1800.0;
+  c.failures.outage_s = 450.0;
+  c.failures.seed = 77;
+  c.coda.allocator.search_mode = core::SearchMode::kStepwise;
+  c.coda.allocator.profile_step_s = 60.0;
+  c.coda.allocator.improvement_eps = 0.01;
+  c.coda.allocator.max_cores = 20;
+  c.coda.eliminator.bw_threshold = 0.6;
+  c.coda.eliminator.mba_throttle_factor = 0.4;
+  c.coda.eliminator.release_when_calm = true;
+  c.coda.eliminator.release_threshold = 0.5;
+  c.coda.reserved_cores_per_node = 16;
+  c.coda.four_gpu_node_fraction = 0.25;
+  c.coda.multi_array_enabled = false;
+  c.coda.cpu_preemption_enabled = false;
+  c.coda.static_bw_cap_gbps = 100.0;
+  return session;
+}
+
+TEST(Journal, V1FixtureParsesWithDefaultConfig) {
+  // A verbatim header from the previous release (nine legacy keys, no
+  // config block). It must keep loading, with every v2 field taking the
+  // library default — which is exactly what the v1 daemon ran with.
+  const std::string v1 =
+      "CODA_JOURNAL v1\n"
+      "policy DRF\n"
+      "nodes 5\n"
+      "metrics_period 0x1.ep+5\n"
+      "frag_min_cpus 2\n"
+      "noise_stddev 0x0p+0\n"
+      "noise_seed 12345\n"
+      "horizon 0x1.c2p+12\n"
+      "drain_slack 0x1.518p+17\n"
+      "speedup 0x1.c2p+11\n"
+      "base_trace_bytes 0\n";
+  auto parsed = parse_journal(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->session.policy, sim::Policy::kDrf);
+  EXPECT_EQ(parsed->session.config.engine.cluster.node_count, 5);
+  EXPECT_DOUBLE_EQ(parsed->session.config.horizon_s, 7200.0);
+  // Spot-check defaults across the config structs v1 never recorded.
+  const sim::ExperimentConfig defaults;
+  EXPECT_EQ(parsed->session.config.retry.enabled, defaults.retry.enabled);
+  EXPECT_EQ(parsed->session.config.retry.max_retries,
+            defaults.retry.max_retries);
+  EXPECT_DOUBLE_EQ(parsed->session.config.failures.node_mtbf_s,
+                   defaults.failures.node_mtbf_s);
+  EXPECT_EQ(parsed->session.config.coda.multi_array_enabled,
+            defaults.coda.multi_array_enabled);
+  EXPECT_EQ(parsed->session.config.coda.allocator.search_mode,
+            defaults.coda.allocator.search_mode);
+  EXPECT_EQ(parsed->session.config.engine.cluster.cpu_only_node_count,
+            defaults.engine.cluster.cpu_only_node_count);
+  // A v1 header must not smuggle in v2 config keys.
+  EXPECT_FALSE(parse_journal("CODA_JOURNAL v1\n"
+                             "horizon 0x1p+10\n"
+                             "config.retry.enabled 1\n"
+                             "base_trace_bytes 0\n")
+                   .ok());
+}
+
+TEST(Journal, V2RejectsUnknownDuplicateAndMissingConfigKeys) {
+  const std::string header = serialize_session_header(non_default_session());
+  const std::string marker = "base_trace_bytes";
+  const auto at = header.find(marker);
+  ASSERT_NE(at, std::string::npos);
+
+  // Unknown key: a journal from a future build with a field this build
+  // does not understand must fail loudly, not replay under a wrong config.
+  std::string unknown = header;
+  unknown.insert(at, "config.retry.jitter 0x1p+0\n");
+  auto r = parse_journal(unknown);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unknown config key"), std::string::npos)
+      << r.error().message;
+
+  // Duplicate key.
+  const std::string line = "config.retry.enabled 1\n";
+  const auto line_at = header.find(line);
+  ASSERT_NE(line_at, std::string::npos);
+  std::string dup = header;
+  dup.insert(at, line);
+  EXPECT_FALSE(parse_journal(dup).ok());
+
+  // Missing key: a v2 header must carry the complete config block.
+  std::string missing = header;
+  missing.erase(line_at, line.size());
+  r = parse_journal(missing);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("config.retry.enabled"),
+            std::string::npos)
+      << r.error().message;
+}
+
+TEST(Journal, RejectsOutOfRangeNumbers) {
+  // Overflowing doubles and ints must be parse errors, not +inf / UB —
+  // the ERANGE discipline trace_io already applies.
+  const std::string stem = "CODA_JOURNAL v1\nhorizon ";
+  EXPECT_FALSE(parse_journal(stem + "1e999\nbase_trace_bytes 0\n").ok());
+  EXPECT_FALSE(
+      parse_journal(stem + "0x1p+99999\nbase_trace_bytes 0\n").ok());
+  EXPECT_FALSE(parse_journal("CODA_JOURNAL v1\nhorizon 0x1p+10\n"
+                             "nodes 99999999999999999999\n"
+                             "base_trace_bytes 0\n")
+                   .ok());
+}
+
+TEST(Journal, RandomizedSessionHeaderRoundTrips) {
+  // Property: for any SessionSpec, writing a journal and loading it back
+  // reproduces every config field bit-for-bit — asserted by comparing the
+  // re-serialized header text, which encodes doubles as hexfloats.
+  // Draws stay in normal double range: strtod flags subnormals ERANGE on
+  // glibc and the parser (deliberately) treats that as corruption.
+  util::Rng rng(20260807);
+  const std::string path =
+      "/tmp/coda_journal_fuzz_" +
+      std::to_string(static_cast<long long>(::getpid())) + ".journal";
+  for (int iter = 0; iter < 20; ++iter) {
+    SessionSpec session;
+    session.policy = static_cast<sim::Policy>(rng.uniform_int(0, 2));
+    session.speedup = rng.uniform(0.0, 1e6);
+    auto& c = session.config;
+    c.horizon_s = rng.uniform(1.0, 1e9);
+    c.drain_slack_s = rng.uniform(0.0, 1e7);
+    auto& cluster = c.engine.cluster;
+    cluster.node_count = static_cast<int>(rng.uniform_int(1, 500));
+    cluster.node.cores = static_cast<int>(rng.uniform_int(1, 128));
+    cluster.node.gpus = static_cast<int>(rng.uniform_int(0, 16));
+    cluster.node.mem_bw_gbps = rng.uniform(1.0, 1000.0);
+    cluster.node.pcie_gbps = rng.uniform(1.0, 128.0);
+    cluster.node.llc_mb = rng.uniform(1.0, 256.0);
+    cluster.node.mba_capable = rng.bernoulli(0.5);
+    cluster.mba_fraction = rng.uniform(0.0, 1.0);
+    cluster.cpu_only_node_count = static_cast<int>(rng.uniform_int(0, 50));
+    cluster.cpu_only_node.cores = static_cast<int>(rng.uniform_int(1, 128));
+    cluster.cpu_only_node.mem_bw_gbps = rng.uniform(1.0, 1000.0);
+    c.engine.metrics_period_s = rng.uniform(1.0, 3600.0);
+    c.engine.frag_min_cpus = static_cast<int>(rng.uniform_int(1, 8));
+    c.engine.util_noise_stddev = rng.uniform(0.0, 0.5);
+    c.engine.noise_seed = rng.next_u64();
+    c.engine.record_events = rng.bernoulli(0.5);
+    c.engine.incremental_recompute = rng.bernoulli(0.5);
+    c.retry.enabled = rng.bernoulli(0.5);
+    c.retry.backoff_base_s = rng.uniform(1.0, 600.0);
+    c.retry.backoff_max_s = rng.uniform(600.0, 86400.0);
+    c.retry.max_retries = static_cast<int>(rng.uniform_int(0, 100));
+    c.failures.node_mtbf_s = rng.uniform(0.0, 1e6);
+    c.failures.outage_s = rng.uniform(1.0, 1e5);
+    c.failures.seed = rng.next_u64();
+    c.coda.allocator.search_mode =
+        static_cast<core::SearchMode>(rng.uniform_int(0, 2));
+    c.coda.allocator.profile_step_s = rng.uniform(1.0, 600.0);
+    c.coda.allocator.max_profile_steps =
+        static_cast<int>(rng.uniform_int(1, 50));
+    c.coda.allocator.improvement_eps = rng.uniform(0.0, 0.1);
+    c.coda.allocator.plateau_util = rng.uniform(0.0, 1.0);
+    c.coda.allocator.min_cores = static_cast<int>(rng.uniform_int(1, 4));
+    c.coda.allocator.max_cores = static_cast<int>(rng.uniform_int(4, 128));
+    c.coda.eliminator.enabled = rng.bernoulli(0.5);
+    c.coda.eliminator.check_period_s = rng.uniform(1.0, 600.0);
+    c.coda.eliminator.bw_threshold = rng.uniform(0.0, 1.0);
+    c.coda.eliminator.util_drop_tolerance = rng.uniform(0.0, 0.2);
+    c.coda.eliminator.mba_throttle_factor = rng.uniform(0.0, 1.0);
+    c.coda.eliminator.release_when_calm = rng.bernoulli(0.5);
+    c.coda.eliminator.release_threshold = rng.uniform(0.0, 1.0);
+    c.coda.reserved_cores_per_node = static_cast<int>(rng.uniform_int(0, 64));
+    c.coda.four_gpu_node_fraction = rng.uniform(0.0, 1.0);
+    c.coda.reservation_update_period_s = rng.uniform(60.0, 1e5);
+    c.coda.multi_array_enabled = rng.bernoulli(0.5);
+    c.coda.cpu_preemption_enabled = rng.bernoulli(0.5);
+    c.coda.static_bw_cap_gbps = rng.uniform(0.0, 500.0);
+
+    {
+      auto writer = JournalWriter::open(path, session);
+      ASSERT_TRUE(writer.ok()) << writer.error().message;
+    }
+    auto loaded = load_journal(path);
+    ASSERT_TRUE(loaded.ok()) << "iter " << iter << ": "
+                             << loaded.error().message;
+    EXPECT_EQ(serialize_session_header(loaded->session),
+              serialize_session_header(session))
+        << "iter " << iter;
+    // Bit-exactness spot check on a hexfloat field (text equality above
+    // already implies it; this documents the invariant directly).
+    EXPECT_EQ(std::memcmp(&loaded->session.config.failures.node_mtbf_s,
+                          &c.failures.node_mtbf_s, sizeof(double)),
+              0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Server, NonDefaultSessionReplaysByteForByte) {
+  // The headline bugfix scenario: a session with every knob off default —
+  // retry backoff, Poisson failure injection, utilization noise, CPU-only
+  // nodes, CODA ablations. Its journal must record the full config (v2)
+  // and replay to the daemon's exact report bytes. Under the v1 format
+  // this replayed under defaults and diverged.
+  ServerConfig config = tiny_server_config("nondefault", 0.0);
+  config.session = non_default_session();
+  config.session.base_trace_csv = tiny_trace_csv(11);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client->submit_row(submit_row(2 + i, 600.0 * (i + 1)));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->ok()) << resp->payload;
+  }
+  ASSERT_TRUE(client->drain().ok());
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+  ASSERT_TRUE(server.drained());
+
+  const std::string live_report = server.report_text();
+  ASSERT_FALSE(live_report.empty());
+
+  auto journal = load_journal(journal_path);
+  ASSERT_TRUE(journal.ok()) << journal.error().message;
+  SessionSpec expected = non_default_session();
+  expected.base_trace_csv = tiny_trace_csv(11);
+  const std::string expected_header = serialize_session_header(expected);
+  EXPECT_EQ(expected_header.rfind("CODA_JOURNAL v2\n", 0), 0u);
+  EXPECT_EQ(serialize_session_header(journal->session), expected_header);
+
+  auto replayed = replay_journal_file(journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  // The injected failures actually fired (seed 77 / MTBF 1800s over the
+  // 2-hour horizon is a deterministic, non-empty outage schedule), and the
+  // non-default retry policy shaped the run both live and offline.
+  EXPECT_GT(replayed->node_failures, 0);
+  EXPECT_EQ(sim::serialize_report(*replayed), live_report);
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
 }
 
 // ------------------------------------------------- pipelining and shards
