@@ -25,6 +25,7 @@
 #include "perfmodel/characterization.h"
 #include "perfmodel/train_perf.h"
 #include "service/journal.h"
+#include "service/restore.h"
 #include "sim/experiment.h"
 #include "sim/report_io.h"
 #include "util/strings.h"
@@ -110,13 +111,23 @@ int cmd_inspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// Re-executes a codad session journal offline and (optionally) checks the
+// Re-executes a codad session offline and (optionally) checks the
 // resulting report byte-for-byte against the report the daemon wrote.
+// Two forms: --journal FILE replays the whole session from virtual time
+// zero; --snapshot FILE [--journal FILE] restores the snapshot and runs
+// only the remainder (plus the truncated journal's tail) — same report,
+// far less work.
 int cmd_replay_journal(const std::map<std::string, std::string>& flags) {
-  const std::string path = flags.at("journal");
-  auto report = service::replay_journal_file(path);
+  const bool from_snapshot = flags.count("snapshot") > 0;
+  const std::string path =
+      from_snapshot ? flags.at("snapshot") : flags.at("journal");
+  auto report =
+      from_snapshot
+          ? service::replay_from_snapshot(path, flag_or(flags, "journal", ""))
+          : service::replay_journal_file(path);
   if (!report.ok()) {
-    std::fprintf(stderr, "journal replay failed: %s\n",
+    std::fprintf(stderr, "%s replay failed: %s\n",
+                 from_snapshot ? "snapshot" : "journal",
                  report.error().message.c_str());
     return 1;
   }
@@ -155,14 +166,15 @@ int cmd_replay_journal(const std::map<std::string, std::string>& flags) {
     std::fwrite(serialized.data(), 1, serialized.size(), f);
     std::fclose(f);
   }
-  std::printf("journal %s: %zu submitted, %zu completed, gpu util %s\n",
-              path.c_str(), report->submitted, report->completed,
+  std::printf("%s %s: %zu submitted, %zu completed, gpu util %s\n",
+              from_snapshot ? "snapshot" : "journal", path.c_str(),
+              report->submitted, report->completed,
               util::format_percent(report->gpu_util_active).c_str());
   return 0;
 }
 
 int cmd_replay(const std::map<std::string, std::string>& flags) {
-  if (flags.count("journal") > 0) {
+  if (flags.count("journal") > 0 || flags.count("snapshot") > 0) {
     return cmd_replay_journal(flags);
   }
   const auto trace = make_or_load_trace(flags);
@@ -285,6 +297,10 @@ void usage() {
                "fifo|drf|coda [--nodes N] [--noise SIGMA] [--csv-dir DIR]\n"
                "  replay   --journal FILE [--expect-report FILE] [--out "
                "FILE]\n"
+               "  replay   --snapshot FILE.SNAP.N [--journal FILE] "
+               "[--expect-report FILE]\n"
+               "           (restore the snapshot + journal tail and finish "
+               "the session)\n"
                "  inspect  [--trace FILE | --days D --seed S]\n"
                "  sweep    [--trace FILE | --days D] --policy P --nodes "
                "N1,N2,...\n"

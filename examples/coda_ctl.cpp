@@ -7,9 +7,12 @@
 //   coda_ctl cluster --socket /tmp/coda.sock
 //   coda_ctl metrics --socket /tmp/coda.sock
 //   coda_ctl drain   --socket /tmp/coda.sock
+//   coda_ctl snapshot --socket /tmp/coda.sock [--shard K]
+//   coda_ctl restore-check --snapshot FILE.SNAP.3 [--journal FILE]
 //   coda_ctl bench   --port 7070 --connections 8 --duration 5 [--rate 20000]
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,7 @@
 #include "flag_parse.h"
 #include "perfmodel/dnn_model.h"
 #include "service/client.h"
+#include "service/restore.h"
 #include "workload/trace_io.h"
 
 using namespace coda;
@@ -34,9 +38,18 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: coda_ctl <verb> (--socket PATH | --port N) [flags]\n"
-      "  ping | cluster | metrics | drain | shutdown\n"
+      "  ping | cluster | metrics | drain | shutdown | snapshot\n"
       "     [--shard K] targets engine shard K (default: server routing;\n"
       "     drain/shutdown without it fan out to every shard)\n"
+      "     [--auth-token T] authenticates first (daemons with "
+      "--auth-token)\n"
+      "  snapshot: capture a deterministic state snapshot on the target\n"
+      "     shard and truncate its journal (restart with codad --restore)\n"
+      "  restore-check --snapshot FILE [--journal FILE]   (offline; no "
+      "endpoint)\n"
+      "     loads the snapshot (+ journal tail), rebuilds the session, and\n"
+      "     prints the restore latency — verifies a snapshot before "
+      "relying on it\n"
       "  status  --id N\n"
       "  submit  [--row CSV] | [--kind cpu|gpu ...]\n"
       "     cpu: --cores N --work CORE_SECONDS [--bw GBPS] [--llc MB]\n"
@@ -161,6 +174,37 @@ int print_response(const util::Result<service::Response>& response) {
   return 1;
 }
 
+// Offline snapshot validation: rebuild the session exactly as codad
+// --restore would and report how long it took. No daemon involved.
+int cmd_restore_check(const FlagMap& flags) {
+  if (flags.count("snapshot") == 0) {
+    std::fprintf(stderr, "restore-check needs --snapshot FILE\n");
+    return 2;
+  }
+  const std::string snapshot_path = flags.at("snapshot");
+  const std::string journal_path = flag_or(flags, "journal", "");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto shard = service::restore_shard(snapshot_path, journal_path);
+  const double restore_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  if (!shard.ok()) {
+    std::fprintf(stderr, "restore-check FAILED: %s\n",
+                 shard.error().message.c_str());
+    return 1;
+  }
+  std::printf(
+      "restore-check OK: seq=%llu vt=%.3f policy=%s jobs=%zu "
+      "(base %zu + live %llu) running=%zu restore_ms=%.3f\n",
+      static_cast<unsigned long long>(shard->snapshot_seq), shard->resume_vt,
+      sim::to_string(shard->session.policy),
+      shard->base_jobs + static_cast<size_t>(shard->accepted_submits),
+      shard->base_jobs,
+      static_cast<unsigned long long>(shard->accepted_submits),
+      shard->engine->running_jobs(), restore_ms);
+  return 0;
+}
+
 int cmd_bench(const service::Endpoint& endpoint, const FlagMap& flags) {
   service::BenchOptions options;
   options.connections = flag_int(flags, "connections", 4, 1);
@@ -169,6 +213,7 @@ int cmd_bench(const service::Endpoint& endpoint, const FlagMap& flags) {
   options.request_line = flag_or(flags, "request", "PING");
   options.pipeline = flag_int(flags, "pipeline", 1, 1);
   options.shards = flag_int(flags, "shards", 0, 0);
+  options.auth_token = flag_or(flags, "auth-token", "");
   auto report = service::run_bench(endpoint, options);
   if (!report.ok()) {
     std::fprintf(stderr, "bench failed: %s\n",
@@ -206,6 +251,12 @@ int main(int argc, char** argv) {
   }
   const std::string verb = argv[1];
   const auto flags = examples::parse_flag_pairs(argc, argv, 2, usage);
+
+  // Offline verb: no endpoint, no connection.
+  if (verb == "restore-check") {
+    return cmd_restore_check(flags);
+  }
+
   const service::Endpoint endpoint = make_endpoint(flags);
 
   if (verb == "bench") {
@@ -217,6 +268,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot connect: %s\n",
                  client.error().message.c_str());
     return 1;
+  }
+  const std::string auth_token = flag_or(flags, "auth-token", "");
+  if (!auth_token.empty()) {
+    auto authed = client->auth(auth_token);
+    if (!authed.ok() || !authed->ok()) {
+      std::fprintf(stderr, "AUTH failed: %s\n",
+                   authed.ok() ? authed->payload.c_str()
+                               : authed.error().message.c_str());
+      return 1;
+    }
   }
   // `--shard K` pins the command to engine shard K via the wire prefix;
   // without it the server applies its default routing (and fans DRAIN /
@@ -245,6 +306,9 @@ int main(int argc, char** argv) {
   }
   if (verb == "metrics") {
     return print_response(client->call(prefix + "METRICS"));
+  }
+  if (verb == "snapshot") {
+    return print_response(client->call(prefix + "SNAPSHOT"));
   }
   if (verb == "drain") {
     return print_response(client->call(prefix + "DRAIN"));

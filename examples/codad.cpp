@@ -54,13 +54,22 @@ void usage() {
       "SIM_S_PER_WALL_S]\n"
       "             (--socket PATH | --port N) [--journal FILE] "
       "[--report FILE]\n"
-      "             [--shards N] [experiment knobs]\n"
+      "             [--shards N] [--auth-token T] [--journal-fsync 0|1]\n"
+      "             [--restore 0|1] [experiment knobs]\n"
       "  --speedup 3600 paces one sim-hour per wall-second; <= 0 runs "
       "as fast as possible\n"
       "  --port 0 binds an ephemeral port (printed on startup)\n"
       "  --shards N runs N independent engine shards (default "
       "CODA_SERVE_SHARDS or 1);\n"
       "    shard k journals to JOURNAL.shard<k> when N > 1\n"
+      "  --auth-token T (or CODA_SERVE_TOKEN) requires AUTH T before "
+      "any verb but PING\n"
+      "  --journal-fsync 1 fsyncs each journal group commit before "
+      "acknowledging\n"
+      "  --restore 1 resumes each shard from its latest "
+      "JOURNAL[.shard<k>].SNAP.<seq>\n"
+      "    snapshot plus the journal tail (take one live with: coda_ctl "
+      "snapshot)\n"
       "experiment knobs (all journaled in the v2 header):\n"
       "  engine:  --noise SIGMA --noise-seed N --metrics-period S\n"
       "           --frag-min-cpus N --mba-fraction F --cpu-only-nodes N\n"
@@ -80,6 +89,7 @@ void usage() {
 const std::set<std::string> kKnownFlags = {
     "trace", "days", "seed", "policy", "nodes", "horizon", "speedup",
     "socket", "port", "journal", "report", "shards",
+    "auth-token", "journal-fsync", "restore",
     "noise", "noise-seed", "metrics-period", "frag-min-cpus",
     "mba-fraction", "cpu-only-nodes", "record-events", "incremental",
     "drain-slack",
@@ -231,6 +241,15 @@ int main(int argc, char** argv) {
   config.journal_path = flag_or(flags, "journal", "");
   config.report_path = flag_or(flags, "report", "");
   config.unix_socket_path = flag_or(flags, "socket", "");
+  const char* env_token = std::getenv("CODA_SERVE_TOKEN");
+  config.auth_token =
+      flag_or(flags, "auth-token", env_token != nullptr ? env_token : "");
+  config.journal_fsync = flag_bool(flags, "journal-fsync", false);
+  config.restore = flag_bool(flags, "restore", false);
+  if (config.restore && config.journal_path.empty()) {
+    std::fprintf(stderr, "--restore requires --journal\n");
+    return 2;
+  }
   if (flags.count("port") > 0) {
     config.tcp_port = flag_int(flags, "port", -1, 0);
   }

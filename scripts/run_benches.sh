@@ -133,6 +133,21 @@ EVENTS_PER_SEC=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_engine_micro" \
     }')
 EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
 
+# Snapshot/restore latency (state-layer checkpoint vs full re-simulation);
+# cache off — it drives a live engine.
+SNAPSHOT_JSON_LINE=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_snapshot" \
+  | awk '/^BENCH_SNAPSHOT_JSON/ {sub(/^BENCH_SNAPSHOT_JSON /, ""); print}')
+snap_field() {  # snap_field <field>
+  echo "$SNAPSHOT_JSON_LINE" | awk -v f="$1" '{
+    if (match($0, "\"" f "\": *[0-9.]+")) {
+      s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
+    }
+  }'
+}
+SNAPSHOT_MS=$(snap_field snapshot_ms); SNAPSHOT_MS="${SNAPSHOT_MS:-0}"
+RESTORE_MS=$(snap_field restore_ms); RESTORE_MS="${RESTORE_MS:-0}"
+RESTORE_SPEEDUP=$(snap_field restore_speedup); RESTORE_SPEEDUP="${RESTORE_SPEEDUP:-0}"
+
 # Serving-layer throughput: pipelined PINGs against a live 8-shard codad on
 # loopback TCP (2 connections, pipeline depth 16 — the epoll loop and the
 # shard mailboxes are the bottleneck, not the RTT).
@@ -174,6 +189,9 @@ SERVE_CMDS_PER_SEC="${SERVE_CMDS_PER_SEC:-0}"
   echo "  \"warm_total_s\": $(awk "BEGIN{print $WARM_MS/1000}"),"
   echo "  \"events_per_sec\": $EVENTS_PER_SEC,"
   echo "  \"serve_cmds_per_sec\": $SERVE_CMDS_PER_SEC,"
+  echo "  \"snapshot_ms\": $SNAPSHOT_MS,"
+  echo "  \"restore_ms\": $RESTORE_MS,"
+  echo "  \"restore_speedup\": $RESTORE_SPEEDUP,"
   echo "  \"benches\": {"
   declare -n cold=TIMES_cold warm=TIMES_warm
   sep=""
@@ -193,6 +211,7 @@ echo "cold total: $(awk "BEGIN{print $COLD_MS/1000}") s"
 echo "warm total: $(awk "BEGIN{print $WARM_MS/1000}") s"
 echo "engine micro: $EVENTS_PER_SEC events/s"
 echo "serve bench: $SERVE_CMDS_PER_SEC cmds/s (8 shards, pipeline 16)"
+echo "snapshot: ${SNAPSHOT_MS} ms capture, ${RESTORE_MS} ms restore (${RESTORE_SPEEDUP}x vs replay)"
 echo "wrote $OUT (microbench details: $MICRO_JSON)"
 
 # -------------------------------------------------------------- comparison

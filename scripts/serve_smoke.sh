@@ -46,15 +46,20 @@ echo "==> starting codad (2 shards, ephemeral port, non-default session)"
          >"$workdir/codad.log" 2>&1 &
 daemon_pid=$!
 
-# Wait for the listener banner ("codad listening on 127.0.0.1:PORT").
-port=""
-for _ in $(seq 1 50); do
-  port=$(grep -a -o 'listening on 127.0.0.1:[0-9]*' "$workdir/codad.log" \
-         2>/dev/null | head -1 | sed 's/.*://') || true
-  [ -n "$port" ] && break
-  sleep 0.1
-done
-[ -n "$port" ] || { echo "codad never bound a port" >&2; cat "$workdir/codad.log" >&2; exit 1; }
+# Wait for the listener banner ("codad listening on 127.0.0.1:PORT") in the
+# given log and echo the port.
+wait_for_port() {
+  local log=$1 p=""
+  for _ in $(seq 1 50); do
+    p=$(grep -a -o 'listening on 127.0.0.1:[0-9]*' "$log" \
+        2>/dev/null | head -1 | sed 's/.*://') || true
+    [ -n "$p" ] && break
+    sleep 0.1
+  done
+  [ -n "$p" ] || { echo "codad never bound a port" >&2; cat "$log" >&2; exit 1; }
+  echo "$p"
+}
+port=$(wait_for_port "$workdir/codad.log")
 
 echo "==> driving the session (port $port)"
 "$CTL" ping --port "$port"
@@ -99,5 +104,53 @@ for k in 0 1; do
   "$CLI" replay --journal "$journal.shard$k" \
          --expect-report "$journal.shard$k.report"
 done
+
+# ---- snapshot / kill -9 / --restore cycle (single shard, auth enabled) ----
+echo "==> booting an authenticated daemon for the snapshot cycle"
+journal2="$workdir/restore.journal"
+token=smoketoken
+"$CODAD" --days 0.02 --policy coda --nodes 8 --port 0 \
+         --journal "$journal2" --journal-fsync 1 --speedup 20000 \
+         --auth-token "$token" >"$workdir/codad2.log" 2>&1 &
+daemon_pid=$!
+port2=$(wait_for_port "$workdir/codad2.log")
+
+echo "==> auth gate (port $port2)"
+"$CTL" ping --port "$port2"   # PING needs no token
+if "$CTL" cluster --port "$port2" >/dev/null 2>&1; then
+  echo "unauthenticated CLUSTER was not refused" >&2; exit 1
+fi
+"$CTL" submit --port "$port2" --auth-token "$token" \
+       --kind cpu --cores 4 --work 900
+"$CTL" submit --port "$port2" --auth-token "$token" \
+       --kind gpu --model resnet50 --iters 1500
+
+echo "==> mid-session snapshot, one more submit, then kill -9"
+"$CTL" snapshot --port "$port2" --auth-token "$token" | grep -q 'seq=1'
+[ -s "$journal2.SNAP.1" ] || { echo "snapshot file missing" >&2; exit 1; }
+"$CTL" submit --port "$port2" --auth-token "$token" \
+       --kind cpu --cores 2 --work 600
+kill -9 "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "==> offline restore-check on the crashed session"
+"$CTL" restore-check --snapshot "$journal2.SNAP.1" --journal "$journal2" \
+  | grep -q 'restore-check OK'
+
+echo "==> restarting with --restore and draining"
+"$CODAD" --restore 1 --journal "$journal2" --journal-fsync 1 --port 0 \
+         --auth-token "$token" >"$workdir/codad3.log" 2>&1 &
+daemon_pid=$!
+port3=$(wait_for_port "$workdir/codad3.log")
+"$CTL" drain --port "$port3" --auth-token "$token"
+"$CTL" shutdown --port "$port3" --auth-token "$token"
+wait "$daemon_pid"
+daemon_pid=""
+[ -s "$journal2.report" ] || { echo "restored report missing" >&2; exit 1; }
+
+echo "==> replaying snapshot + journal tail offline; must match the report"
+"$CLI" replay --snapshot "$journal2.SNAP.1" --journal "$journal2" \
+       --expect-report "$journal2.report"
 
 echo "==> serve smoke clean"

@@ -13,6 +13,11 @@
 #include "coda/history.h"
 #include "workload/job.h"
 
+namespace coda::state {
+class Writer;
+class Reader;
+}  // namespace coda::state
+
 namespace coda::core {
 
 // How the tuner searches the core-count axis (ablation of Sec. V-B2's
@@ -90,6 +95,12 @@ class AdaptiveCpuAllocator {
 
   // Whether a tuning session exists for the job.
   bool tracking(cluster::JobId job) const { return sessions_.count(job) > 0; }
+
+  // Snapshot support: serializes every live tuning session (specs are
+  // stored by id and rehydrated from the snapshot's embedded session).
+  void save_state(state::Writer* w) const;
+  void load_state(state::Reader* r,
+                  const std::map<cluster::JobId, workload::JobSpec>& specs);
 
  private:
   enum class Phase {

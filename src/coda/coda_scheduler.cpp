@@ -84,17 +84,41 @@ void CodaScheduler::attach(const sched::SchedulerEnv& env) {
     four_array_nodes_ = 0;
   }
 
-  if (config_.eliminator.enabled) {
-    env_.sim->schedule_periodic(config_.eliminator.check_period_s, [this] {
-      eliminator_->check_all(
-          [this](cluster::JobId job) { return expected_utilization(job); });
-    });
+  // In restore mode the snapshot manifest re-arms both periodics at their
+  // exact next firing times (rearm_* below); scheduling them here too would
+  // double-tick.
+  if (config_.eliminator.enabled && !env_.defer_periodics) {
+    rearm_eliminator_tick(env_.sim->now() + config_.eliminator.check_period_s);
   }
   if (config_.multi_array_enabled &&
-      config_.reservation_update_period_s > 0.0) {
-    env_.sim->schedule_periodic(config_.reservation_update_period_s,
-                                [this] { update_reservation_from_history(); });
+      config_.reservation_update_period_s > 0.0 && !env_.defer_periodics) {
+    rearm_reservation_tick(env_.sim->now() +
+                           config_.reservation_update_period_s);
   }
+}
+
+void CodaScheduler::rearm_eliminator_tick(double first) {
+  env_.sim->schedule_periodic_at(
+      first, config_.eliminator.check_period_s,
+      [this] {
+        eliminator_->check_all(
+            [this](cluster::JobId job) { return expected_utilization(job); });
+      },
+      simcore::EventTag{simcore::kTagEliminatorTick});
+}
+
+void CodaScheduler::rearm_reservation_tick(double first) {
+  env_.sim->schedule_periodic_at(
+      first, config_.reservation_update_period_s,
+      [this] { update_reservation_from_history(); },
+      simcore::EventTag{simcore::kTagReservationTick});
+}
+
+void CodaScheduler::rearm_tuning_tick(double t, cluster::JobId job,
+                                      uint64_t generation) {
+  env_.sim->schedule_at(
+      t, [this, job, generation] { on_tuning_tick(job, generation); },
+      simcore::EventTag{simcore::kTagTuningTick, job, generation});
 }
 
 bool CodaScheduler::is_four_gpu_job(const workload::JobSpec& spec) const {
@@ -570,9 +594,8 @@ void CodaScheduler::begin_tuning(cluster::JobId job) {
 
 void CodaScheduler::schedule_tuning_tick(cluster::JobId job,
                                          uint64_t generation) {
-  env_.sim->schedule_after(
-      config_.allocator.profile_step_s,
-      [this, job, generation] { on_tuning_tick(job, generation); });
+  rearm_tuning_tick(env_.sim->now() + config_.allocator.profile_step_s, job,
+                    generation);
 }
 
 void CodaScheduler::on_tuning_tick(cluster::JobId job, uint64_t generation) {

@@ -1,0 +1,267 @@
+// Snapshot (de)serialization for the CODA scheduler: per-array DRF queues
+// and usage shares, running GPU/CPU bookkeeping, the tuning audit trail,
+// per-node incremental accounting, the history log, the adaptive allocator's
+// live sessions and the eliminator's throttle records.
+//
+// Queues and running sets reference jobs by id; full JobSpecs come from the
+// snapshot's embedded session (SpecMap). The history log is rebuilt by
+// replaying record() in record order — its running aggregates fold
+// bit-identically in that order (see history.h).
+#include "coda/coda_scheduler.h"
+#include "state/serde.h"
+#include "util/assert.h"
+
+namespace coda::core {
+
+namespace {
+
+const workload::JobSpec* spec_of(state::Reader* r,
+                                 const sched::SpecMap& specs,
+                                 cluster::JobId id) {
+  auto it = specs.find(id);
+  if (it == specs.end()) {
+    r->fail("CODA state references unknown job " + std::to_string(id));
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void save_outcome(state::Writer* w, const char* key,
+                  const CodaScheduler::TuningOutcome& o) {
+  w->line(key, o.job, static_cast<int>(o.model), o.requested_cpus,
+          o.start_cpus, o.final_cpus, o.profile_steps);
+}
+
+CodaScheduler::TuningOutcome load_outcome(state::Reader* r, const char* key) {
+  CodaScheduler::TuningOutcome o;
+  r->expect(key);
+  o.job = r->u64();
+  o.model = static_cast<perfmodel::ModelId>(r->i32());
+  o.requested_cpus = r->i32();
+  o.start_cpus = r->i32();
+  o.final_cpus = r->i32();
+  o.profile_steps = r->i32();
+  return o;
+}
+
+}  // namespace
+
+void CodaScheduler::save_state(state::Writer* w) const {
+  Scheduler::save_state(w);
+
+  w->line("coda_reservation", reserved_cores_, four_array_nodes_);
+  w->line("coda_counters", cross_borrower_count_, preemptions_, migrations_,
+          next_seq_, next_generation_);
+
+  const auto save_array = [w](const char* key, const ArrayState& array) {
+    w->line(key, array.queues.size(), array.usage.size());
+    for (const auto& [tenant, queue] : array.queues) {
+      w->line("aq", tenant, queue.size());
+      for (const workload::JobSpec& spec : queue) {
+        w->line("aj", spec.id);
+      }
+    }
+    for (const auto& [tenant, used] : array.usage) {
+      w->line("au", tenant, used);
+    }
+  };
+  save_array("cpu_array", cpu_array_);
+  save_array("four_gpu_array", four_gpu_array_);
+  save_array("one_gpu_array", one_gpu_array_);
+
+  w->line("running_gpu", running_gpu_.size());
+  for (const auto& [id, r] : running_gpu_) {
+    w->line("rg", id, r.cores_per_node, r.four_array_job, r.cross_borrower,
+            r.generation, r.tuning_active, r.placement.nodes.size());
+    for (const auto& np : r.placement.nodes) {
+      w->line("rgp", np.node, np.cpus, np.gpus);
+    }
+  }
+  w->line("running_cpu", running_cpu_.size());
+  for (const auto& [id, r] : running_cpu_) {
+    w->line("rc", id, r.node, r.cores, r.borrowed_reserved, r.start_seq);
+  }
+
+  w->line("tuning_outcomes", tuning_outcomes_.size());
+  for (const TuningOutcome& o : tuning_outcomes_) {
+    save_outcome(w, "oc", o);
+  }
+  w->line("pending_outcomes", pending_outcomes_.size());
+  for (const auto& [job, o] : pending_outcomes_) {
+    save_outcome(w, "poc", o);
+  }
+
+  w->line("coda_nodes", cpu_jobs_by_node_.size());
+  for (size_t node = 0; node < cpu_jobs_by_node_.size(); ++node) {
+    w->line("nv", node, gpu_cores_on_node_[node], borrowed_on_node_[node],
+            cross_borrowers_on_node_[node], cpu_jobs_by_node_[node].size());
+    for (cluster::JobId job : cpu_jobs_by_node_[node]) {
+      w->line("nj", job);
+    }
+  }
+
+  w->line("history", history_.records().size());
+  for (const HistoryRecord& rec : history_.records()) {
+    w->line("hist", rec.tenant, static_cast<int>(rec.category),
+            static_cast<int>(rec.model), rec.nodes, rec.gpus_per_node,
+            rec.optimal_cores);
+  }
+
+  allocator_.save_state(w);
+  eliminator_->save_state(w);
+}
+
+void CodaScheduler::load_state(state::Reader* r,
+                               const sched::SpecMap& specs) {
+  CODA_ASSERT_MSG(eliminator_ != nullptr,
+                  "load_state requires an attached scheduler");
+  Scheduler::load_state(r, specs);
+
+  r->expect("coda_reservation");
+  reserved_cores_ = r->i32();
+  four_array_nodes_ = r->i32();
+  r->expect("coda_counters");
+  cross_borrower_count_ = r->i32();
+  preemptions_ = r->i32();
+  migrations_ = r->i32();
+  next_seq_ = r->u64();
+  next_generation_ = r->u64();
+
+  const auto load_array = [r, &specs](const char* key, ArrayState* array) {
+    array->queues.clear();
+    array->usage.clear();
+    if (!r->expect(key)) {
+      return;
+    }
+    const uint64_t queues = r->u64();
+    const uint64_t usages = r->u64();
+    for (uint64_t i = 0; i < queues && r->ok(); ++i) {
+      r->expect("aq");
+      const cluster::TenantId tenant =
+          static_cast<cluster::TenantId>(r->u64());
+      auto& queue = array->queues[tenant];
+      const uint64_t k = r->u64();
+      for (uint64_t j = 0; j < k && r->ok(); ++j) {
+        r->expect("aj");
+        if (const workload::JobSpec* spec = spec_of(r, specs, r->u64())) {
+          queue.push_back(*spec);
+        }
+      }
+    }
+    for (uint64_t i = 0; i < usages && r->ok(); ++i) {
+      r->expect("au");
+      const cluster::TenantId tenant =
+          static_cast<cluster::TenantId>(r->u64());
+      array->usage[tenant] = r->i32();
+    }
+  };
+  load_array("cpu_array", &cpu_array_);
+  load_array("four_gpu_array", &four_gpu_array_);
+  load_array("one_gpu_array", &one_gpu_array_);
+
+  r->expect("running_gpu");
+  uint64_t n = r->u64();
+  running_gpu_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    r->expect("rg");
+    const cluster::JobId id = r->u64();
+    const workload::JobSpec* spec = spec_of(r, specs, id);
+    if (spec == nullptr) {
+      return;
+    }
+    RunningGpu rg;
+    rg.spec = *spec;
+    rg.cores_per_node = r->i32();
+    rg.four_array_job = r->b();
+    rg.cross_borrower = r->b();
+    rg.generation = r->u64();
+    rg.tuning_active = r->b();
+    const uint64_t np = r->u64();
+    for (uint64_t j = 0; j < np && r->ok(); ++j) {
+      r->expect("rgp");
+      sched::NodePlacement p;
+      p.node = static_cast<cluster::NodeId>(r->u64());
+      p.cpus = r->i32();
+      p.gpus = r->i32();
+      rg.placement.nodes.push_back(p);
+    }
+    running_gpu_[id] = std::move(rg);
+  }
+
+  r->expect("running_cpu");
+  n = r->u64();
+  running_cpu_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    r->expect("rc");
+    const cluster::JobId id = r->u64();
+    const workload::JobSpec* spec = spec_of(r, specs, id);
+    if (spec == nullptr) {
+      return;
+    }
+    RunningCpu rc;
+    rc.spec = *spec;
+    rc.node = static_cast<cluster::NodeId>(r->u64());
+    rc.cores = r->i32();
+    rc.borrowed_reserved = r->i32();
+    rc.start_seq = r->u64();
+    running_cpu_[id] = std::move(rc);
+  }
+
+  r->expect("tuning_outcomes");
+  n = r->u64();
+  tuning_outcomes_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    tuning_outcomes_.push_back(load_outcome(r, "oc"));
+  }
+  r->expect("pending_outcomes");
+  n = r->u64();
+  pending_outcomes_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    TuningOutcome o = load_outcome(r, "poc");
+    pending_outcomes_[o.job] = o;
+  }
+
+  r->expect("coda_nodes");
+  n = r->u64();
+  if (r->ok() && n != cpu_jobs_by_node_.size()) {
+    r->fail("snapshot node count does not match the attached cluster");
+    return;
+  }
+  for (uint64_t node = 0; node < n && r->ok(); ++node) {
+    r->expect("nv");
+    if (r->u64() != node && r->ok()) {
+      r->fail("per-node rows out of order");
+      return;
+    }
+    gpu_cores_on_node_[node] = r->i32();
+    borrowed_on_node_[node] = r->i32();
+    cross_borrowers_on_node_[node] = r->i32();
+    const uint64_t k = r->u64();
+    cpu_jobs_by_node_[node].clear();
+    for (uint64_t j = 0; j < k && r->ok(); ++j) {
+      r->expect("nj");
+      cpu_jobs_by_node_[node].push_back(r->u64());
+    }
+  }
+
+  r->expect("history");
+  n = r->u64();
+  CODA_ASSERT_MSG(history_.size() == 0,
+                  "load_state requires a fresh history log");
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    r->expect("hist");
+    HistoryRecord rec;
+    rec.tenant = static_cast<cluster::TenantId>(r->u64());
+    rec.category = static_cast<perfmodel::ModelCategory>(r->i32());
+    rec.model = static_cast<perfmodel::ModelId>(r->i32());
+    rec.nodes = r->i32();
+    rec.gpus_per_node = r->i32();
+    rec.optimal_cores = r->i32();
+    history_.record(rec);
+  }
+
+  allocator_.load_state(r, specs);
+  eliminator_->load_state(r);
+}
+
+}  // namespace coda::core

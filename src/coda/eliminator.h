@@ -17,6 +17,11 @@
 #include "sched/scheduler.h"
 #include "telemetry/mbm.h"
 
+namespace coda::state {
+class Writer;
+class Reader;
+}  // namespace coda::state
+
 namespace coda::core {
 
 struct EliminatorConfig {
@@ -85,6 +90,11 @@ class ContentionEliminator {
   bool is_throttled(cluster::JobId job) const {
     return throttled_.count(job) > 0;
   }
+
+  // Snapshot support: stats counters and live throttle records. The MBA
+  // caps themselves live in the engine's controller and are restored there.
+  void save_state(state::Writer* w) const;
+  void load_state(state::Reader* r);
 
  private:
   void check_node(const cluster::Node& node,

@@ -33,6 +33,9 @@ class DrfScheduler : public Scheduler {
   // Current dominant share of one tenant (tests / Fig. 12 analysis).
   double dominant_share(cluster::TenantId tenant) const;
 
+  void save_state(state::Writer* w) const override;
+  void load_state(state::Reader* r, const SpecMap& specs) override;
+
  private:
   struct TenantState {
     std::deque<workload::JobSpec> queue;

@@ -37,6 +37,9 @@ class FifoScheduler : public Scheduler {
   size_t pending_gpu_jobs() const override { return gpu_pending_; }
   std::optional<PendingGpuDemand> min_pending_gpu_demand() const override;
 
+  void save_state(state::Writer* w) const override;
+  void load_state(state::Reader* r, const SpecMap& specs) override;
+
  private:
   int backfill_window_;
   // std::list, not deque: backfill erases from the middle of the queue, and

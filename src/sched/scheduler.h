@@ -12,17 +12,29 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "simcore/event_tags.h"
 #include "simcore/simulator.h"
 #include "telemetry/mbm.h"
 #include "util/result.h"
 #include "workload/job.h"
 
+namespace coda::state {
+class Writer;
+class Reader;
+}  // namespace coda::state
+
 namespace coda::sched {
+
+// Job id -> full spec, for rehydrating serialized scheduler state (queues
+// and running sets reference jobs by id; the snapshot's embedded session
+// supplies the specs).
+using SpecMap = std::map<cluster::JobId, workload::JobSpec>;
 
 // Where a job runs: one entry per node it occupies.
 struct NodePlacement {
@@ -71,6 +83,13 @@ struct Placement {
 struct SchedulerEnv {
   simcore::Simulator* sim = nullptr;
   const cluster::Cluster* cluster = nullptr;
+
+  // Snapshot-restore mode: attach() must NOT schedule its periodic events
+  // (eliminator checks, reservation updates). The restore path re-arms them
+  // at their exact next firing times from the snapshot manifest instead —
+  // a construct-then-cancel dance would leave a dead queue entry that still
+  // fires as a no-op and perturbs the dispatch count.
+  bool defer_periodics = false;
 
   // Starts a pending job on the given placement. The engine validates and
   // performs the node allocations; the scheduler must propose a feasible
@@ -164,6 +183,29 @@ class Scheduler {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // ---- snapshot support (src/state) ----
+  // Serializes every policy field that affects future decisions (queues in
+  // order, shares, retry counts). Derived classes write the base section
+  // first, then their own; load_state mirrors the exact write sequence.
+  // Configuration (backfill windows, CODA knobs) is NOT serialized — the
+  // snapshot's embedded session reconstructs the scheduler before loading.
+  virtual void save_state(state::Writer* w) const;
+  virtual void load_state(state::Reader* r, const SpecMap& specs);
+
+  // Re-posts one retry-backoff resubmission recorded in a snapshot manifest
+  // at its exact absolute simulated time. The closure matches the one
+  // retry_after_eviction posts, so the restored event dispatches
+  // identically.
+  void rearm_retry(double t, const workload::JobSpec& spec) {
+    env_.sim->post_at(
+        t,
+        [this, spec] {
+          submit(spec);
+          kick();
+        },
+        simcore::EventTag{simcore::kTagRetryResubmit, spec.id});
+  }
+
   // Evictions survived so far by one job (0 if never evicted) — test hook.
   int eviction_count(cluster::JobId id) const {
     auto it = evictions_.find(id);
@@ -191,10 +233,13 @@ class Scheduler {
     const double delay = std::min(
         retry_.backoff_base_s * std::ldexp(1.0, attempt - 1),
         retry_.backoff_max_s);
-    env_.sim->post_after(delay, [this, spec] {
-      submit(spec);
-      kick();
-    });
+    env_.sim->post_after(
+        delay,
+        [this, spec] {
+          submit(spec);
+          kick();
+        },
+        simcore::EventTag{simcore::kTagRetryResubmit, spec.id});
     return false;
   }
 

@@ -237,6 +237,15 @@ util::Result<BenchReport> run_bench(const Endpoint& endpoint,
     if (!client.ok()) {
       return client.error();
     }
+    if (!options.auth_token.empty()) {
+      auto authed = client->auth(options.auth_token);
+      if (!authed.ok()) {
+        return authed.error();
+      }
+      if (!authed->ok()) {
+        return util::Error{authed->code, "AUTH refused: " + authed->payload};
+      }
+    }
     clients.push_back(std::move(*client));
   }
 

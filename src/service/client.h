@@ -51,6 +51,10 @@ class Client {
 
   // Convenience verbs.
   util::Result<Response> ping() { return call("PING"); }
+  util::Result<Response> auth(const std::string& token) {
+    return call("AUTH " + token);
+  }
+  util::Result<Response> snapshot() { return call("SNAPSHOT"); }
   util::Result<Response> submit_row(const std::string& csv_row) {
     return call("SUBMIT " + csv_row);
   }
@@ -85,6 +89,9 @@ struct BenchOptions {
   // > 0 spreads requests round-robin over `SHARD 0..shards-1` prefixes and
   // reports a per-shard breakdown; 0 leaves routing to the server.
   int shards = 0;
+  // Sent as `AUTH <token>` on every connection before the workload starts
+  // (daemons with --auth-token). Empty sends nothing.
+  std::string auth_token;
 };
 
 struct BenchReport {

@@ -1,5 +1,7 @@
 #include "service/journal.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -282,7 +284,7 @@ std::string first_missing_config_field(const std::set<std::string>& seen) {
 JournalWriter::~JournalWriter() { close(); }
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : file_(other.file_) {
+    : file_(other.file_), fsync_(other.fsync_) {
   other.file_ = nullptr;
 }
 
@@ -290,6 +292,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
   if (this != &other) {
     close();
     file_ = other.file_;
+    fsync_ = other.fsync_;
     other.file_ = nullptr;
   }
   return *this;
@@ -344,6 +347,24 @@ util::Result<JournalWriter> JournalWriter::open(const std::string& path,
   return writer;
 }
 
+util::Result<JournalWriter> JournalWriter::open_append(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return io_error(path, "cannot open for append");
+  }
+  JournalWriter writer;
+  writer.file_ = f;
+  return writer;
+}
+
+std::string format_submit_entry(double virtual_time, uint64_t job_id,
+                                const std::string& csv_row) {
+  return util::strfmt("S %a %llu ", virtual_time,
+                      static_cast<unsigned long long>(job_id)) +
+         csv_row + "\n";
+}
+
 util::Status JournalWriter::append_submit(double virtual_time,
                                           uint64_t job_id,
                                           const std::string& csv_row) {
@@ -351,9 +372,7 @@ util::Status JournalWriter::append_submit(double virtual_time,
     return util::Error{util::ErrorCode::kFailedPrecondition,
                        "journal is closed"};
   }
-  const std::string line = util::strfmt(
-      "S %a %llu ", virtual_time, static_cast<unsigned long long>(job_id)) +
-      csv_row + "\n";
+  const std::string line = format_submit_entry(virtual_time, job_id, csv_row);
   // Group commit: no fflush here — flush() covers the whole batch. A short
   // fwrite still poisons the journal so a later append cannot concatenate
   // onto a torn line and produce a file that parses to the wrong session.
@@ -374,6 +393,10 @@ util::Status JournalWriter::flush() {
     // writer so the server stops acknowledging submissions.
     close();
     return util::Error{util::ErrorCode::kIoError, "journal flush failed"};
+  }
+  if (fsync_ && fsync(fileno(file_)) != 0) {
+    close();
+    return util::Error{util::ErrorCode::kIoError, "journal fsync failed"};
   }
   return util::Status::Ok();
 }

@@ -101,6 +101,11 @@ class JournalWriter {
   static util::Result<JournalWriter> open(const std::string& path,
                                           const SessionSpec& session);
 
+  // Opens an existing journal for appending without touching its contents.
+  // Used on --restore: the truncated journal already carries the header and
+  // the post-snapshot tail; the resumed daemon keeps appending to it.
+  static util::Result<JournalWriter> open_append(const std::string& path);
+
   // Buffers one submission entry; durable only after the next flush().
   // A short write poisons the writer (no appends after a torn line).
   util::Status append_submit(double virtual_time, uint64_t job_id,
@@ -114,8 +119,15 @@ class JournalWriter {
   void close();
   bool is_open() const { return file_ != nullptr; }
 
+  // When enabled, every successful flush() also fsyncs the file descriptor
+  // (--journal-fsync): an acknowledged SUBMIT survives power loss, not just
+  // a daemon crash. Off by default — fflush-to-OS matches the v1 behavior.
+  void set_fsync(bool enabled) { fsync_ = enabled; }
+  bool fsync_enabled() const { return fsync_; }
+
  private:
   std::FILE* file_ = nullptr;
+  bool fsync_ = false;
 };
 
 // The exact v2 header text JournalWriter::open writes for `session`
@@ -123,6 +135,13 @@ class JournalWriter {
 // round trip without a file: parse_journal(serialize_session_header(s))
 // must reproduce every config field bit-for-bit.
 std::string serialize_session_header(const SessionSpec& session);
+
+// The exact one-line text append_submit writes for an entry, '\n' included.
+// The server accumulates these to build the session blob a SNAPSHOT embeds
+// (header + every accepted entry), so the embedded text is byte-identical
+// to what an untruncated journal would contain.
+std::string format_submit_entry(double virtual_time, uint64_t job_id,
+                                const std::string& csv_row);
 
 // Parses a journal file (header, base trace, submissions). Accepts v2 and,
 // for journals from the previous release, v1 (config fields default).

@@ -68,7 +68,8 @@ util::Result<util::ErrorCode> code_from_string(const std::string& name) {
   for (ErrorCode code :
        {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
         ErrorCode::kResourceExhausted, ErrorCode::kFailedPrecondition,
-        ErrorCode::kParseError, ErrorCode::kIoError}) {
+        ErrorCode::kParseError, ErrorCode::kIoError,
+        ErrorCode::kPermissionDenied}) {
     if (name == util::to_string(code)) {
       return code;
     }
@@ -95,6 +96,10 @@ const char* to_string(Verb verb) {
       return "DRAIN";
     case Verb::kShutdown:
       return "SHUTDOWN";
+    case Verb::kAuth:
+      return "AUTH";
+    case Verb::kSnapshot:
+      return "SNAPSHOT";
   }
   return "?";
 }
@@ -105,16 +110,26 @@ util::Result<Request> parse_request(std::string_view line) {
   split_verb(trim_view(line), &verb, &rest);
   Request req;
   if (verb == "PING" || verb == "CLUSTER" || verb == "METRICS" ||
-      verb == "DRAIN" || verb == "SHUTDOWN") {
+      verb == "SNAPSHOT" || verb == "DRAIN" || verb == "SHUTDOWN") {
     if (!rest.empty()) {
       return util::Error{util::ErrorCode::kParseError,
                          std::string(verb) + " takes no argument"};
     }
-    req.verb = verb == "PING"      ? Verb::kPing
-               : verb == "CLUSTER" ? Verb::kCluster
-               : verb == "METRICS" ? Verb::kMetrics
-               : verb == "DRAIN"   ? Verb::kDrain
-                                   : Verb::kShutdown;
+    req.verb = verb == "PING"       ? Verb::kPing
+               : verb == "CLUSTER"  ? Verb::kCluster
+               : verb == "METRICS"  ? Verb::kMetrics
+               : verb == "SNAPSHOT" ? Verb::kSnapshot
+               : verb == "DRAIN"    ? Verb::kDrain
+                                    : Verb::kShutdown;
+    return req;
+  }
+  if (verb == "AUTH") {
+    const std::string_view token = trim_view(rest);
+    if (token.empty()) {
+      return util::Error{util::ErrorCode::kParseError, "AUTH needs a token"};
+    }
+    req.verb = Verb::kAuth;
+    req.arg = std::string(token);
     return req;
   }
   if (verb == "SUBMIT") {

@@ -6,10 +6,12 @@
 //   line     := [envelope] request
 //   envelope := ("CID" SP uint | "SHARD" SP uint)*   ; each at most once
 //   request  := "PING"
+//             | "AUTH" SP token              ; shared-secret authentication
 //             | "SUBMIT" SP csv-row          ; trace_io column order
 //             | "STATUS" SP job-id
 //             | "CLUSTER"
 //             | "METRICS"
+//             | "SNAPSHOT"
 //             | "DRAIN"
 //             | "SHUTDOWN"
 //   response := ["CID" SP uint SP] body       ; CID echoed iff sent
@@ -22,6 +24,18 @@
 // request order (the server reorders across shards); replies to requests
 // *with* a CID are written as soon as their shard completes them — out of
 // order across shards — and the echoed CID pairs them with their request.
+//
+// Authentication: when the daemon is started with a shared secret
+// (--auth-token / CODA_SERVE_TOKEN), a connection must send `AUTH <token>`
+// before anything but PING; every other verb on an unauthenticated
+// connection answers `ERR PermissionDenied ...`. AUTH is handled entirely
+// on the I/O thread (it is connection state, not engine state). Without a
+// configured secret AUTH is an accepted no-op.
+//
+// Snapshots: `SNAPSHOT` asks the target shard to capture a deterministic
+// state snapshot (state/snapshot.h) between dispatches, write it durably
+// next to the journal, and truncate the journal back to its header. The
+// reply reports `seq=<n> path=<file> vt=<hexfloat> bytes=<n>`.
 //
 // Sharding: `SHARD <k>` routes the request to engine shard k (each shard
 // is an independent ClusterEngine with its own journal). Without the
@@ -55,6 +69,8 @@ enum class Verb {
   kMetrics,
   kDrain,
   kShutdown,
+  kAuth,      // connection-level; never routed to a shard
+  kSnapshot,
 };
 
 const char* to_string(Verb verb);
@@ -63,7 +79,7 @@ struct Request {
   Verb verb = Verb::kPing;
   // SUBMIT: the raw CSV job row (kept verbatim — it is what the journal
   // records and what the offline replay re-parses, so the daemon never
-  // re-serializes it). STATUS: the decimal job id.
+  // re-serializes it). STATUS: the decimal job id. AUTH: the token.
   std::string arg;
   uint64_t job_id = 0;  // parsed STATUS argument
 };

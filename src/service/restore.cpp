@@ -1,0 +1,104 @@
+#include "service/restore.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "util/strings.h"
+#include "workload/trace_io.h"
+
+namespace coda::service {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+util::Result<RestoredShard> restore_shard(const std::string& snapshot_path,
+                                          const std::string& journal_path) {
+  auto snap = state::load_snapshot_file(snapshot_path);
+  if (!snap.ok()) {
+    return snap.error();
+  }
+  auto embedded = parse_journal(snap->session_text);
+  if (!embedded.ok()) {
+    return util::Error{embedded.error().code,
+                       "snapshot's embedded session: " +
+                           embedded.error().message};
+  }
+  auto trace = journal_trace(*embedded);
+  if (!trace.ok()) {
+    return trace.error();
+  }
+
+  auto restored = state::restore_session(*snap, embedded->session.policy,
+                                         embedded->session.config, *trace);
+  if (!restored.ok()) {
+    return restored.error();
+  }
+
+  RestoredShard out;
+  out.scheduler = std::move(restored->scheduler);
+  out.engine = std::move(restored->engine);
+  out.session = std::move(embedded->session);
+  out.session_text = std::move(snap->session_text);
+  out.base_jobs = trace->size() - embedded->submissions.size();
+  out.accepted_submits = snap->meta.accepted;
+  out.next_auto_id = snap->meta.next_auto_id;
+  out.snapshot_seq = snap->meta.seq;
+  out.resume_vt = snap->meta.virtual_time;
+
+  // The truncated journal's tail: submissions acknowledged after the
+  // snapshot. Missing file = nothing was accepted after the capture.
+  if (!journal_path.empty() && file_exists(journal_path)) {
+    auto tail = load_journal(journal_path);
+    if (!tail.ok()) {
+      return tail.error();
+    }
+    for (const JournalEntry& entry : tail->submissions) {
+      if (entry.virtual_time <= out.resume_vt) {
+        return util::Error{
+            util::ErrorCode::kFailedPrecondition,
+            util::strfmt("journal entry for job %llu at vt %g predates the "
+                         "snapshot (vt %g): journal and snapshot are from "
+                         "different truncation epochs",
+                         static_cast<unsigned long long>(entry.job_id),
+                         entry.virtual_time, out.resume_vt)};
+      }
+      auto spec = workload::job_from_csv_row(entry.csv_row);
+      if (!spec.ok()) {
+        return spec.error();
+      }
+      spec->id = entry.job_id;
+      spec->submit_time = entry.virtual_time;
+      out.engine->inject(*spec, entry.virtual_time);
+      out.session_text += format_submit_entry(entry.virtual_time,
+                                              entry.job_id, entry.csv_row);
+      ++out.accepted_submits;
+      if (entry.job_id >= out.next_auto_id) {
+        out.next_auto_id = entry.job_id + 1;
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<sim::ExperimentReport> replay_from_snapshot(
+    const std::string& snapshot_path, const std::string& journal_path) {
+  auto shard = restore_shard(snapshot_path, journal_path);
+  if (!shard.ok()) {
+    return shard.error();
+  }
+  const double horizon = shard->session.config.horizon_s;
+  shard->engine->run_until(horizon);
+  shard->engine->drain(horizon + shard->session.config.drain_slack_s);
+  return sim::build_report(shard->session.policy, *shard->engine,
+                           shard->base_jobs + shard->accepted_submits,
+                           horizon, shard->scheduler.coda);
+}
+
+}  // namespace coda::service

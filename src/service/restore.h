@@ -1,0 +1,65 @@
+// Service-side snapshot restore: glue between the opaque state/snapshot
+// container and the journal format the daemon embeds in it.
+//
+// A SNAPSHOT captures the shard's full live state plus a `session_text`
+// blob — a complete journal (header + every accepted S-line) covering
+// every job the state references — and then truncates the on-disk journal
+// back to its header. Restoring therefore has two inputs:
+//
+//   1. the snapshot file: parsed here via service::parse_journal into the
+//      session's policy/config/trace, then handed to state::restore_session
+//      which rebuilds the engine, scheduler, RNG streams, clock and event
+//      queue bit-for-bit;
+//   2. the truncated journal's tail: S-lines accepted *after* the snapshot,
+//      re-injected at their exact recorded virtual times (every journaled
+//      instant is strictly after all dispatched events — the same argument
+//      that makes full-journal replay byte-identical).
+//
+// The result resumes exactly where the uninterrupted session would be: the
+// drained report is byte-identical, whether the resume happens inside a
+// restarted codad (--restore) or offline (coda_cli replay --snapshot).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/journal.h"
+#include "sim/experiment.h"
+#include "state/snapshot.h"
+#include "util/result.h"
+
+namespace coda::service {
+
+// A shard session rebuilt from a snapshot plus its journal tail, ready to
+// keep serving (codad --restore) or to finish offline (replay).
+struct RestoredShard {
+  // Scheduler before engine: the engine holds a pointer into the scheduler
+  // and must be destroyed first.
+  sim::PolicyScheduler scheduler;
+  std::unique_ptr<sim::ClusterEngine> engine;
+  SessionSpec session;          // parsed from the embedded journal header
+  std::string session_text;     // embedded journal + re-appended tail lines
+  size_t base_jobs = 0;         // jobs in the embedded base trace
+  uint64_t accepted_submits = 0;  // snapshot's count + journal-tail entries
+  uint64_t next_auto_id = 1;
+  uint64_t snapshot_seq = 0;
+  double resume_vt = 0.0;       // virtual clock at the snapshot
+};
+
+// Loads `snapshot_path`, rebuilds the session, then (when `journal_path` is
+// non-empty) injects the journal's post-snapshot tail. Fails loudly on a
+// tail entry at or before the snapshot instant — that means the journal
+// and snapshot are from different truncation epochs, and replaying it
+// would double-inject a job.
+util::Result<RestoredShard> restore_shard(const std::string& snapshot_path,
+                                          const std::string& journal_path);
+
+// restore_shard + run the session to its horizon and drain, returning the
+// final report — byte-identical to the uninterrupted session's (and to a
+// full-journal replay's), but starting from the snapshot instant instead
+// of virtual time zero.
+util::Result<sim::ExperimentReport> replay_from_snapshot(
+    const std::string& snapshot_path, const std::string& journal_path);
+
+}  // namespace coda::service

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -19,7 +20,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "service/restore.h"
 #include "sim/report_io.h"
+#include "state/snapshot.h"
 #include "telemetry/metrics.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -138,6 +141,8 @@ struct Server::Conn {
   std::map<uint64_t, std::string> pending_ordered;
 
   size_t inflight = 0;      // commands routed to shards, reply not delivered
+  bool authed = false;      // passed AUTH (always false until then when a
+                            // token is configured; unused otherwise)
   bool http = false;        // first line was an HTTP request
   bool http_sent = false;   // HTTP reply enqueued; close once flushed
   bool read_closed = false; // EOF from peer; flush remaining replies, close
@@ -156,9 +161,21 @@ struct Server::EngineState {
   sim::PolicyScheduler scheduler;
   std::unique_ptr<sim::ClusterEngine> engine;
   JournalWriter journal;
+  // The shard's own session spec: config_.session on a fresh start, the
+  // snapshot's embedded header on --restore. Drain and journal truncation
+  // use this, never config_.session, so a restored shard finishes under
+  // exactly the knobs it was captured with.
+  SessionSpec session;
+  // The complete journal text of the session so far (header + every
+  // accepted S-line), maintained across truncations: this is the blob a
+  // SNAPSHOT embeds so the snapshot alone names every job its state
+  // references, even after earlier truncations discarded the file's lines.
+  std::string session_text;
   size_t base_jobs = 0;
   size_t accepted_submits = 0;
   uint64_t next_auto_id = 1;
+  uint64_t snapshot_seq = 0;  // last snapshot written (restored included)
+  double resume_vt = 0.0;     // pacing origin: 0 fresh, snapshot vt restored
   double horizon = 0.0;
   bool drained = false;
   std::string drain_summary;
@@ -173,6 +190,7 @@ struct Server::EngineState {
   // for the whole batch.
   struct StagedSubmit {
     workload::JobSpec spec;
+    std::string csv_row;  // verbatim row, appended to session_text on commit
     double virtual_time = 0.0;
     bool journaled = false;
     Command cmd;  // reply routing (request payload unused)
@@ -398,39 +416,87 @@ std::string shard_report_path(const ServerConfig& config, int shard) {
 
 void Server::engine_main(Shard& shard) {
   EngineState es;
-  es.scheduler =
-      sim::make_policy_scheduler(config_.session.policy, config_.session.config);
-  es.engine = std::make_unique<sim::ClusterEngine>(
-      config_.session.config.engine, es.scheduler.scheduler.get());
-  es.horizon = config_.session.config.horizon_s;
+  const std::string journal_path = shard_journal_path(config_, shard.index);
 
-  if (!config_.session.base_trace_csv.empty()) {
-    auto trace = workload::trace_from_csv(config_.session.base_trace_csv);
-    // start() pre-validated the text; a failure here is a programming error.
-    es.engine->load_trace(*trace);
-    es.base_jobs = trace->size();
-    for (const auto& spec : *trace) {
-      es.next_auto_id = std::max(es.next_auto_id, spec.id + 1);
+  bool restored = false;
+  if (config_.restore && !journal_path.empty()) {
+    auto latest = state::find_latest_snapshot(journal_path + ".SNAP.");
+    if (latest.ok()) {
+      const auto t0 = SteadyClock::now();
+      auto resumed = restore_shard(*latest, journal_path);
+      if (resumed.ok()) {
+        es.scheduler = std::move(resumed->scheduler);
+        es.engine = std::move(resumed->engine);
+        es.session = std::move(resumed->session);
+        es.session_text = std::move(resumed->session_text);
+        es.base_jobs = resumed->base_jobs;
+        es.accepted_submits = resumed->accepted_submits;
+        es.next_auto_id = resumed->next_auto_id;
+        es.snapshot_seq = resumed->snapshot_seq;
+        es.resume_vt = resumed->resume_vt;
+        es.horizon = es.session.config.horizon_s;
+        const double restore_ms =
+            std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+                .count();
+        es.engine->metrics_mut().set("restore_ms", restore_ms);
+        es.engine->metrics_mut().set(
+            "snapshots_taken", static_cast<double>(es.snapshot_seq));
+        restored = true;
+        CODA_LOG_INFO("shard %d restored from %s (vt=%.3f, %.1f ms)",
+                      shard.index, latest->c_str(), es.resume_vt, restore_ms);
+      } else {
+        CODA_LOG_ERROR("shard %d restore from %s failed: %s; starting fresh",
+                       shard.index, latest->c_str(),
+                       resumed.error().message.c_str());
+      }
+    } else {
+      CODA_LOG_WARN("shard %d: no snapshot matches %s.SNAP.*; starting fresh",
+                    shard.index, journal_path.c_str());
     }
   }
 
-  // Same call, same place in the setup order as sim::run_experiment (after
-  // the trace, before the first run_until): a live session with failure
-  // injection pre-posts the exact outage schedule its replay will.
-  sim::schedule_failures(es.engine.get(), config_.session.config, es.horizon);
+  if (!restored) {
+    es.session = config_.session;
+    es.scheduler =
+        sim::make_policy_scheduler(es.session.policy, es.session.config);
+    es.engine = std::make_unique<sim::ClusterEngine>(
+        es.session.config.engine, es.scheduler.scheduler.get());
+    es.horizon = es.session.config.horizon_s;
+    es.session_text = serialize_session_header(es.session);
 
-  const std::string journal_path = shard_journal_path(config_, shard.index);
+    if (!es.session.base_trace_csv.empty()) {
+      auto trace = workload::trace_from_csv(es.session.base_trace_csv);
+      // start() pre-validated the text; a failure here is a programming
+      // error.
+      es.engine->load_trace(*trace);
+      es.base_jobs = trace->size();
+      for (const auto& spec : *trace) {
+        es.next_auto_id = std::max(es.next_auto_id, spec.id + 1);
+      }
+    }
+
+    // Same call, same place in the setup order as sim::run_experiment
+    // (after the trace, before the first run_until): a live session with
+    // failure injection pre-posts the exact outage schedule its replay
+    // will. A restored shard must NOT repeat this — the pending outages
+    // were captured in the snapshot's manifest and already re-armed.
+    sim::schedule_failures(es.engine.get(), es.session.config, es.horizon);
+  }
+
   if (!journal_path.empty()) {
-    auto journal = JournalWriter::open(journal_path, config_.session);
+    auto journal = restored
+                       ? JournalWriter::open_append(journal_path)
+                       : JournalWriter::open(journal_path, es.session);
     if (journal.ok()) {
       es.journal = std::move(*journal);
+      es.journal.set_fsync(config_.journal_fsync);
     } else {
       CODA_LOG_ERROR("shard %d journal disabled: %s", shard.index,
                      journal.error().message.c_str());
     }
   }
 
-  const double speedup = config_.session.speedup;
+  const double speedup = es.session.speedup;
   const bool paced = speedup > 0.0;
   const auto wall_start = SteadyClock::now();
   std::vector<Command> batch;
@@ -443,7 +509,10 @@ void Server::engine_main(Shard& shard) {
         const double elapsed =
             std::chrono::duration<double>(SteadyClock::now() - wall_start)
                 .count();
-        target = std::min(es.horizon, elapsed * speedup);
+        // Pacing resumes from the snapshot instant: a restored shard picks
+        // up mid-session instead of stalling until wall time catches up
+        // with the captured virtual clock.
+        target = std::min(es.horizon, es.resume_vt + elapsed * speedup);
       }
       if (target > es.engine->sim().now()) {
         es.engine->run_until(target);
@@ -458,7 +527,8 @@ void Server::engine_main(Shard& shard) {
       if (next_t <= es.horizon) {
         const auto due =
             wall_start + std::chrono::duration_cast<SteadyClock::duration>(
-                             std::chrono::duration<double>(next_t / speedup));
+                             std::chrono::duration<double>(
+                                 (next_t - es.resume_vt) / speedup));
         deadline = std::min(deadline, std::max(due, SteadyClock::now()));
       }
     }
@@ -566,9 +636,9 @@ void Server::do_drain(Shard& shard, EngineState& es) {
   // Mirror sim::run_experiment's finish exactly: any divergence here would
   // break the journal replay's byte-identity guarantee.
   es.engine->run_until(es.horizon);
-  es.engine->drain(es.horizon + config_.session.config.drain_slack_s);
+  es.engine->drain(es.horizon + es.session.config.drain_slack_s);
   const sim::ExperimentReport report = sim::build_report(
-      config_.session.policy, *es.engine, es.base_jobs + es.accepted_submits,
+      es.session.policy, *es.engine, es.base_jobs + es.accepted_submits,
       es.horizon, es.scheduler.coda);
   std::string text = sim::serialize_report(report);
 
@@ -629,6 +699,8 @@ void Server::commit_staged(EngineState& es, std::vector<Completion>* done) {
     } else {
       es.engine->inject(staged.spec, staged.virtual_time);
       es.accepted_submits += 1;
+      es.session_text += format_submit_entry(staged.virtual_time,
+                                             staged.spec.id, staged.csv_row);
       // Hot path: one snprintf into a stack buffer instead of strfmt's
       // measure-allocate-format plus the format_ok concatenation.
       char buf[64];
@@ -721,6 +793,7 @@ void Server::handle_command(Shard& shard, EngineState& es, Command& cmd,
       staged.spec = std::move(*spec);
       staged.spec.id = id;
       staged.spec.submit_time = vt;
+      staged.csv_row = req.arg;
       staged.virtual_time = vt;
       staged.cmd = cmd;
       es.staged.push_back(std::move(staged));
@@ -790,6 +863,94 @@ void Server::handle_command(Shard& shard, EngineState& es, Command& cmd,
                       snap));
       break;
     }
+
+    case Verb::kSnapshot: {
+      // Same-batch SUBMITs become part of the snapshot (and their journal
+      // entries durable) before the capture.
+      commit_staged(es, done);
+      if (es.drained) {
+        reply(format_err(util::ErrorCode::kFailedPrecondition,
+                         "session drained; nothing live to snapshot"));
+        break;
+      }
+      const std::string journal_path =
+          shard_journal_path(config_, shard.index);
+      if (journal_path.empty()) {
+        reply(format_err(util::ErrorCode::kFailedPrecondition,
+                         "snapshots require a journal (--journal)"));
+        break;
+      }
+      if (!es.journal.is_open()) {
+        reply(format_err(util::ErrorCode::kFailedPrecondition,
+                         "journal failed; cannot truncate safely"));
+        break;
+      }
+      const auto t0 = SteadyClock::now();
+      state::SnapshotMeta meta;
+      meta.seq = es.snapshot_seq + 1;
+      meta.virtual_time = es.engine->sim().now();
+      meta.dispatched = es.engine->sim().dispatched();
+      meta.accepted = es.accepted_submits;
+      meta.next_auto_id = es.next_auto_id;
+      auto blob = state::capture_snapshot(meta, es.session_text, *es.engine,
+                                          *es.scheduler.scheduler);
+      if (!blob.ok()) {
+        reply(format_err(blob.error().code, blob.error().message));
+        break;
+      }
+      const std::string snap_path = util::strfmt(
+          "%s.SNAP.%llu", journal_path.c_str(),
+          static_cast<unsigned long long>(meta.seq));
+      // The snapshot always reaches disk (fsync inside) before the journal
+      // loses a byte; a crash between the two leaves snapshot + full
+      // journal, which restore_shard rejects only if they disagree.
+      if (auto status = state::write_file_durable(snap_path, *blob);
+          !status.ok()) {
+        reply(format_err(status.error().code, status.error().message));
+        break;
+      }
+      es.journal.close();
+      struct stat st {};
+      const uint64_t old_bytes =
+          ::stat(journal_path.c_str(), &st) == 0
+              ? static_cast<uint64_t>(st.st_size)
+              : 0;
+      auto reopened = JournalWriter::open(journal_path, es.session);
+      if (!reopened.ok()) {
+        es.journal_failed = true;
+        reply(format_err(reopened.error().code,
+                         "journal truncation failed: " +
+                             reopened.error().message));
+        break;
+      }
+      es.journal = std::move(*reopened);
+      es.journal.set_fsync(config_.journal_fsync);
+      es.snapshot_seq = meta.seq;
+      const std::string header = serialize_session_header(es.session);
+      const uint64_t truncated =
+          old_bytes > header.size() ? old_bytes - header.size() : 0;
+      const double snapshot_ms =
+          std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+              .count();
+      auto& metrics = es.engine->metrics_mut();
+      metrics.increment("snapshots_taken");
+      metrics.increment("journal_truncated_bytes",
+                        static_cast<double>(truncated));
+      metrics.set("snapshot_ms", snapshot_ms);
+      reply(format_ok(util::strfmt(
+          "seq=%llu path=%s vt=%a bytes=%zu truncated=%llu ms=%.3f",
+          static_cast<unsigned long long>(meta.seq), snap_path.c_str(),
+          meta.virtual_time, blob->size(),
+          static_cast<unsigned long long>(truncated), snapshot_ms)));
+      break;
+    }
+
+    case Verb::kAuth:
+      // AUTH is connection state, resolved on the I/O thread; one reaching
+      // a shard is a routing bug, but answer it rather than hang a client.
+      reply(format_err(util::ErrorCode::kInvalidArgument,
+                       "AUTH is handled per connection"));
+      break;
 
     case Verb::kDrain: {
       commit_staged(es, done);
@@ -1079,6 +1240,15 @@ void Server::handle_http_line(Conn& conn, std::string_view line) {
     update_write_interest(conn);
     return;
   }
+  // HTTP/1.0 scrapes cannot carry the protocol's AUTH exchange; with a
+  // token configured the scrape endpoint is simply closed off.
+  if (!config_.auth_token.empty()) {
+    conn.outbuf += http_response(401, "Unauthorized", "text/plain",
+                                 "authentication required\n");
+    conn.http_sent = true;
+    update_write_interest(conn);
+    return;
+  }
   // Fan the scrape out to every shard; the last one composes the body.
   auto broadcast = std::make_shared<Broadcast>();
   broadcast->kind = Broadcast::Kind::kHttpMetrics;
@@ -1121,6 +1291,31 @@ void Server::route_command(Conn& conn, Envelope env) {
   const Verb verb = env.request.verb;
   const uint64_t ordered_seq =
       env.has_cid ? 0 : conn.next_ordered_seq++;
+
+  // AUTH is connection state: resolved here, never routed to a shard.
+  // With no configured token it is an accepted no-op, so clients can send
+  // it unconditionally.
+  if (verb == Verb::kAuth) {
+    if (config_.auth_token.empty() || env.request.arg == config_.auth_token) {
+      conn.authed = true;
+      local_reply(conn, ordered_seq, env.has_cid, env.cid,
+                  format_ok("authenticated"));
+    } else {
+      local_reply(conn, ordered_seq, env.has_cid, env.cid,
+                  format_err(util::ErrorCode::kPermissionDenied,
+                             "bad auth token"));
+    }
+    return;
+  }
+  // Everything but PING requires AUTH first when a token is configured.
+  // Refused commands never reach a shard — an unauthenticated client
+  // cannot even fill a mailbox slot.
+  if (!config_.auth_token.empty() && !conn.authed && verb != Verb::kPing) {
+    local_reply(conn, ordered_seq, env.has_cid, env.cid,
+                format_err(util::ErrorCode::kPermissionDenied,
+                           "authenticate with AUTH <token>"));
+    return;
+  }
 
   if (env.shard >= n_shards) {
     local_reply(conn, ordered_seq, env.has_cid, env.cid,

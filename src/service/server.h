@@ -73,6 +73,19 @@ struct ServerConfig {
   // resolved port available after start()).
   std::string unix_socket_path;
   int tcp_port = -1;
+  // Shared secret (--auth-token / CODA_SERVE_TOKEN). When non-empty, a
+  // connection must AUTH before anything but PING; GET /metrics answers
+  // 401. Empty disables authentication.
+  std::string auth_token;
+  // --journal-fsync: group commits fsync (not just fflush) before SUBMITs
+  // are acknowledged. Snapshot files are always fsynced before the journal
+  // is truncated, independent of this knob.
+  bool journal_fsync = false;
+  // --restore: each shard looks for the latest `<journal>.SNAP.<seq>` next
+  // to its journal and resumes from it (snapshot + journal tail) instead of
+  // starting at virtual time zero. Without a snapshot the shard starts
+  // fresh. Requires journaling.
+  bool restore = false;
   ServiceLimits limits;
 };
 

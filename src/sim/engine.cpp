@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "simcore/event_tags.h"
 #include "util/assert.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -11,7 +12,7 @@
 namespace coda::sim {
 
 ClusterEngine::ClusterEngine(const EngineConfig& config,
-                             sched::Scheduler* scheduler)
+                             sched::Scheduler* scheduler, bool restore_mode)
     : config_(config),
       scheduler_(scheduler),
       cluster_(config.cluster),
@@ -47,6 +48,7 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
   sched::SchedulerEnv env;
   env.sim = &sim_;
   env.cluster = &cluster_;
+  env.defer_periodics = restore_mode;
   env.start_job = [this](cluster::JobId id, const sched::Placement& p) {
     return start_job(id, p);
   };
@@ -79,8 +81,15 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
   env.abandon_job = [this](cluster::JobId id) { abandon_job(id); };
   scheduler_->attach(env);
 
-  sim_.schedule_periodic(config_.metrics_period_s,
-                         [this] { sample_metrics(); });
+  if (!restore_mode) {
+    rearm_metrics_tick(config_.metrics_period_s);
+  }
+}
+
+void ClusterEngine::rearm_metrics_tick(double first) {
+  sim_.schedule_periodic_at(first, config_.metrics_period_s,
+                            [this] { sample_metrics(); },
+                            simcore::EventTag{simcore::kTagMetricsTick});
 }
 
 ClusterEngine::~ClusterEngine() = default;
@@ -102,7 +111,15 @@ void ClusterEngine::inject(const workload::JobSpec& spec, double t) {
   record.submit_time = t;
   records_[spec.id] = std::move(record);
   const cluster::JobId id = spec.id;
-  sim_.post_at(t, [this, id] { on_arrival(id); });
+  sim_.post_at(t, [this, id] { on_arrival(id); },
+               simcore::EventTag{simcore::kTagArrival, id});
+}
+
+void ClusterEngine::rearm_arrival(double t, cluster::JobId id) {
+  CODA_ASSERT_MSG(records_.count(id) > 0,
+                  "re-arming an arrival for an unknown job");
+  sim_.post_at(t, [this, id] { on_arrival(id); },
+               simcore::EventTag{simcore::kTagArrival, id});
 }
 
 void ClusterEngine::on_arrival(cluster::JobId id) {
@@ -344,8 +361,18 @@ util::Status ClusterEngine::recover_node(cluster::NodeId node_id) {
 void ClusterEngine::schedule_node_outage(cluster::NodeId node, double at,
                                          double outage_s) {
   CODA_ASSERT(outage_s > 0.0);
-  sim_.post_at(at, [this, node] { (void)fail_node(node); });
-  sim_.post_at(at + outage_s, [this, node] { (void)recover_node(node); });
+  rearm_outage_fail(at, node);
+  rearm_outage_recover(at + outage_s, node);
+}
+
+void ClusterEngine::rearm_outage_fail(double t, cluster::NodeId node) {
+  sim_.post_at(t, [this, node] { (void)fail_node(node); },
+               simcore::EventTag{simcore::kTagNodeFail, node});
+}
+
+void ClusterEngine::rearm_outage_recover(double t, cluster::NodeId node) {
+  sim_.post_at(t, [this, node] { (void)recover_node(node); },
+               simcore::EventTag{simcore::kTagNodeRecover, node});
 }
 
 void ClusterEngine::finish_job(cluster::JobId id) {
@@ -593,7 +620,15 @@ void ClusterEngine::reschedule_finish(RunningJob& job) {
   const double dt = job.remaining / job.rate;
   const cluster::JobId id = job.id;
   job.finish_event =
-      sim_.schedule_after(dt, [this, id] { finish_job(id); });
+      sim_.schedule_after(dt, [this, id] { finish_job(id); },
+                          simcore::EventTag{simcore::kTagJobFinish, id});
+}
+
+void ClusterEngine::rearm_finish(double t, cluster::JobId id) {
+  RunningJob& job = running_.at(id);
+  job.finish_event =
+      sim_.schedule_at(t, [this, id] { finish_job(id); },
+                       simcore::EventTag{simcore::kTagJobFinish, id});
 }
 
 // ----------------------------------------------------------------- probes

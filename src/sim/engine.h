@@ -28,6 +28,11 @@
 #include "telemetry/metrics.h"
 #include "workload/job.h"
 
+namespace coda::state {
+class Writer;
+class Reader;
+}  // namespace coda::state
+
 namespace coda::sim {
 
 struct EngineConfig {
@@ -94,7 +99,13 @@ struct JobRecord {
 class ClusterEngine : public telemetry::BandwidthSource,
                       public telemetry::GpuUtilSource {
  public:
-  ClusterEngine(const EngineConfig& config, sched::Scheduler* scheduler);
+  // `restore_mode` constructs the engine for state::restore_session: the
+  // metrics periodic is not scheduled here (the snapshot manifest re-arms
+  // it at its exact next firing time) and the scheduler's attach() sees
+  // SchedulerEnv::defer_periodics so its own periodics wait for re-arming
+  // too. A restore-mode engine must be populated via load_state before use.
+  ClusterEngine(const EngineConfig& config, sched::Scheduler* scheduler,
+                bool restore_mode = false);
   ~ClusterEngine() override;
 
   ClusterEngine(const ClusterEngine&) = delete;
@@ -162,6 +173,32 @@ class ClusterEngine : public telemetry::BandwidthSource,
   // No-contention utilization a running GPU job should reach with its
   // current cores (the eliminator's reference); -1 for unknown jobs.
   double expected_gpu_utilization(cluster::JobId job) const;
+
+  // ---- snapshot support (src/state, engine_state.cpp) ----
+  // Serializes the complete mutable engine state at a quiescent point
+  // (between event dispatches, dirty nodes flushed): job records, running
+  // jobs with their exact progress/rate/eval-cache state, node allocations
+  // and failure flags, contention reports, MBA caps, metrics, RNG stream
+  // and the event log. Pending simulator events are NOT serialized here —
+  // they go into the snapshot's re-arm manifest (simulator pending_events).
+  void save_state(state::Writer* w) const;
+  // Mirror image; `specs` maps job ids back to full JobSpecs (the engine
+  // stores state by id). Requires a restore-mode-constructed engine with no
+  // trace loaded. The caller re-arms manifest events afterwards.
+  util::Status load_state(state::Reader* r,
+                          const std::map<cluster::JobId,
+                                         workload::JobSpec>& specs);
+  // Re-arm helpers: re-post one pending simulator event recorded in a
+  // snapshot manifest at its exact absolute time.
+  void rearm_arrival(double t, cluster::JobId id);
+  void rearm_finish(double t, cluster::JobId id);
+  void rearm_outage_fail(double t, cluster::NodeId node);
+  void rearm_outage_recover(double t, cluster::NodeId node);
+  void rearm_metrics_tick(double first);
+
+  // Mutable registry access for host-layer counters (the service daemon
+  // accounts snapshot/restore operations next to the engine's own metrics).
+  telemetry::MetricRegistry& metrics_mut() { return metrics_; }
 
  private:
   struct PerNodeState {

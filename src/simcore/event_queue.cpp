@@ -12,14 +12,38 @@ void EventQueue::push_entry(Entry entry) {
   ++*live_;
 }
 
-EventHandle EventQueue::push(SimTime t, EventFn fn) {
+EventHandle EventQueue::push(SimTime t, EventFn fn, EventTag tag) {
   auto cancelled = std::make_shared<bool>(false);
-  push_entry(Entry{t, next_seq_++, std::move(fn), cancelled});
+  push_entry(Entry{t, next_seq_++, std::move(fn), cancelled, tag});
   return EventHandle(std::move(cancelled), live_);
 }
 
-void EventQueue::post(SimTime t, EventFn fn) {
-  push_entry(Entry{t, next_seq_++, std::move(fn), nullptr});
+void EventQueue::post(SimTime t, EventFn fn, EventTag tag) {
+  push_entry(Entry{t, next_seq_++, std::move(fn), nullptr, tag});
+}
+
+util::Status EventQueue::pending_events(std::vector<PendingEvent>* out) const {
+  const size_t first = out->size();
+  for (const Entry& entry : heap_) {
+    if (entry.cancelled && *entry.cancelled) {
+      continue;  // lazily-dropped cancel; never fires
+    }
+    if (entry.tag.kind == 0) {
+      return util::Error{
+          util::ErrorCode::kFailedPrecondition,
+          "live event at t=" + std::to_string(entry.t) +
+              " carries no EventTag; it cannot be re-armed from a snapshot"};
+    }
+    out->push_back(PendingEvent{entry.t, entry.seq, entry.tag});
+  }
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.t != b.t) {
+                return a.t < b.t;
+              }
+              return a.seq < b.seq;
+            });
+  return util::Status::Ok();
 }
 
 void EventQueue::drop_cancelled() {

@@ -15,11 +15,32 @@
 #include <memory>
 #include <vector>
 
+#include "util/result.h"
+
 namespace coda::simcore {
 
 using SimTime = double;  // simulated seconds since experiment start
 
 using EventFn = std::function<void()>;
+
+// Identity of a scheduled event, carried alongside the callback so a live
+// session can be snapshotted: callbacks cannot be serialized, but a
+// (kind, a, b) triple plus the fire time is enough for the owning layer to
+// re-create the exact closure on restore (the re-arm manifest). kind 0
+// means untagged; see simcore/event_tags.h for the kind registry.
+struct EventTag {
+  uint32_t kind = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+// One live queue entry as seen by the snapshot subsystem: fire time, the
+// insertion sequence (relative order under time ties), and the tag.
+struct PendingEvent {
+  SimTime t = 0.0;
+  uint64_t seq = 0;
+  EventTag tag;
+};
 
 // Handle to a scheduled event; lets callers cancel it before it fires.
 // Copyable; all copies refer to the same scheduled event.
@@ -58,11 +79,17 @@ class EventQueue {
  public:
   // Enqueues `fn` at simulated time `t`. Times may be scheduled in any order
   // but must not precede the last popped time (checked by the Simulator).
-  EventHandle push(SimTime t, EventFn fn);
+  EventHandle push(SimTime t, EventFn fn, EventTag tag = {});
 
   // Enqueues `fn` at `t` with no cancellation handle: the event will fire
   // exactly once. Avoids the per-event control-block allocation.
-  void post(SimTime t, EventFn fn);
+  void post(SimTime t, EventFn fn, EventTag tag = {});
+
+  // Appends every live (non-cancelled) entry to `out` in dispatch order
+  // ((t, seq) ascending). Fails with kFailedPrecondition when any live
+  // entry is untagged — such an event cannot be re-armed from a snapshot,
+  // and dropping it silently would corrupt the restored session.
+  util::Status pending_events(std::vector<PendingEvent>* out) const;
 
   // True when no live (non-cancelled) events remain.
   bool empty() const { return *live_ == 0; }
@@ -86,6 +113,7 @@ class EventQueue {
     uint64_t seq;
     EventFn fn;
     std::shared_ptr<bool> cancelled;  // null for post()ed events
+    EventTag tag;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -1,0 +1,28 @@
+// Registry of EventTag.kind values used across the simulation layers.
+//
+// The queue itself treats tags as opaque; the values live here (the one
+// header every tagging layer already includes) so the snapshot subsystem's
+// re-arm manifest has a single enumeration to dispatch on. Every event a
+// live session may have pending at a snapshot point MUST carry one of
+// these kinds — state::capture_snapshot fails loudly on an untagged live
+// event rather than silently dropping it from the manifest.
+#pragma once
+
+#include <cstdint>
+
+namespace coda::simcore {
+
+enum EventTagKind : uint32_t {
+  kTagNone = 0,            // untagged (post()/push() without a tag)
+  kTagArrival = 1,         // a = job id (engine arrival)
+  kTagJobFinish = 2,       // a = job id (engine finish event)
+  kTagNodeFail = 3,        // a = node id (scheduled outage start)
+  kTagNodeRecover = 4,     // a = node id (scheduled outage end)
+  kTagMetricsTick = 5,     // engine metrics-sampling periodic
+  kTagRetryResubmit = 6,   // a = job id (scheduler retry backoff)
+  kTagEliminatorTick = 7,  // CODA eliminator check periodic
+  kTagReservationTick = 8, // CODA reservation-update periodic
+  kTagTuningTick = 9,      // a = job id, b = tuning generation
+};
+
+}  // namespace coda::simcore

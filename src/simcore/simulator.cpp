@@ -7,34 +7,44 @@
 
 namespace coda::simcore {
 
-EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
+EventHandle Simulator::schedule_at(SimTime t, EventFn fn, EventTag tag) {
   CODA_ASSERT_MSG(t >= now_, "cannot schedule an event in the simulated past");
-  return queue_.push(t, std::move(fn));
+  return queue_.push(t, std::move(fn), tag);
 }
 
-EventHandle Simulator::schedule_after(SimTime delay, EventFn fn) {
+EventHandle Simulator::schedule_after(SimTime delay, EventFn fn,
+                                      EventTag tag) {
   CODA_ASSERT(delay >= 0.0);
-  return queue_.push(now_ + delay, std::move(fn));
+  return queue_.push(now_ + delay, std::move(fn), tag);
 }
 
-void Simulator::post_at(SimTime t, EventFn fn) {
+void Simulator::post_at(SimTime t, EventFn fn, EventTag tag) {
   CODA_ASSERT_MSG(t >= now_, "cannot schedule an event in the simulated past");
-  queue_.post(t, std::move(fn));
+  queue_.post(t, std::move(fn), tag);
 }
 
-void Simulator::post_after(SimTime delay, EventFn fn) {
+void Simulator::post_after(SimTime delay, EventFn fn, EventTag tag) {
   CODA_ASSERT(delay >= 0.0);
-  queue_.post(now_ + delay, std::move(fn));
+  queue_.post(now_ + delay, std::move(fn), tag);
 }
 
-EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
+EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn,
+                                         EventTag tag) {
+  return schedule_periodic_at(now_ + period, period, std::move(fn), tag);
+}
+
+EventHandle Simulator::schedule_periodic_at(SimTime first, SimTime period,
+                                            EventFn fn, EventTag tag) {
   CODA_ASSERT(period > 0.0);
+  CODA_ASSERT_MSG(first >= now_,
+                  "cannot schedule an event in the simulated past");
   // The chain re-arms itself after each tick: the queued closure owns the
   // shared state and enqueues a copy of itself, so exactly one link is alive
   // at a time and destroying the queue frees the chain (a lambda capturing a
   // shared_ptr to its own std::function would cycle and leak). One shared
   // `dead` flag stops the whole chain: EventHandle::cancel() sets it, and
-  // the next tick bails out without re-arming.
+  // the next tick bails out without re-arming. The tag rides along on every
+  // re-post so the whole chain stays visible to pending_events().
   auto dead = std::make_shared<bool>(false);
   auto user_fn = std::make_shared<EventFn>(std::move(fn));
   struct Tick {
@@ -42,18 +52,27 @@ EventHandle Simulator::schedule_periodic(SimTime period, EventFn fn) {
     std::shared_ptr<bool> dead;
     std::shared_ptr<EventFn> user_fn;
     SimTime period;
+    EventTag tag;
     void operator()() const {
       if (*dead) {
         return;
       }
       (*user_fn)();
       if (!*dead) {
-        sim->queue_.post(sim->now_ + period, Tick{*this});
+        sim->queue_.post(sim->now_ + period, Tick{*this}, tag);
       }
     }
   };
-  queue_.post(now_ + period, Tick{this, dead, user_fn, period});
+  queue_.post(first, Tick{this, dead, user_fn, period, tag}, tag);
   return EventHandle(std::move(dead));
+}
+
+void Simulator::restore_clock(SimTime now, size_t dispatched) {
+  CODA_ASSERT_MSG(queue_.empty(),
+                  "restore_clock requires an empty event queue");
+  CODA_ASSERT(now >= now_);
+  now_ = now;
+  dispatched_ = dispatched;
 }
 
 SimTime Simulator::next_event_time() {

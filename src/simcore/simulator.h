@@ -17,17 +17,19 @@ class Simulator {
   // non-decreasing across event dispatches.
   SimTime now() const { return now_; }
 
-  // Schedules `fn` at absolute time `t`; t must be >= now().
-  EventHandle schedule_at(SimTime t, EventFn fn);
+  // Schedules `fn` at absolute time `t`; t must be >= now(). The optional
+  // tag identifies the event in a snapshot's re-arm manifest (see
+  // simcore/event_tags.h); untagged events make pending_events() fail.
+  EventHandle schedule_at(SimTime t, EventFn fn, EventTag tag = {});
 
   // Schedules `fn` after `delay` (>= 0) seconds of simulated time.
-  EventHandle schedule_after(SimTime delay, EventFn fn);
+  EventHandle schedule_after(SimTime delay, EventFn fn, EventTag tag = {});
 
   // Fire-and-forget variants: no cancellation handle, no per-event
   // control-block allocation. Use for events that always run (arrivals,
   // metric ticks).
-  void post_at(SimTime t, EventFn fn);
-  void post_after(SimTime delay, EventFn fn);
+  void post_at(SimTime t, EventFn fn, EventTag tag = {});
+  void post_after(SimTime delay, EventFn fn, EventTag tag = {});
 
   // Schedules `fn` every `period` seconds starting at now() + period, until
   // the returned handle is cancelled or the run ends. The callback observes
@@ -35,7 +37,28 @@ class Simulator {
   //
   // The returned handle cancels the *whole* periodic chain, not just the
   // next tick.
-  EventHandle schedule_periodic(SimTime period, EventFn fn);
+  EventHandle schedule_periodic(SimTime period, EventFn fn,
+                                EventTag tag = {});
+
+  // Periodic chain whose FIRST tick fires at the absolute time `first`
+  // (>= now()), then every `period` seconds after. The snapshot restore
+  // path re-arms an in-flight periodic with this: the serialized pending
+  // tick's time becomes `first`, so the restored chain ticks at the exact
+  // instants the original would have.
+  EventHandle schedule_periodic_at(SimTime first, SimTime period, EventFn fn,
+                                   EventTag tag = {});
+
+  // Appends every live event to `out` in dispatch order; fails when a live
+  // event is untagged (see EventQueue::pending_events).
+  util::Status pending_events(std::vector<PendingEvent>* out) const {
+    return queue_.pending_events(out);
+  }
+
+  // Snapshot restore: force the clock and the dispatch counter to the
+  // values the snapshotted simulator had. Only legal before any event is
+  // scheduled (the queue must be empty) — re-armed events are scheduled
+  // after this, at absolute times >= `now`.
+  void restore_clock(SimTime now, size_t dispatched);
 
   // Dispatches events until the queue is empty or simulated time would
   // exceed `until` (events at exactly `until` still run). Returns the number

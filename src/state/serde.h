@@ -1,0 +1,129 @@
+// Line-oriented, deterministic text (de)serialization primitives for the
+// snapshot subsystem (src/state).
+//
+// Format conventions (shared with the service journal): one record per
+// '\n'-terminated line, a leading key token followed by space-separated
+// value tokens; doubles as C hexfloats ("%a" — bit-exact round trips),
+// bools as 0/1, integers in decimal. Writer and Reader are symmetric: a
+// section written as a sequence of line() calls reads back as the same
+// sequence of expect()/value calls, and any mismatch (wrong key, missing
+// token, malformed number) poisons the Reader with a line-numbered error
+// instead of propagating garbage into a restored engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/result.h"
+
+namespace coda::state {
+
+class Writer {
+ public:
+  // Appends `key` followed by each value as a space-separated token and a
+  // terminating newline. Value types: floating point -> hexfloat, bool ->
+  // 0/1, signed/unsigned integers -> decimal, string-ish -> verbatim token
+  // (must not contain whitespace or newlines).
+  template <typename... Ts>
+  void line(std::string_view key, Ts&&... values) {
+    out_.append(key.data(), key.size());
+    (put(std::forward<Ts>(values)), ...);
+    out_.push_back('\n');
+  }
+
+  // Appends raw bytes verbatim (length-prefixed blobs; the caller writes
+  // the length on its own line first).
+  void raw(std::string_view bytes) { out_.append(bytes.data(), bytes.size()); }
+
+  const std::string& text() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void put_f64(double v);
+  void put_u64(uint64_t v);
+  void put_i64(int64_t v);
+  void put_token(std::string_view token);
+
+  template <typename T>
+  void put(T&& v) {
+    using D = std::decay_t<T>;
+    if constexpr (std::is_same_v<D, bool>) {
+      put_u64(v ? 1 : 0);
+    } else if constexpr (std::is_floating_point_v<D>) {
+      put_f64(static_cast<double>(v));
+    } else if constexpr (std::is_enum_v<D>) {
+      put_i64(static_cast<int64_t>(v));
+    } else if constexpr (std::is_integral_v<D> && std::is_unsigned_v<D>) {
+      put_u64(static_cast<uint64_t>(v));
+    } else if constexpr (std::is_integral_v<D>) {
+      put_i64(static_cast<int64_t>(v));
+    } else {
+      put_token(std::string_view(v));
+    }
+  }
+
+  std::string out_;
+};
+
+// Sticky-error token reader over a serialized text. Usage:
+//
+//   Reader r(text);
+//   if (!r.expect("magic")) ...            // next line, key must match
+//   uint64_t n = r.u64();                  // next token on the line
+//   for (size_t i = 0; i < n && r.ok(); ++i) { ... }
+//   if (auto st = r.status(); !st.ok()) return st.error();
+//
+// After the first failure every getter returns a zero value and ok() is
+// false; status() carries the first error with its line number. Loops must
+// therefore guard on ok() — a corrupt count cannot spin them forever.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  // Advances to the next non-empty line; false at end of input (not an
+  // error — callers that require a line use expect()).
+  bool next();
+  // next() + requires the line's key to equal `key`; poisons on mismatch
+  // or end of input. Returns ok().
+  bool expect(std::string_view key);
+  std::string_view key() const { return key_; }
+
+  // Next whitespace-separated value token on the current line. Missing or
+  // malformed tokens poison the reader and return zero values.
+  double f64();
+  uint64_t u64();
+  int64_t i64();
+  int i32() { return static_cast<int>(i64()); }
+  bool b();
+  std::string_view token();
+
+  // Consumes exactly `n` raw bytes starting right after the current line's
+  // newline (length-prefixed blob payload). Poisons on truncated input.
+  std::string_view bytes(size_t n);
+
+  bool ok() const { return !failed_; }
+  util::Status status() const;
+  size_t line_number() const { return line_no_; }
+
+  // Unconsumed tail of the input (everything after the current line). The
+  // snapshot container uses it to split one file into independently parsed
+  // sections without copying the text up front.
+  std::string_view remainder() const { return text_.substr(pos_); }
+
+  // Records an external validation failure at the current line (e.g. an
+  // unknown job id) through the same sticky-error channel.
+  void fail(const std::string& message);
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;        // start of the unconsumed remainder
+  std::string_view key_;  // first token of the current line
+  std::string_view rest_; // unconsumed value tokens of the current line
+  size_t line_no_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace coda::state

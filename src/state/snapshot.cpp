@@ -1,0 +1,257 @@
+#include "state/snapshot.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "coda/coda_scheduler.h"
+#include "simcore/event_tags.h"
+#include "state/serde.h"
+#include "util/strings.h"
+
+namespace coda::state {
+
+namespace {
+
+constexpr uint64_t kVersion = 1;
+
+util::Error precondition(const std::string& msg) {
+  return util::Error{util::ErrorCode::kFailedPrecondition, msg};
+}
+
+}  // namespace
+
+util::Result<std::string> capture_snapshot(const SnapshotMeta& meta,
+                                           std::string_view session_text,
+                                           const sim::ClusterEngine& engine,
+                                           const sched::Scheduler& scheduler) {
+  // Collect the manifest first: an untagged live event fails the capture
+  // before any serialization work happens.
+  std::vector<simcore::PendingEvent> pending;
+  if (auto status = engine.sim().pending_events(&pending); !status.ok()) {
+    return status.error();
+  }
+
+  Writer w;
+  w.line("CODA_SNAPSHOT", kVersion);
+  w.line("meta", meta.seq, meta.virtual_time, meta.dispatched, meta.accepted,
+         meta.next_auto_id);
+  w.line("session_bytes", session_text.size());
+  w.raw(session_text);
+  engine.save_state(&w);
+  scheduler.save_state(&w);
+  w.line("manifest", pending.size());
+  for (const simcore::PendingEvent& e : pending) {
+    w.line("event", e.t, e.tag.kind, e.tag.a, e.tag.b);
+  }
+  w.line("END");
+  return w.take();
+}
+
+util::Result<Snapshot> parse_snapshot(std::string_view text) {
+  Reader r(text);
+  if (r.expect("CODA_SNAPSHOT") && r.u64() != kVersion && r.ok()) {
+    r.fail("unsupported snapshot version");
+  }
+  Snapshot snap;
+  r.expect("meta");
+  snap.meta.seq = r.u64();
+  snap.meta.virtual_time = r.f64();
+  snap.meta.dispatched = r.u64();
+  snap.meta.accepted = r.u64();
+  snap.meta.next_auto_id = r.u64();
+  r.expect("session_bytes");
+  const uint64_t n = r.u64();
+  snap.session_text = std::string(r.bytes(n));
+  if (auto status = r.status(); !status.ok()) {
+    return status.error();
+  }
+  snap.body = std::string(r.remainder());
+  return snap;
+}
+
+util::Result<Snapshot> load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       "cannot open snapshot: " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_snapshot(buffer.str());
+}
+
+util::Result<RestoredSession> restore_session(
+    const Snapshot& snapshot, sim::Policy policy,
+    const sim::ExperimentConfig& config,
+    const std::vector<workload::JobSpec>& trace) {
+  sched::SpecMap specs;
+  for (const workload::JobSpec& spec : trace) {
+    if (!specs.emplace(spec.id, spec).second) {
+      return precondition(util::strfmt(
+          "duplicate job id %llu in the restore trace",
+          static_cast<unsigned long long>(spec.id)));
+    }
+  }
+
+  RestoredSession out;
+  out.meta = snapshot.meta;
+  out.scheduler = sim::make_policy_scheduler(policy, config);
+  out.engine = std::make_unique<sim::ClusterEngine>(
+      config.engine, out.scheduler.scheduler.get(), /*restore_mode=*/true);
+  out.engine->sim().restore_clock(snapshot.meta.virtual_time,
+                                  snapshot.meta.dispatched);
+
+  Reader r(snapshot.body);
+  if (auto status = out.engine->load_state(&r, specs); !status.ok()) {
+    return status.error();
+  }
+  out.scheduler.scheduler->load_state(&r, specs);
+
+  // Re-arm the manifest in serialized ((t, seq) ascending) order: the fresh
+  // insertion sequences ascend with it, so relative order under time ties
+  // matches the captured queue.
+  r.expect("manifest");
+  const uint64_t n = r.u64();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    r.expect("event");
+    const double t = r.f64();
+    const uint32_t kind = static_cast<uint32_t>(r.u64());
+    const uint64_t a = r.u64();
+    const uint64_t b = r.u64();
+    if (!r.ok()) {
+      break;
+    }
+    switch (kind) {
+      case simcore::kTagArrival:
+        out.engine->rearm_arrival(t, a);
+        break;
+      case simcore::kTagJobFinish:
+        out.engine->rearm_finish(t, a);
+        break;
+      case simcore::kTagNodeFail:
+        out.engine->rearm_outage_fail(t, static_cast<cluster::NodeId>(a));
+        break;
+      case simcore::kTagNodeRecover:
+        out.engine->rearm_outage_recover(t, static_cast<cluster::NodeId>(a));
+        break;
+      case simcore::kTagMetricsTick:
+        out.engine->rearm_metrics_tick(t);
+        break;
+      case simcore::kTagRetryResubmit: {
+        auto it = specs.find(a);
+        if (it == specs.end()) {
+          r.fail("retry manifest entry references an unknown job");
+          break;
+        }
+        out.scheduler.scheduler->rearm_retry(t, it->second);
+        break;
+      }
+      case simcore::kTagEliminatorTick:
+      case simcore::kTagReservationTick:
+      case simcore::kTagTuningTick:
+        if (out.scheduler.coda == nullptr) {
+          r.fail("CODA manifest entry under a non-CODA policy");
+          break;
+        }
+        if (kind == simcore::kTagEliminatorTick) {
+          out.scheduler.coda->rearm_eliminator_tick(t);
+        } else if (kind == simcore::kTagReservationTick) {
+          out.scheduler.coda->rearm_reservation_tick(t);
+        } else {
+          out.scheduler.coda->rearm_tuning_tick(t, a, b);
+        }
+        break;
+      default:
+        r.fail("manifest entry with unknown event kind " +
+               std::to_string(kind));
+        break;
+    }
+  }
+  r.expect("END");
+  if (auto status = r.status(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+util::Status write_file_durable(const std::string& path,
+                                std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot create " + tmp};
+  }
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  const bool synced = wrote && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    return util::Error{util::ErrorCode::kIoError,
+                       "short write to " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Error{util::ErrorCode::kIoError,
+                       "cannot rename " + tmp + " to " + path};
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::string> find_latest_snapshot(const std::string& prefix) {
+  const size_t slash = prefix.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : prefix.substr(0, slash);
+  const std::string base =
+      slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       "cannot open directory " + dir};
+  }
+  bool found = false;
+  uint64_t best_seq = 0;
+  std::string best_name;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= base.size() || name.compare(0, base.size(), base) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(base.size());
+    uint64_t seq = 0;
+    bool numeric = true;
+    for (char c : suffix) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (!numeric) {
+      continue;
+    }
+    if (!found || seq > best_seq) {
+      found = true;
+      best_seq = seq;
+      best_name = name;
+    }
+  }
+  closedir(d);
+  if (!found) {
+    return util::Error{util::ErrorCode::kNotFound,
+                       "no snapshot matches " + prefix};
+  }
+  return dir + "/" + best_name;
+}
+
+}  // namespace coda::state

@@ -37,6 +37,13 @@ class MbaController {
   // Number of active caps (tests/metrics).
   size_t active_caps() const { return caps_.size(); }
 
+  // Full cap registry, (node, job) -> cap — the snapshot subsystem
+  // serializes it and restores via set_cap replay.
+  const std::map<std::pair<cluster::NodeId, cluster::JobId>, double>& caps()
+      const {
+    return caps_;
+  }
+
  private:
   const cluster::Cluster* cluster_;
   std::map<std::pair<cluster::NodeId, cluster::JobId>, double> caps_;

@@ -16,6 +16,8 @@ const char* to_string(ErrorCode code) {
       return "parse_error";
     case ErrorCode::kIoError:
       return "io_error";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class ErrorCode {
   kFailedPrecondition,
   kParseError,
   kIoError,
+  kPermissionDenied,
 };
 
 // Human-readable name for an ErrorCode (stable, used in logs and tests).

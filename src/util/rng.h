@@ -6,6 +6,7 @@
 // SplitMix64, which is fast, has a 2^256-1 period, and passes BigCrush.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -61,6 +62,18 @@ class Rng {
   // weights[i]. Requires a non-empty vector with non-negative weights summing
   // to a positive value.
   size_t weighted_index(const std::vector<double>& weights);
+
+  // Raw xoshiro256** state, for session snapshots. There is no hidden state
+  // beyond these four words (normal() caches no spare), so save/restore of
+  // the words resumes the stream bit-exactly.
+  std::array<uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) {
+      s_[i] = state[i];
+    }
+  }
 
  private:
   uint64_t s_[4];

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,9 +21,11 @@
 #include "service/journal.h"
 #include "service/mailbox.h"
 #include "service/protocol.h"
+#include "service/restore.h"
 #include "service/server.h"
 #include "sim/report_io.h"
 #include "sim/runner.h"
+#include "state/snapshot.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "workload/trace_gen.h"
@@ -1026,6 +1029,400 @@ TEST(Server, HttpMetricsServedOnSameListener) {
 
   server.request_shutdown();
   server.wait();
+}
+
+// ------------------------------------------------- auth & snapshot/restore
+
+std::string read_file_or_empty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+long long file_size_or(const std::string& path, long long fallback) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<long long>(st.st_size)
+                                        : fallback;
+}
+
+TEST(Server, AuthGatesEverythingButPing) {
+  ServerConfig config = tiny_server_config("auth", 0.0);
+  config.journal_path.clear();
+  config.auth_token = "sekrit";
+  const std::string socket_path = config.unix_socket_path;
+  const Endpoint endpoint{socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  // PING is the liveness probe — it must answer before authentication.
+  auto ping = client->ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping->ok());
+  // Everything else is denied until AUTH succeeds.
+  auto denied = client->cluster();
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->kind, Response::Kind::kErr);
+  EXPECT_EQ(denied->code, util::ErrorCode::kPermissionDenied);
+  // A wrong token is refused and does not flip the connection to authed.
+  auto bad = client->auth("wrong");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->kind, Response::Kind::kErr);
+  EXPECT_EQ(bad->code, util::ErrorCode::kPermissionDenied);
+  denied = client->metrics();
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->kind, Response::Kind::kErr);
+  // The right token unlocks the session for this connection only.
+  auto good = client->auth("sekrit");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ok()) << good->payload;
+  auto cluster = client->cluster();
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_TRUE(cluster->ok()) << cluster->payload;
+
+  // A second connection starts unauthenticated — auth is per connection,
+  // not per process.
+  auto other = Client::connect(endpoint);
+  ASSERT_TRUE(other.ok());
+  auto still_denied = other->cluster();
+  ASSERT_TRUE(still_denied.ok());
+  EXPECT_EQ(still_denied->kind, Response::Kind::kErr);
+  EXPECT_EQ(still_denied->code, util::ErrorCode::kPermissionDenied);
+
+  // The HTTP scrape path refuses too (token-bearing scrapes are not part
+  // of the wire protocol; operators must front it with a local proxy).
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_GE(::send(fd, request.data(), request.size(), 0), 0);
+    std::string body;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      body.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_EQ(body.rfind("HTTP/1.0 401", 0), 0u) << body.substr(0, 80);
+  }
+
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+}
+
+TEST(Server, SnapshotRequiresJournal) {
+  ServerConfig config = tiny_server_config("snapnojournal", 0.0);
+  config.journal_path.clear();
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  auto resp = client->snapshot();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->kind, Response::Kind::kErr);
+  EXPECT_EQ(resp->code, util::ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+}
+
+TEST(Server, SnapshotRestoreResumesByteIdentically) {
+  // The tentpole guarantee, end to end: an interrupted daemon (SNAPSHOT,
+  // then killed without draining) restarted with --restore must finish
+  // with the exact report bytes of an uninterrupted daemon fed the same
+  // submissions. AFAP pacing makes the two runs' injection instants
+  // deterministic, so the uninterrupted twin is a fair byte reference.
+  const std::vector<std::string> rows = {
+      submit_row(2, 600.0),  submit_row(3, 1200.0), submit_row(4, 1800.0),
+      submit_row(5, 2400.0), submit_row(6, 3000.0), submit_row(7, 3600.0)};
+
+  // Reference: uninterrupted session, all six submissions.
+  std::string ref_report;
+  {
+    ServerConfig config = tiny_server_config("snapref", 0.0);
+    const std::string journal_path = config.journal_path;
+    const Endpoint endpoint{config.unix_socket_path, -1};
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    for (const std::string& row : rows) {
+      auto resp = client->submit_row(row);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->ok()) << resp->payload;
+    }
+    ASSERT_TRUE(client->drain().ok());
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    ASSERT_TRUE(server.drained());
+    ref_report = server.report_text();
+    ASSERT_FALSE(ref_report.empty());
+    std::remove(journal_path.c_str());
+    std::remove((journal_path + ".report").c_str());
+  }
+
+  // Interrupted: three submissions, SNAPSHOT (truncates the journal),
+  // three more, then SHUTDOWN without an explicit DRAIN. A graceful
+  // shutdown still finishes the session at exit (so a report exists,
+  // mirroring SIGTERM) — but the restore path below ignores that and
+  // rebuilds purely from snapshot + journal tail, which is exactly what
+  // a kill -9 leaves behind (serve_smoke.sh exercises the real kill -9).
+  ServerConfig config = tiny_server_config("snapcut", 0.0);
+  config.journal_fsync = true;  // the satellite flag, exercised live
+  const std::string journal_path = config.journal_path;
+  const std::string socket_path = config.unix_socket_path;
+  const Endpoint endpoint{socket_path, -1};
+  {
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto resp = client->submit_row(rows[static_cast<size_t>(i)]);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->ok()) << resp->payload;
+    }
+    const long long before = file_size_or(journal_path, -1);
+    ASSERT_GT(before, 0);
+    auto snap = client->snapshot();
+    ASSERT_TRUE(snap.ok());
+    ASSERT_TRUE(snap->ok()) << snap->payload;
+    EXPECT_NE(snap->payload.find("seq=1"), std::string::npos)
+        << snap->payload;
+    // Compaction: the journal shrank back to its header — the three
+    // S-lines now live inside the snapshot.
+    const long long after = file_size_or(journal_path, -1);
+    ASSERT_GT(after, 0);
+    EXPECT_LT(after, before);
+    auto tail = load_journal(journal_path);
+    ASSERT_TRUE(tail.ok()) << tail.error().message;
+    EXPECT_TRUE(tail->submissions.empty());
+    for (int i = 3; i < 6; ++i) {
+      auto resp = client->submit_row(rows[static_cast<size_t>(i)]);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->ok()) << resp->payload;
+    }
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    // Graceful exit drained the session (the SIGTERM guarantee); the
+    // journal tail and snapshot on disk are unaffected by that drain.
+    EXPECT_TRUE(server.drained());
+  }
+
+  const std::string snap_path = journal_path + ".SNAP.1";
+  ASSERT_GT(file_size_or(snap_path, -1), 0);
+
+  // Offline restore: snapshot + journal tail replays to the reference
+  // bytes (this is what `coda_cli replay --snapshot` runs).
+  {
+    auto replayed = replay_from_snapshot(snap_path, journal_path);
+    ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+    EXPECT_EQ(sim::serialize_report(*replayed), ref_report);
+  }
+
+  // Live restore: a fresh daemon on the same journal with restore=true
+  // resumes the session and drains to the reference bytes.
+  {
+    ServerConfig restored = tiny_server_config("snapcut", 0.0);
+    restored.restore = true;
+    Server server(std::move(restored));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    // The restore counters surface through METRICS.
+    auto metrics = client->metrics();
+    ASSERT_TRUE(metrics.ok());
+    ASSERT_TRUE(metrics->ok()) << metrics->payload;
+    EXPECT_NE(metrics->payload.find("restore_ms"), std::string::npos)
+        << metrics->payload;
+    EXPECT_NE(metrics->payload.find("snapshots_taken"), std::string::npos);
+    ASSERT_TRUE(client->drain().ok());
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    ASSERT_TRUE(server.drained());
+    EXPECT_EQ(server.report_text(), ref_report);
+  }
+
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(Server, PacedSnapshotReplaysFromSnapshotByteForByte) {
+  // Mid-run snapshot under wall-clock pacing: submissions land at
+  // scattered virtual times, the capture point is wherever the clock
+  // happened to be, and the snapshot + truncated-journal pair must still
+  // reproduce the live session's exact report offline.
+  ServerConfig config = tiny_server_config("snappaced", 100000.0);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  Server server(std::move(config));
+  ASSERT_TRUE(server.start().ok());
+
+  auto client = Client::connect(endpoint);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto resp = client->submit_row(submit_row(2, 300.0));
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(resp->ok()) << resp->payload;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  auto snap = client->snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(snap->ok()) << snap->payload;
+  for (int i = 0; i < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto resp = client->submit_row(submit_row(3, 450.0));
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(resp->ok()) << resp->payload;
+  }
+  ASSERT_TRUE(client->drain().ok());
+  ASSERT_TRUE(client->shutdown().ok());
+  server.wait();
+  ASSERT_TRUE(server.drained());
+
+  const std::string live_report = server.report_text();
+  ASSERT_FALSE(live_report.empty());
+  auto replayed = replay_from_snapshot(journal_path + ".SNAP.1",
+                                       journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(sim::serialize_report(*replayed), live_report);
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
+  std::remove((journal_path + ".SNAP.1").c_str());
+}
+
+TEST(Server, SecondSnapshotSupersedesFirstAcrossRestores) {
+  // Two snapshots in one session: restore must pick .SNAP.2, reject a
+  // stale-journal pairing, and still land on the uninterrupted bytes.
+  const std::vector<std::string> rows = {
+      submit_row(2, 600.0), submit_row(3, 1200.0), submit_row(4, 1800.0),
+      submit_row(5, 2400.0)};
+  std::string ref_report;
+  {
+    ServerConfig config = tiny_server_config("snap2ref", 0.0);
+    const std::string journal_path = config.journal_path;
+    const Endpoint endpoint{config.unix_socket_path, -1};
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    for (const std::string& row : rows) {
+      auto resp = client->submit_row(row);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->ok()) << resp->payload;
+    }
+    ASSERT_TRUE(client->drain().ok());
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+    ref_report = server.report_text();
+    std::remove(journal_path.c_str());
+    std::remove((journal_path + ".report").c_str());
+  }
+
+  ServerConfig config = tiny_server_config("snap2cut", 0.0);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  {
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    auto submit_one = [&client, &rows](int i) {
+      auto resp = client->submit_row(rows[static_cast<size_t>(i)]);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->ok()) << resp->payload;
+    };
+    submit_one(0);
+    auto snap = client->snapshot();
+    ASSERT_TRUE(snap.ok());
+    ASSERT_TRUE(snap->ok()) << snap->payload;
+    submit_one(1);
+    submit_one(2);
+    snap = client->snapshot();
+    ASSERT_TRUE(snap.ok());
+    ASSERT_TRUE(snap->ok()) << snap->payload;
+    EXPECT_NE(snap->payload.find("seq=2"), std::string::npos)
+        << snap->payload;
+    submit_one(3);
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+  }
+
+  // find_latest_snapshot picks seq 2.
+  auto latest = state::find_latest_snapshot(journal_path + ".SNAP.");
+  ASSERT_TRUE(latest.ok()) << latest.error().message;
+  EXPECT_EQ(*latest, journal_path + ".SNAP.2");
+
+  auto replayed = replay_from_snapshot(*latest, journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(sim::serialize_report(*replayed), ref_report);
+
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".report").c_str());
+  std::remove((journal_path + ".SNAP.1").c_str());
+  std::remove((journal_path + ".SNAP.2").c_str());
+}
+
+TEST(Server, RestoreShardRejectsCrossEpochJournal) {
+  // A snapshot paired with a journal whose entries predate it (vt <=
+  // snapshot vt) is a different truncation epoch — restoring would replay
+  // jobs the snapshot already contains. restore_shard must refuse.
+  ServerConfig config = tiny_server_config("snapepoch", 100000.0);
+  const std::string journal_path = config.journal_path;
+  const Endpoint endpoint{config.unix_socket_path, -1};
+  std::string pre_snapshot_journal;
+  {
+    Server server(std::move(config));
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    auto resp = client->submit_row(submit_row(2, 300.0));
+    ASSERT_TRUE(resp.ok());
+    ASSERT_TRUE(resp->ok()) << resp->payload;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pre_snapshot_journal = read_file_or_empty(journal_path);
+    ASSERT_FALSE(pre_snapshot_journal.empty());
+    auto snap = client->snapshot();
+    ASSERT_TRUE(snap.ok());
+    ASSERT_TRUE(snap->ok()) << snap->payload;
+    ASSERT_TRUE(client->shutdown().ok());
+    server.wait();
+  }
+  // Re-plant the pre-snapshot journal next to the snapshot: its S-line's
+  // vt is before the capture point.
+  {
+    std::FILE* f = std::fopen(journal_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(pre_snapshot_journal.data(), 1,
+                          pre_snapshot_journal.size(), f),
+              pre_snapshot_journal.size());
+    std::fclose(f);
+  }
+  auto shard = restore_shard(journal_path + ".SNAP.1", journal_path);
+  ASSERT_FALSE(shard.ok());
+  EXPECT_EQ(shard.error().code, util::ErrorCode::kFailedPrecondition);
+  EXPECT_NE(shard.error().message.find("truncation epoch"),
+            std::string::npos)
+      << shard.error().message;
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".SNAP.1").c_str());
 }
 
 }  // namespace
