@@ -1,0 +1,214 @@
+// Scale benchmark: one big experiment vs engine threads and cluster size.
+//
+// Replays the synthetic scale profile (workload/trace_gen.h: wide multi-node
+// training gangs on a 2k/10k-node cluster) through a live ClusterEngine at
+// 1/2/4/8 engine threads and reports events/sec plus the speedup over the
+// serial engine. Every replay's ExperimentReport must serialize to the same
+// bytes — the parallel flush is an optimization, never a behavior change —
+// and the binary fails loudly if any thread count disagrees.
+//
+// Full mode sweeps {2k, 10k} nodes x {1, 2, 4, 8} threads and prints one
+// machine-readable line — "BENCH_SCALE_JSON {...}" — for
+// scripts/run_benches.sh (events_per_sec_scale is the 2k-node, 4-thread
+// cell). --fast / CODA_FAST=1 shrinks the workload and sweeps {1, 4}
+// threads on the small cluster so the binary can run as a ctest case.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/report_io.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace coda;
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScaleCase {
+  const char* label = "";
+  int nodes = 0;
+  workload::TraceConfig trace_config;
+};
+
+struct ScaleRun {
+  int threads = 1;
+  size_t events = 0;
+  double wall_s = 0.0;
+  uint64_t parallel_flushes = 0;
+  std::string report_blob;
+
+  double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+ScaleRun replay(const ScaleCase& sc, const std::vector<workload::JobSpec>& trace,
+                int threads) {
+  // The engine reads CODA_ENGINE_THREADS at construction; results are
+  // thread-count-invariant, which run_case() asserts on the report bytes.
+  ::setenv("CODA_ENGINE_THREADS", std::to_string(threads).c_str(), 1);
+
+  sim::ExperimentConfig config;
+  config.engine.cluster.node_count = sc.nodes;
+  double horizon = 0.0;
+  for (const auto& spec : trace) {
+    horizon = std::max(horizon, spec.submit_time);
+  }
+  config.horizon_s = horizon;
+
+  auto sched = sim::make_policy_scheduler(sim::Policy::kCoda, config);
+  sim::ClusterEngine engine(config.engine, sched.scheduler.get());
+  engine.load_trace(trace);
+
+  // Short warmup so the population ramps and the pools/memos fill; the
+  // measured window is the loaded steady state plus the drain.
+  engine.run_until(0.1 * horizon);
+  const size_t events0 = engine.sim().dispatched();
+  const double t0 = wall_seconds();
+  engine.run_until(horizon);
+  engine.drain(horizon + config.drain_slack_s);
+  const double t1 = wall_seconds();
+
+  ScaleRun r;
+  r.threads = threads;
+  r.events = engine.sim().dispatched() - events0;
+  r.wall_s = t1 - t0;
+  r.parallel_flushes = engine.engine_stats().parallel_flushes;
+  r.report_blob = sim::serialize_report(sim::build_report(
+      sim::Policy::kCoda, engine, trace.size(), horizon, sched.coda));
+  ::unsetenv("CODA_ENGINE_THREADS");
+  return r;
+}
+
+// Runs one cluster size across `threads_sweep`; returns the runs (first
+// entry is the serial baseline). Exits non-zero on any report divergence.
+std::vector<ScaleRun> run_case(const ScaleCase& sc,
+                               const std::vector<int>& threads_sweep) {
+  const auto trace = workload::TraceGenerator(sc.trace_config).generate();
+  std::printf("case %s: %d nodes, %zu jobs\n", sc.label, sc.nodes,
+              trace.size());
+
+  std::vector<ScaleRun> runs;
+  for (int threads : threads_sweep) {
+    runs.push_back(replay(sc, trace, threads));
+    const ScaleRun& r = runs.back();
+    std::printf("  threads=%d  events=%zu  wall=%.2fs  %.0f events/s  "
+                "(%.2fx, %llu parallel flushes)\n",
+                r.threads, r.events, r.wall_s, r.events_per_sec(),
+                r.events_per_sec() / runs.front().events_per_sec(),
+                static_cast<unsigned long long>(r.parallel_flushes));
+    std::fflush(stdout);
+    if (r.report_blob != runs.front().report_blob) {
+      std::fprintf(stderr,
+                   "bench_scale: report at %d threads diverges from serial "
+                   "on %s — determinism broken\n",
+                   threads, sc.label);
+      std::exit(1);
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--fast") {
+      fast = true;
+    }
+  }
+  bench::print_banner(
+      "scale",
+      "one-experiment scalability: events/sec vs engine threads vs cluster "
+      "size (parallel dirty-node flush)");
+
+  std::vector<ScaleCase> cases;
+  std::vector<int> sweep;
+  if (fast) {
+    ScaleCase small;
+    small.label = "2k-smoke";
+    small.nodes = 2000;
+    small.trace_config =
+        workload::scale_profile(2000, /*gpu_jobs=*/600, /*cpu_jobs=*/900,
+                                /*duration_s=*/4.0 * 3600.0);
+    cases.push_back(small);
+    sweep = {1, 4};
+  } else {
+    ScaleCase mid;
+    mid.label = "2k";
+    mid.nodes = 2000;
+    mid.trace_config =
+        workload::scale_profile(2000, /*gpu_jobs=*/6000, /*cpu_jobs=*/9000,
+                                /*duration_s=*/2.0 * 86400.0);
+    cases.push_back(mid);
+    ScaleCase big;
+    big.label = "10k";
+    big.nodes = 10000;
+    big.trace_config =
+        workload::scale_profile(10000, /*gpu_jobs=*/15000, /*cpu_jobs=*/22500,
+                                /*duration_s=*/1.0 * 86400.0);
+    cases.push_back(big);
+    sweep = {1, 2, 4, 8};
+  }
+
+  util::Table table;
+  table.set_header({"cluster", "threads", "events/s", "speedup"});
+  double events_per_sec_scale = 0.0;  // 2k nodes @ 4 threads (the headline)
+  double speedup_4t_2k = 0.0;
+  double speedup_4t_10k = 0.0;
+  for (const ScaleCase& sc : cases) {
+    const auto runs = run_case(sc, sweep);
+    for (const ScaleRun& r : runs) {
+      const double speedup = r.events_per_sec() / runs.front().events_per_sec();
+      table.add_row({sc.label, std::to_string(r.threads),
+                     bench::num(r.events_per_sec(), 0),
+                     bench::num(speedup, 2) + "x"});
+      if (r.threads == 4 && sc.nodes == 2000) {
+        events_per_sec_scale = r.events_per_sec();
+        speedup_4t_2k = speedup;
+      }
+      if (r.threads == 4 && sc.nodes == 10000) {
+        speedup_4t_10k = speedup;
+      }
+    }
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  // Speedup only materializes when the host actually has the cores: on a
+  // single-CPU container the 4-thread engine timeshares one core and the
+  // sweep degenerates into a pure overhead measurement. Record the host's
+  // concurrency next to the numbers so a reader (and the --compare gate)
+  // can tell the two situations apart.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::printf(
+        "note: host exposes %u CPU(s); 4-thread speedup cannot exceed 1.0 "
+        "here — the sweep measures determinism and overhead only\n",
+        hw);
+  }
+  std::printf(
+      "BENCH_SCALE_JSON {\"events_per_sec_scale\": %.1f, "
+      "\"speedup_4t_2k\": %.3f, \"speedup_4t_10k\": %.3f, "
+      "\"hardware_concurrency\": %u}\n",
+      events_per_sec_scale, speedup_4t_2k, speedup_4t_10k, hw);
+
+  if (events_per_sec_scale <= 0.0) {
+    std::fprintf(stderr, "bench_scale: no 4-thread measurement\n");
+    return 1;
+  }
+  return 0;
+}

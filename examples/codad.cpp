@@ -55,7 +55,7 @@ void usage() {
       "             (--socket PATH | --port N) [--journal FILE] "
       "[--report FILE]\n"
       "             [--shards N] [--auth-token T] [--journal-fsync 0|1]\n"
-      "             [--restore 0|1] [experiment knobs]\n"
+      "             [--restore 0|1] [--engine-threads N] [experiment knobs]\n"
       "  --speedup 3600 paces one sim-hour per wall-second; <= 0 runs "
       "as fast as possible\n"
       "  --port 0 binds an ephemeral port (printed on startup)\n"
@@ -70,6 +70,10 @@ void usage() {
       "JOURNAL[.shard<k>].SNAP.<seq>\n"
       "    snapshot plus the journal tail (take one live with: coda_ctl "
       "snapshot)\n"
+      "  --engine-threads N fans each engine's dirty-node recompute across "
+      "N threads\n"
+      "    (default CODA_ENGINE_THREADS or 1; results are identical at any "
+      "N)\n"
       "experiment knobs (all journaled in the v2 header):\n"
       "  engine:  --noise SIGMA --noise-seed N --metrics-period S\n"
       "           --frag-min-cpus N --mba-fraction F --cpu-only-nodes N\n"
@@ -88,7 +92,7 @@ void usage() {
 // reject unknown flags so `--speedpu 3600` cannot silently run defaults.
 const std::set<std::string> kKnownFlags = {
     "trace", "days", "seed", "policy", "nodes", "horizon", "speedup",
-    "socket", "port", "journal", "report", "shards",
+    "socket", "port", "journal", "report", "shards", "engine-threads",
     "auth-token", "journal-fsync", "restore",
     "noise", "noise-seed", "metrics-period", "frag-min-cpus",
     "mba-fraction", "cpu-only-nodes", "record-events", "incremental",
@@ -256,6 +260,14 @@ int main(int argc, char** argv) {
   config.limits = service::ServiceLimits::from_env();
   if (flags.count("shards") > 0) {
     config.limits.shards = flag_int(flags, "shards", 1, 1);
+  }
+  if (flags.count("engine-threads") > 0) {
+    // The engines read CODA_ENGINE_THREADS at construction (deliberately
+    // not an ExperimentConfig knob: thread count never changes results, so
+    // it must not enter the journal header or report cache key). The flag
+    // just sets the variable before any engine exists.
+    const int threads = flag_int(flags, "engine-threads", 1, 1);
+    ::setenv("CODA_ENGINE_THREADS", std::to_string(threads).c_str(), 1);
   }
 
   // Resolve the horizon the same way run_experiment does (max submit time)

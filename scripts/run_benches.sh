@@ -123,15 +123,39 @@ MICRO_JSON="$BUILD_DIR/microbench.json"
 CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_microbench" \
   --benchmark_format=json > "$MICRO_JSON" 2> /dev/null || true
 
-# Engine hot-path throughput: the CODA-policy events/sec headline from
-# bench_engine_micro (cache off — it drives a live engine, not reports).
-EVENTS_PER_SEC=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_engine_micro" \
-  | awk '/^BENCH_ENGINE_MICRO_JSON/ {
-      if (match($0, /"events_per_sec": *[0-9.]+/)) {
-        s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
-      }
-    }')
-EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
+# Engine hot-path numbers: the CODA-policy events/sec headline and the
+# steady-state heap-allocations-per-event counter from bench_engine_micro
+# (cache off — it drives a live engine, not reports).
+MICRO_JSON_LINE=$(CODA_NO_CACHE=1 "$BUILD_DIR/bench/bench_engine_micro" \
+  | awk '/^BENCH_ENGINE_MICRO_JSON/ {sub(/^BENCH_ENGINE_MICRO_JSON /, ""); print}')
+micro_field() {  # micro_field <field>
+  echo "$MICRO_JSON_LINE" | awk -v f="$1" '{
+    if (match($0, "\"" f "\": *[0-9.]+")) {
+      s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
+    }
+  }'
+}
+EVENTS_PER_SEC=$(micro_field events_per_sec); EVENTS_PER_SEC="${EVENTS_PER_SEC:-0}"
+ALLOCS_PER_EVENT=$(micro_field allocs_per_event)
+ALLOCS_PER_EVENT="${ALLOCS_PER_EVENT:-0}"
+
+# One-experiment scalability: the 2k-node, 4-thread events/sec headline
+# (plus speedups) from bench_scale's CODA_ENGINE_THREADS sweep; cache off —
+# it drives live engines. Fast mode to keep the suite's wall-clock sane; the
+# full sweep (10k nodes, 8 threads) stays a manual run.
+SCALE_JSON_LINE=$(CODA_NO_CACHE=1 CODA_FAST=1 "$BUILD_DIR/bench/bench_scale" \
+  | awk '/^BENCH_SCALE_JSON/ {sub(/^BENCH_SCALE_JSON /, ""); print}')
+scale_field() {  # scale_field <field>
+  echo "$SCALE_JSON_LINE" | awk -v f="$1" '{
+    if (match($0, "\"" f "\": *[0-9.]+")) {
+      s = substr($0, RSTART, RLENGTH); sub(/.*: */, "", s); print s
+    }
+  }'
+}
+EVENTS_PER_SEC_SCALE=$(scale_field events_per_sec_scale)
+EVENTS_PER_SEC_SCALE="${EVENTS_PER_SEC_SCALE:-0}"
+SCALE_SPEEDUP_4T=$(scale_field speedup_4t_2k); SCALE_SPEEDUP_4T="${SCALE_SPEEDUP_4T:-0}"
+SCALE_HW=$(scale_field hardware_concurrency); SCALE_HW="${SCALE_HW:-0}"
 
 # Snapshot/restore latency (state-layer checkpoint vs full re-simulation);
 # cache off — it drives a live engine.
@@ -188,6 +212,10 @@ SERVE_CMDS_PER_SEC="${SERVE_CMDS_PER_SEC:-0}"
   echo "  \"cold_total_s\": $(awk "BEGIN{print $COLD_MS/1000}"),"
   echo "  \"warm_total_s\": $(awk "BEGIN{print $WARM_MS/1000}"),"
   echo "  \"events_per_sec\": $EVENTS_PER_SEC,"
+  echo "  \"allocs_per_event\": $ALLOCS_PER_EVENT,"
+  echo "  \"events_per_sec_scale\": $EVENTS_PER_SEC_SCALE,"
+  echo "  \"scale_speedup_4t_2k\": $SCALE_SPEEDUP_4T,"
+  echo "  \"scale_hardware_concurrency\": $SCALE_HW,"
   echo "  \"serve_cmds_per_sec\": $SERVE_CMDS_PER_SEC,"
   echo "  \"snapshot_ms\": $SNAPSHOT_MS,"
   echo "  \"restore_ms\": $RESTORE_MS,"
@@ -209,7 +237,8 @@ SERVE_CMDS_PER_SEC="${SERVE_CMDS_PER_SEC:-0}"
 echo ""
 echo "cold total: $(awk "BEGIN{print $COLD_MS/1000}") s"
 echo "warm total: $(awk "BEGIN{print $WARM_MS/1000}") s"
-echo "engine micro: $EVENTS_PER_SEC events/s"
+echo "engine micro: $EVENTS_PER_SEC events/s, $ALLOCS_PER_EVENT allocs/event"
+echo "scale bench: $EVENTS_PER_SEC_SCALE events/s (2k nodes, 4 threads, ${SCALE_SPEEDUP_4T}x vs serial on ${SCALE_HW} CPU(s))"
 echo "serve bench: $SERVE_CMDS_PER_SEC cmds/s (8 shards, pipeline 16)"
 echo "snapshot: ${SNAPSHOT_MS} ms capture, ${RESTORE_MS} ms restore (${RESTORE_SPEEDUP}x vs replay)"
 echo "wrote $OUT (microbench details: $MICRO_JSON)"
@@ -257,6 +286,7 @@ if [[ -n "$COMPARE" ]]; then
 
   OLD_COLD=$(old_total cold_total_s)
   OLD_EPS=$(old_total events_per_sec)
+  OLD_EPS_SCALE=$(old_total events_per_sec_scale)
   OLD_SERVE=$(old_total serve_cmds_per_sec)
   NEW_COLD=$(awk "BEGIN{print $COLD_MS/1000}")
   echo ""
@@ -266,6 +296,11 @@ if [[ -n "$COMPARE" ]]; then
     awk "BEGIN{printf \"  engine micro: %.0f -> %.0f events/s (%+.0f%%)\n\", \
          $OLD_EPS, $EVENTS_PER_SEC, \
          100*($EVENTS_PER_SEC-$OLD_EPS)/$OLD_EPS}"
+  fi
+  if [[ -n "$OLD_EPS_SCALE" && "$OLD_EPS_SCALE" != "0" ]]; then
+    awk "BEGIN{printf \"  scale bench: %.0f -> %.0f events/s (%+.0f%%)\n\", \
+         $OLD_EPS_SCALE, $EVENTS_PER_SEC_SCALE, \
+         100*($EVENTS_PER_SEC_SCALE-$OLD_EPS_SCALE)/$OLD_EPS_SCALE}"
   fi
   if [[ -n "$OLD_SERVE" && "$OLD_SERVE" != "0" ]]; then
     awk "BEGIN{printf \"  serve bench: %.0f -> %.0f cmds/s (%+.0f%%)\n\", \
@@ -282,6 +317,21 @@ if [[ -n "$COMPARE" ]]; then
     else
       echo "  FAIL: cold suite regressed >25% vs $COMPARE" >&2
       exit 1
+    fi
+  fi
+  # Gate the scale bench like the serving bench: it drives live engines on
+  # whatever cores the host exposes, so only a halving (50% drop) of
+  # events_per_sec_scale fails the run.
+  if [[ -n "$OLD_EPS_SCALE" && "$OLD_EPS_SCALE" != "0" ]]; then
+    SCALE_REGRESSED=$(awk "BEGIN{
+      print ($EVENTS_PER_SEC_SCALE < 0.5 * $OLD_EPS_SCALE) ? 1 : 0}")
+    if [[ "$SCALE_REGRESSED" == "1" ]]; then
+      if [[ "${CODA_BENCH_NO_GATE:-0}" == "1" ]]; then
+        echo "  WARNING: scale bench regressed >50% (gate disabled)" >&2
+      else
+        echo "  FAIL: scale bench regressed >50% vs $COMPARE" >&2
+        exit 1
+      fi
     fi
   fi
   # Same gate for serving throughput: loopback numbers are noisy on a

@@ -44,10 +44,27 @@ void ContentionEliminator::check_all(
     return;
   }
   ++stats_.checks;
-  for (const auto& node : env_->cluster->nodes()) {
-    check_node(node, expected_util);
+  const auto& nodes = env_->cluster->nodes();
+  // One batched MBM read screens the whole pass (the engine fans it across
+  // its thread pool on big clusters). Acting on a node — a cap, a resize —
+  // may shift pressure readings later in the same pass, so after the first
+  // action the pass falls back to live per-node probes. Since the batch
+  // agrees elementwise with pressure() and actions are rare, the pass makes
+  // exactly the decisions the old one-probe-per-node loop made.
+  env_->bandwidth->pressure_all(nodes.size(), &pressure_scratch_);
+  bool stale = false;
+  for (const auto& node : nodes) {
+    double screened =
+        stale ? env_->bandwidth->pressure(node.id()) : pressure_scratch_[node.id()];
+    if (check_node(node, expected_util, screened)) {
+      stale = true;
+    }
     if (config_.release_when_calm) {
-      release_node(node);
+      screened = stale ? env_->bandwidth->pressure(node.id())
+                       : pressure_scratch_[node.id()];
+      if (release_node(node, screened)) {
+        stale = true;
+      }
     }
   }
 }
@@ -69,9 +86,10 @@ void ContentionEliminator::forget_job(cluster::JobId job) {
   throttled_.erase(it);
 }
 
-void ContentionEliminator::release_node(const cluster::Node& node) {
-  if (env_->bandwidth->pressure(node.id()) >= config_.release_threshold) {
-    return;
+bool ContentionEliminator::release_node(const cluster::Node& node,
+                                        double screened_pressure) {
+  if (screened_pressure >= config_.release_threshold) {
+    return false;
   }
   env_->bandwidth->sample_into(node.id(), &sample_scratch_);
   const telemetry::NodeBandwidthSample& sample = sample_scratch_;
@@ -80,6 +98,7 @@ void ContentionEliminator::release_node(const cluster::Node& node) {
   // below the trigger threshold. Without this, release/throttle would cycle
   // every check period (likely why the paper keeps throttles permanent).
   double projected = sample.pressure();
+  bool mutated = false;
   const auto achieved_of = [&sample](cluster::JobId job) {
     for (const auto& jb : sample.jobs) {
       if (jb.job == job) {
@@ -114,6 +133,7 @@ void ContentionEliminator::release_node(const cluster::Node& node) {
       env_->clear_bw_cap(node.id(), job);
       projected += restored_delta;
       ++stats_.releases;
+      mutated = true;
       it = throttled_.erase(it);
       continue;
     }
@@ -126,20 +146,23 @@ void ContentionEliminator::release_node(const cluster::Node& node) {
       }
       projected += restored_delta;
       ++stats_.releases;
+      mutated = true;
       it = throttled_.erase(it);
     } else {
       ++it;  // no room yet; retry on a later pass
     }
   }
+  return mutated;
 }
 
-void ContentionEliminator::check_node(
+bool ContentionEliminator::check_node(
     const cluster::Node& node,
-    const std::function<double(cluster::JobId)>& expected_util) {
+    const std::function<double(cluster::JobId)>& expected_util,
+    double screened_pressure) {
   // Cheap screen first: most nodes sit below the threshold on most ticks,
   // and the full per-job sample is only needed once one crosses it.
-  if (env_->bandwidth->pressure(node.id()) < config_.bw_threshold) {
-    return;
+  if (screened_pressure < config_.bw_threshold) {
+    return false;
   }
   env_->bandwidth->sample_into(node.id(), &sample_scratch_);
   const telemetry::NodeBandwidthSample& sample = sample_scratch_;
@@ -161,7 +184,7 @@ void ContentionEliminator::check_node(
     }
   }
   if (!gpu_job_suffering) {
-    return;
+    return false;
   }
   ++stats_.nodes_over_threshold;
 
@@ -185,6 +208,7 @@ void ContentionEliminator::check_node(
 
   double excess = sample.total_gbps -
                   config_.bw_threshold * sample.capacity_gbps;
+  bool mutated = false;
   for (const auto& jb : cpu_jobs) {
     if (excess <= 0.0) {
       break;
@@ -193,6 +217,7 @@ void ContentionEliminator::check_node(
     const auto status = env_->set_bw_cap(node.id(), jb.job, cap);
     if (status.ok()) {
       ++stats_.mba_throttles;
+      mutated = true;
       // emplace keeps an existing same-node record (re-tightening a cap is
       // still one throttle), but a record pointing at a *different* node is
       // stale state from a previous life of the job — replace it.
@@ -215,6 +240,7 @@ void ContentionEliminator::check_node(
     const auto resize = env_->resize_job(jb.job, node.id(), new_cores);
     if (resize.ok()) {
       ++stats_.core_halvings;
+      mutated = true;
       // Remember the first (largest) allocation for a later release; as
       // above, a record left over from another node must not survive.
       auto [t_it, inserted] = throttled_.emplace(
@@ -233,6 +259,7 @@ void ContentionEliminator::check_node(
                      node.id());
     }
   }
+  return mutated;
 }
 
 }  // namespace coda::core

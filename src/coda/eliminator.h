@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "perfmodel/train_perf.h"
@@ -97,9 +98,14 @@ class ContentionEliminator {
   void load_state(state::Reader* r);
 
  private:
-  void check_node(const cluster::Node& node,
-                  const std::function<double(cluster::JobId)>& expected_util);
-  void release_node(const cluster::Node& node);
+  // `screened_pressure` is the node's pressure as sampled by the pass's
+  // batched screen (or a live re-probe once the pass has mutated state).
+  // Both return whether they changed cluster state — a cap set, a resize —
+  // which forces later nodes in the same pass back onto live probes.
+  bool check_node(const cluster::Node& node,
+                  const std::function<double(cluster::JobId)>& expected_util,
+                  double screened_pressure);
+  bool release_node(const cluster::Node& node, double screened_pressure);
 
   // Jobs this eliminator has acted on, for the release extension.
   struct ThrottleRecord {
@@ -118,6 +124,9 @@ class ContentionEliminator {
   // every node every check period, and each sample used to allocate a fresh
   // jobs vector.
   telemetry::NodeBandwidthSample sample_scratch_;
+  // Per-pass batched screen (BandwidthSource::pressure_all): one MBM read
+  // covering every node instead of node_count independent probes.
+  std::vector<double> pressure_scratch_;
 };
 
 }  // namespace coda::core

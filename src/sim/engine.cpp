@@ -6,6 +6,7 @@
 
 #include "simcore/event_tags.h"
 #include "util/assert.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -27,6 +28,20 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
   footprints_scratch_.reserve(32);
   node_dirty_.assign(cluster_.node_count(), 0);
   dirty_nodes_.reserve(cluster_.node_count());
+  // Parallel dirty-node flush. Not an ExperimentConfig knob on purpose: the
+  // thread count never changes results (the equivalence suite asserts it),
+  // so it must not enter journal headers or report-cache keys.
+  engine_threads_ = util::env_int("CODA_ENGINE_THREADS", 1, 1);
+  if (engine_threads_ > 1) {
+    flush_pool_ = std::make_unique<util::ThreadPool>(engine_threads_);
+    workers_.reserve(static_cast<size_t>(engine_threads_));
+    for (int w = 0; w < engine_threads_; ++w) {
+      auto ws = std::make_unique<WorkerState>();
+      ws->contention = contention_;  // same params as the serial model
+      ws->footprints.reserve(32);
+      workers_.push_back(std::move(ws));
+    }
+  }
   if (config_.incremental_recompute) {
     // Drain the dirty set after every dispatched event: each event's
     // mutations happen at one simulated instant, so one recompute per
@@ -197,8 +212,17 @@ util::Status ClusterEngine::start_job(cluster::JobId id,
   auto [it, inserted] = running_.emplace(id, std::move(job));
   CODA_ASSERT(inserted);
   RunningJob& running = it->second;
+  // Build the flat per-node vector to its final (sorted) size before any
+  // Resident caches a PerNodeState address: push_back after that point
+  // would reallocate the buffer out from under the resident lists.
+  running.nodes.reserve(placement.nodes.size());
   for (const auto& np : placement.nodes) {
-    PerNodeState& st = running.nodes[np.node];
+    running.nodes.emplace_back(np.node, PerNodeState{});
+  }
+  std::sort(running.nodes.begin(), running.nodes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& np : placement.nodes) {
+    PerNodeState& st = *node_state(running, np.node);
     st.cpus = np.cpus;
     rebuild_footprint(running, np.node);
     jobs_on_node_[np.node].push_back(Resident{id, &running, &st});
@@ -289,8 +313,8 @@ util::Status ClusterEngine::resize_job(cluster::JobId id,
     return util::Error{util::ErrorCode::kNotFound, "job is not running"};
   }
   RunningJob& job = it->second;
-  auto node_it = job.nodes.find(node);
-  if (node_it == job.nodes.end()) {
+  PerNodeState* st = node_state(job, node);
+  if (st == nullptr) {
     return util::Error{util::ErrorCode::kNotFound,
                        "job holds nothing on that node"};
   }
@@ -298,7 +322,7 @@ util::Status ClusterEngine::resize_job(cluster::JobId id,
   if (!status.ok()) {
     return status;
   }
-  node_it->second.cpus = new_cpus;
+  st->cpus = new_cpus;
   for (auto& np : job.placement.nodes) {
     if (np.node == node) {
       np.cpus = new_cpus;
@@ -431,8 +455,18 @@ void ClusterEngine::abandon_job(cluster::JobId id) {
 
 // ----------------------------------------------------- contention and rates
 
+ClusterEngine::PerNodeState* ClusterEngine::node_state(RunningJob& job,
+                                                       cluster::NodeId node) {
+  for (auto& [n, st] : job.nodes) {
+    if (n == node) {
+      return &st;
+    }
+  }
+  return nullptr;
+}
+
 void ClusterEngine::rebuild_footprint(RunningJob& job, cluster::NodeId node) {
-  PerNodeState& st = job.nodes[node];
+  PerNodeState& st = *node_state(job, node);
   perfmodel::ResourceFootprint& fp = st.footprint;
   fp.job = job.id;
   const workload::JobSpec& spec = *job.spec;
@@ -481,22 +515,146 @@ void ClusterEngine::mark_node_dirty(cluster::NodeId node) {
   }
 }
 
-void ClusterEngine::flush_dirty_nodes() const {
+void ClusterEngine::flush_dirty_nodes() {
   if (dirty_nodes_.empty()) {
     return;
   }
-  // Only derived state (contention reports, rates, finish events) moves;
-  // observable semantics match the eager path, hence the logical constness.
-  ClusterEngine* self = const_cast<ClusterEngine*>(this);
-  ++self->stats_.dirty_flushes;
+  ++stats_.dirty_flushes;
   // Ascending node order keeps the recompute sequence — and with it the
   // finish-event insertion order — independent of mutation order.
-  std::sort(self->dirty_nodes_.begin(), self->dirty_nodes_.end());
-  for (cluster::NodeId node : self->dirty_nodes_) {
-    self->node_dirty_[node] = 0;
-    self->recompute_node(node);
+  std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
+
+  // Narrow flushes (the single-node arrival/finish steady state) stay on
+  // the serial path: fanning out two nodes costs more in pool wake-ups
+  // than the resolve itself. Both paths produce identical bits, so the
+  // threshold is purely a performance choice.
+  constexpr size_t kParallelFlushThreshold = 4;
+  if (flush_pool_ == nullptr ||
+      dirty_nodes_.size() < kParallelFlushThreshold) {
+    for (cluster::NodeId node : dirty_nodes_) {
+      node_dirty_[node] = 0;
+      recompute_node(node);
+    }
+    dirty_nodes_.clear();
+    return;
   }
-  self->dirty_nodes_.clear();
+
+  // Phase 1 (parallel): contention resolves + perf-model evaluations, all
+  // of it pure w.r.t. the state the apply phase orders on.
+  parallel_partition_phase();
+
+  // Phase 2 (serial apply, ascending node order): commit report rows into
+  // per-node state and update rates in *exactly* the serial engine's
+  // (node, resident) order. update_rate on a multi-node job reads its other
+  // legs' factors — possibly pre-update, if those nodes come later in this
+  // very flush — so the intermediate rates, and with them the finish-event
+  // cancel/push sequence and every (time, seq) tie-break downstream, only
+  // reproduce the serial engine if the commits interleave identically.
+  // That is why this phase cannot fan out.
+  for (size_t k = 0; k < dirty_nodes_.size(); ++k) {
+    const cluster::NodeId node = dirty_nodes_[k];
+    node_dirty_[node] = 0;
+    ++stats_.node_recomputes;
+    const auto& report = node_reports_[node];
+    const std::vector<Resident>& residents = jobs_on_node_[node];
+    CODA_ASSERT(report.jobs.size() == residents.size());
+    const std::vector<StagedEval>& staged = staged_evals_[k];
+    for (size_t i = 0; i < report.jobs.size(); ++i) {
+      CODA_ASSERT(report.jobs[i].job == residents[i].id);
+      PerNodeState& st = *residents[i].state;
+      st.factors = report.jobs[i].factors;
+      st.cpu_rate_factor = report.jobs[i].cpu_rate_factor;
+      st.achieved_bw = report.jobs[i].achieved_bw_gbps;
+      const StagedEval& ev = staged[i];
+      if (ev.valid) {
+        st.eval_cpus = ev.cpus;
+        st.eval_prep_bits = ev.prep_bits;
+        st.eval_gpu_bits = ev.gpu_bits;
+        st.eval_iter = ev.iter;
+        st.eval_util = ev.util;
+        st.eval_prep = ev.prep;
+      }
+      update_rate(*residents[i].job);
+    }
+  }
+  dirty_nodes_.clear();
+}
+
+void ClusterEngine::parallel_partition_phase() {
+  const size_t n = dirty_nodes_.size();
+  if (staged_evals_.size() < n) {
+    staged_evals_.resize(n);
+  }
+  const int nw = flush_pool_->size();
+  flush_pool_->run([&](int w) {
+    // Static contiguous slices: deterministic, and cheap to account.
+    const size_t begin = n * static_cast<size_t>(w) / nw;
+    const size_t end = n * (static_cast<size_t>(w) + 1) / nw;
+    WorkerState& ws = *workers_[static_cast<size_t>(w)];
+    for (size_t k = begin; k < end; ++k) {
+      const cluster::NodeId node = dirty_nodes_[k];
+      const std::vector<Resident>& residents = jobs_on_node_[node];
+      std::vector<perfmodel::ResourceFootprint>& fps = ws.footprints;
+      fps.clear();
+      for (const Resident& r : residents) {
+        PerNodeState& st = *r.state;
+        if (!st.footprint.is_gpu_job) {
+          // Safe to write from a worker: this (job, node) state belongs to
+          // exactly one node, and nodes partition across workers.
+          st.footprint.mem_bw_cap_gbps = mba_.cap(node, r.id);
+        }
+        fps.push_back(st.footprint);
+      }
+      ws.contention.resolve_into(cluster_.node(node).config(), fps,
+                                 &node_reports_[node]);
+      const auto& report = node_reports_[node];
+      std::vector<StagedEval>& staged = staged_evals_[k];
+      staged.assign(residents.size(), StagedEval{});
+      for (size_t i = 0; i < residents.size(); ++i) {
+        const Resident& r = residents[i];
+        const workload::JobSpec& spec = *r.job->spec;
+        if (!spec.is_gpu_job()) {
+          continue;
+        }
+        PerNodeState& st = *r.state;
+        const int cores = std::max(1, st.cpus);
+        const perfmodel::ContentionFactors& f = report.jobs[i].factors;
+        uint64_t prep_bits;
+        uint64_t gpu_bits;
+        std::memcpy(&prep_bits, &f.prep_inflation, sizeof(prep_bits));
+        std::memcpy(&gpu_bits, &f.gpu_inflation, sizeof(gpu_bits));
+        if (st.eval_cpus == cores && st.eval_prep_bits == prep_bits &&
+            st.eval_gpu_bits == gpu_bits) {
+          continue;  // the resident's eval cache already matches
+        }
+        StagedEval& ev = staged[i];
+        ev.valid = true;
+        ev.cpus = cores;
+        ev.prep_bits = prep_bits;
+        ev.gpu_bits = gpu_bits;
+        ev.iter = ws.perf.iter_time(spec.model, spec.train_config, cores, f);
+        ev.util =
+            ws.perf.gpu_utilization(spec.model, spec.train_config, cores, f);
+        ev.prep = ws.perf.prep_time(spec.model, spec.train_config, cores, f);
+      }
+    }
+  });
+
+  // Imbalance accounting over the deterministic static partition.
+  ++stats_.parallel_flushes;
+  stats_.parallel_flush_nodes += n;
+  uint64_t max_residents = 0;
+  for (int w = 0; w < nw; ++w) {
+    const size_t begin = n * static_cast<size_t>(w) / nw;
+    const size_t end = n * (static_cast<size_t>(w) + 1) / nw;
+    uint64_t count = 0;
+    for (size_t k = begin; k < end; ++k) {
+      count += jobs_on_node_[dirty_nodes_[k]].size();
+    }
+    max_residents = std::max(max_residents, count);
+    stats_.parallel_worker_sum_residents += count;
+  }
+  stats_.parallel_worker_max_residents += max_residents;
 }
 
 void ClusterEngine::recompute_node(cluster::NodeId node) {
@@ -589,7 +747,7 @@ void ClusterEngine::update_rate(RunningJob& job) {
     job.rate = 1.0 / iter;
     job.gpu_util = util;
   } else {
-    const auto& st = job.nodes.begin()->second;
+    const auto& st = job.nodes.front().second;
     job.rate = std::max(1, st.cpus) * st.cpu_rate_factor;
     job.gpu_util = 0.0;
   }
@@ -642,7 +800,7 @@ telemetry::NodeBandwidthSample ClusterEngine::sample(
 
 void ClusterEngine::sample_into(cluster::NodeId node,
                                 telemetry::NodeBandwidthSample* out) const {
-  flush_dirty_nodes();
+  ensure_synced();
   out->node = node;
   out->capacity_gbps = cluster_.node(node).config().mem_bw_gbps;
   out->total_gbps = 0.0;
@@ -665,7 +823,7 @@ void ClusterEngine::sample_into(cluster::NodeId node,
 }
 
 double ClusterEngine::pressure(cluster::NodeId node) const {
-  flush_dirty_nodes();
+  ensure_synced();
   const double cap = cluster_.node(node).config().mem_bw_gbps;
   if (cap <= 0.0) {
     return 0.0;
@@ -683,8 +841,45 @@ double ClusterEngine::pressure(cluster::NodeId node) const {
   return total / cap;
 }
 
+void ClusterEngine::pressure_all(size_t node_count,
+                                 std::vector<double>* out) const {
+  ensure_synced();
+  out->resize(node_count);
+  std::vector<double>& pressures = *out;
+  const auto compute = [this](size_t n) {
+    const cluster::NodeId id = static_cast<cluster::NodeId>(n);
+    const double cap = cluster_.node(id).config().mem_bw_gbps;
+    if (cap <= 0.0) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (const auto& jc : node_reports_[id].jobs) {
+      total += jc.achieved_bw_gbps;
+    }
+    return total / cap;
+  };
+  // Small clusters stay serial: waking the pool costs more than the scan.
+  // Each element is written by exactly one worker, so the vector is
+  // bit-identical to the serial loop at any thread count.
+  constexpr size_t kParallelScanThreshold = 512;
+  if (flush_pool_ == nullptr || node_count < kParallelScanThreshold) {
+    for (size_t n = 0; n < node_count; ++n) {
+      pressures[n] = compute(n);
+    }
+    return;
+  }
+  const int nw = flush_pool_->size();
+  flush_pool_->run([&](int w) {
+    const size_t begin = node_count * static_cast<size_t>(w) / nw;
+    const size_t end = node_count * (static_cast<size_t>(w) + 1) / nw;
+    for (size_t n = begin; n < end; ++n) {
+      pressures[n] = compute(n);
+    }
+  });
+}
+
 double ClusterEngine::gpu_utilization(cluster::JobId job) const {
-  flush_dirty_nodes();
+  ensure_synced();
   auto it = running_.find(job);
   if (it == running_.end() || !it->second.spec->is_gpu_job()) {
     return -1.0;
@@ -698,7 +893,7 @@ double ClusterEngine::gpu_utilization(cluster::JobId job) const {
 }
 
 double ClusterEngine::expected_gpu_utilization(cluster::JobId job) const {
-  flush_dirty_nodes();
+  ensure_synced();
   auto it = running_.find(job);
   if (it == running_.end() || !it->second.spec->is_gpu_job()) {
     return -1.0;
@@ -789,7 +984,7 @@ void ClusterEngine::sample_metrics() {
         active_cores += st.cpus;
       }
     } else {
-      const auto& st = job.nodes.begin()->second;
+      const auto& st = job.nodes.front().second;
       cpu_busy += st.cpus * st.cpu_rate_factor;
       active_cores += st.cpus;
     }
@@ -807,17 +1002,63 @@ void ClusterEngine::sample_metrics() {
       t, pressure / static_cast<double>(node_reports_.size()));
 
   // Hot-path accounting, republished as gauges so reports (and the micro
-  // bench) can read cache effectiveness without new plumbing.
+  // bench) can read cache effectiveness without new plumbing. The slots
+  // resolve on the first tick and then every later tick is a plain store.
+  if (gauges_.perf_cache_hits == nullptr) {
+    gauges_.perf_cache_hits = &metrics_.gauge_ref("perf_cache_hits");
+    gauges_.perf_cache_misses = &metrics_.gauge_ref("perf_cache_misses");
+    gauges_.node_recomputes = &metrics_.gauge_ref("engine_node_recomputes");
+    gauges_.rate_updates = &metrics_.gauge_ref("engine_rate_updates");
+    gauges_.reschedules_skipped =
+        &metrics_.gauge_ref("engine_reschedules_skipped");
+    gauges_.dirty_flushes = &metrics_.gauge_ref("engine_dirty_flushes");
+    gauges_.parallel_flushes = &metrics_.gauge_ref("engine_parallel_flushes");
+    gauges_.parallel_flush_nodes =
+        &metrics_.gauge_ref("engine_parallel_flush_nodes");
+    gauges_.event_pool_live = &metrics_.gauge_ref("event_pool_live");
+    gauges_.event_pool_slots_in_use =
+        &metrics_.gauge_ref("event_pool_slots_in_use");
+    gauges_.event_pool_slots_free =
+        &metrics_.gauge_ref("event_pool_slots_free");
+    gauges_.event_pool_chunks = &metrics_.gauge_ref("event_pool_chunks");
+  }
   const perfmodel::TrainPerf::CacheStats& cs = perf_.cache_stats();
-  metrics_.set("perf_cache_hits", static_cast<double>(cs.hits));
-  metrics_.set("perf_cache_misses", static_cast<double>(cs.misses));
-  metrics_.set("engine_node_recomputes",
-               static_cast<double>(stats_.node_recomputes));
-  metrics_.set("engine_rate_updates", static_cast<double>(stats_.rate_updates));
-  metrics_.set("engine_reschedules_skipped",
-               static_cast<double>(stats_.reschedules_skipped));
-  metrics_.set("engine_dirty_flushes",
-               static_cast<double>(stats_.dirty_flushes));
+  *gauges_.perf_cache_hits = static_cast<double>(cs.hits);
+  *gauges_.perf_cache_misses = static_cast<double>(cs.misses);
+  *gauges_.node_recomputes = static_cast<double>(stats_.node_recomputes);
+  *gauges_.rate_updates = static_cast<double>(stats_.rate_updates);
+  *gauges_.reschedules_skipped =
+      static_cast<double>(stats_.reschedules_skipped);
+  *gauges_.dirty_flushes = static_cast<double>(stats_.dirty_flushes);
+  // Parallel-flush fan-out accounting: how many flushes were wide enough to
+  // take the pooled path, how many nodes they drained, and how evenly the
+  // static partition spread the resident recomputes (max vs mean per-flush
+  // worker load — identical when perfectly balanced).
+  *gauges_.parallel_flushes = static_cast<double>(stats_.parallel_flushes);
+  *gauges_.parallel_flush_nodes =
+      static_cast<double>(stats_.parallel_flush_nodes);
+  if (stats_.parallel_flushes > 0) {
+    if (gauges_.parallel_worker_residents_max == nullptr) {
+      gauges_.parallel_worker_residents_max =
+          &metrics_.gauge_ref("engine_parallel_worker_residents_max");
+      gauges_.parallel_worker_residents_mean =
+          &metrics_.gauge_ref("engine_parallel_worker_residents_mean");
+    }
+    const double flushes = static_cast<double>(stats_.parallel_flushes);
+    *gauges_.parallel_worker_residents_max =
+        static_cast<double>(stats_.parallel_worker_max_residents) / flushes;
+    *gauges_.parallel_worker_residents_mean =
+        static_cast<double>(stats_.parallel_worker_sum_residents) /
+        (flushes * static_cast<double>(engine_threads_));
+  }
+  // Event control-slot pool occupancy (steady-state allocs/event proxy:
+  // chunks stops growing once the pool covers the live-event high-water
+  // mark, after which push() allocates nothing).
+  const simcore::EventPool::Stats ps = sim_.event_pool_stats();
+  *gauges_.event_pool_live = static_cast<double>(ps.live_events);
+  *gauges_.event_pool_slots_in_use = static_cast<double>(ps.slots_in_use);
+  *gauges_.event_pool_slots_free = static_cast<double>(ps.slots_free);
+  *gauges_.event_pool_chunks = static_cast<double>(ps.chunks);
 }
 
 }  // namespace coda::sim

@@ -26,6 +26,7 @@
 #include "telemetry/mba.h"
 #include "telemetry/mbm.h"
 #include "telemetry/metrics.h"
+#include "util/thread_pool.h"
 #include "workload/job.h"
 
 namespace coda::state {
@@ -160,14 +161,30 @@ class ClusterEngine : public telemetry::BandwidthSource,
     uint64_t reschedules = 0;          // finish events (re)scheduled
     uint64_t reschedules_skipped = 0;  // rate unchanged -> event kept
     uint64_t dirty_flushes = 0;        // dirty-set drains that did work
+    // Parallel-flush accounting (engine_threads > 1). A flush wide enough
+    // to fan out counts once here; per-flush worker load (residents
+    // recomputed per worker slice) accumulates so telemetry can report
+    // imbalance as running max/mean.
+    uint64_t parallel_flushes = 0;
+    uint64_t parallel_flush_nodes = 0;
+    uint64_t parallel_worker_max_residents = 0;  // sum of per-flush maxima
+    uint64_t parallel_worker_sum_residents = 0;  // all residents recomputed
   };
   const EngineStats& engine_stats() const { return stats_; }
+
+  // Worker count for the parallel dirty-node flush (CODA_ENGINE_THREADS).
+  int engine_threads() const { return engine_threads_; }
 
   // ---- telemetry interfaces (simulated MBM / nvidia-smi) ----
   telemetry::NodeBandwidthSample sample(cluster::NodeId node) const override;
   void sample_into(cluster::NodeId node,
                    telemetry::NodeBandwidthSample* out) const override;
   double pressure(cluster::NodeId node) const override;
+  // Whole-cluster screen: one sync, then a per-node read fanned across the
+  // engine thread pool (per-element writes are disjoint, so the vector is
+  // identical at any thread count). This is the eliminator's per-tick scan.
+  void pressure_all(size_t node_count,
+                    std::vector<double>* out) const override;
   double gpu_utilization(cluster::JobId job) const override;
 
   // No-contention utilization a running GPU job should reach with its
@@ -222,7 +239,13 @@ class ClusterEngine : public telemetry::BandwidthSource,
     cluster::JobId id = 0;
     const workload::JobSpec* spec = nullptr;  // owned by records_
     sched::Placement placement;
-    std::map<cluster::NodeId, PerNodeState> nodes;
+    // Per-node state, sorted by node id (the recompute/serialize iteration
+    // order). Flat storage: a job has at most a handful of legs, so a
+    // contiguous vector beats a node-based map on every hot iteration. The
+    // vector is built to its final size in start_job/load_state *before*
+    // any Resident caches a PerNodeState address, and legs never change
+    // count afterwards, so those addresses stay stable.
+    std::vector<std::pair<cluster::NodeId, PerNodeState>> nodes;
     double remaining = 0.0;    // iterations (GPU) or core-seconds (CPU)
     double rate = 0.0;         // per simulated second
     double last_update = 0.0;
@@ -255,6 +278,9 @@ class ClusterEngine : public telemetry::BandwidthSource,
   // Scheduler gave up on an evicted job (retry cap). Closes accounting.
   void abandon_job(cluster::JobId id);
 
+  // The job's state on `node`, or nullptr when it holds nothing there.
+  // Linear scan: jobs span at most a few legs.
+  static PerNodeState* node_state(RunningJob& job, cluster::NodeId node);
   // Rebuilds the job's shared-resource footprint on one node (after a start
   // or a core-count change there).
   void rebuild_footprint(RunningJob& job, cluster::NodeId node);
@@ -267,9 +293,25 @@ class ClusterEngine : public telemetry::BandwidthSource,
   // recomputes immediately.
   void mark_node_dirty(cluster::NodeId node);
   // Drains the dirty set in ascending node order. Runs after every event
-  // dispatch and lazily before any read that consumes rates or contention
-  // reports; const because it only syncs derived state (logical constness).
-  void flush_dirty_nodes() const;
+  // dispatch and lazily (via ensure_synced) before any read that consumes
+  // rates or contention reports. Wide flushes fan the pure partition work
+  // out across the engine thread pool; the apply phase — rate updates,
+  // reschedules, stats — always runs serially in node-id order, which is
+  // what keeps reports bit-identical to the single-threaded engine.
+  void flush_dirty_nodes();
+  // Const probes (telemetry samples, snapshot save) sync derived state
+  // through this wrapper: observable semantics match the eager path, hence
+  // the logical constness lives here, in one documented const_cast, instead
+  // of being smeared across flush_dirty_nodes itself.
+  void ensure_synced() const {
+    const_cast<ClusterEngine*>(this)->flush_dirty_nodes();
+  }
+  // Parallel partition phase over the (sorted) dirty set: each worker takes
+  // a contiguous slice of nodes, resolves contention into node_reports_ and
+  // stages perf-model evaluations at the new factors, using only
+  // worker-local models and scratch. Pure with respect to engine state the
+  // other workers (or the later apply phase's ordering) can observe.
+  void parallel_partition_phase();
   void update_rate(RunningJob& job);
   void advance_progress(RunningJob& job);
   void reschedule_finish(RunningJob& job);
@@ -315,6 +357,38 @@ class ClusterEngine : public telemetry::BandwidthSource,
   std::vector<uint8_t> node_dirty_;
   std::vector<cluster::NodeId> dirty_nodes_;
 
+  // ---- parallel flush (CODA_ENGINE_THREADS > 1) ----
+  // A GPU resident's perf-model evaluation at its node's *new* contention
+  // factors, computed in the partition phase by a worker-local TrainPerf.
+  // The apply phase copies it into the resident's one-entry eval cache just
+  // before update_rate, so the serial phase never touches the perf model.
+  // The values are bit-identical to what the serial engine would compute
+  // (the memoized model's documented contract), so only the *ordering* of
+  // the apply phase matters for determinism — and that stays serial.
+  struct StagedEval {
+    bool valid = false;  // false: existing cache entry already matches
+    int cpus = 0;
+    uint64_t prep_bits = 0;
+    uint64_t gpu_bits = 0;
+    double iter = 0.0;
+    double util = 0.0;
+    double prep = 0.0;
+  };
+  // Everything one worker needs so the partition phase shares nothing
+  // mutable: its own contention model, perf-model memo shard and footprint
+  // scratch. Allocated once; memo shards warm up across flushes.
+  struct WorkerState {
+    perfmodel::NodeContentionModel contention;
+    perfmodel::TrainPerf perf;
+    std::vector<perfmodel::ResourceFootprint> footprints;
+  };
+  int engine_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> flush_pool_;  // null when threads == 1
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  // staged_evals_[k][i]: staged eval for resident i of dirty_nodes_[k].
+  // Outer capacity persists across flushes; inner vectors recycle too.
+  std::vector<std::vector<StagedEval>> staged_evals_;
+
   EngineStats stats_;
 
   // Metric series resolved once at construction; sample_metrics runs every
@@ -331,6 +405,31 @@ class ClusterEngine : public telemetry::BandwidthSource,
     util::TimeSeries* mem_pressure = nullptr;
   };
   MetricSeries series_;
+
+  // Gauge slots resolved lazily on the first metrics tick (not in the
+  // constructor: gauges live in the serialized counters map, and creating
+  // them before the first tick would change pre-tick snapshot bytes).
+  // Stores through these pointers replace a string construction plus map
+  // lookup per gauge per tick — sample_metrics is allocation-free.
+  struct MetricGauges {
+    double* perf_cache_hits = nullptr;
+    double* perf_cache_misses = nullptr;
+    double* node_recomputes = nullptr;
+    double* rate_updates = nullptr;
+    double* reschedules_skipped = nullptr;
+    double* dirty_flushes = nullptr;
+    double* parallel_flushes = nullptr;
+    double* parallel_flush_nodes = nullptr;
+    // Published only once a parallel flush happened (their own lazy pair):
+    // a serial run's metrics must not grow zero-valued imbalance gauges.
+    double* parallel_worker_residents_max = nullptr;
+    double* parallel_worker_residents_mean = nullptr;
+    double* event_pool_live = nullptr;
+    double* event_pool_slots_in_use = nullptr;
+    double* event_pool_slots_free = nullptr;
+    double* event_pool_chunks = nullptr;
+  };
+  MetricGauges gauges_;
 
   size_t finished_count_ = 0;
   size_t abandoned_count_ = 0;

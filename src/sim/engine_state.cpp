@@ -9,6 +9,7 @@
 // Pending simulator events are NOT handled here: save_state captures a
 // quiescent engine (between dispatches, dirty nodes flushed) and the
 // snapshot's re-arm manifest re-posts events through the rearm_* helpers.
+#include <algorithm>
 #include <array>
 #include <string>
 #include <utility>
@@ -23,7 +24,7 @@ namespace coda::sim {
 void ClusterEngine::save_state(state::Writer* w) const {
   // Capture at a quiescent point: derived state (rates, reports) must be in
   // sync with the allocations being serialized.
-  flush_dirty_nodes();
+  ensure_synced();
 
   const auto rng_state = noise_rng_.state();
   w->line("rng", rng_state[0], rng_state[1], rng_state[2], rng_state[3]);
@@ -31,7 +32,9 @@ void ClusterEngine::save_state(state::Writer* w) const {
           node_failures_);
   w->line("stats", stats_.node_recomputes, stats_.rate_updates,
           stats_.reschedules, stats_.reschedules_skipped,
-          stats_.dirty_flushes);
+          stats_.dirty_flushes, stats_.parallel_flushes,
+          stats_.parallel_flush_nodes, stats_.parallel_worker_max_residents,
+          stats_.parallel_worker_sum_residents);
 
   w->line("records", records_.size());
   for (const auto& [id, rec] : records_) {
@@ -150,6 +153,10 @@ util::Status ClusterEngine::load_state(
   stats_.reschedules = r->u64();
   stats_.reschedules_skipped = r->u64();
   stats_.dirty_flushes = r->u64();
+  stats_.parallel_flushes = r->u64();
+  stats_.parallel_flush_nodes = r->u64();
+  stats_.parallel_worker_max_residents = r->u64();
+  stats_.parallel_worker_sum_residents = r->u64();
 
   r->expect("records");
   uint64_t n = r->u64();
@@ -249,6 +256,8 @@ util::Status ClusterEngine::load_state(
     job.ckpt_busy_core_s = r->f64();
     job.ckpt_busy_gpu_s = r->f64();
     const uint64_t np = r->u64();
+    job.placement.nodes.reserve(np);
+    job.nodes.reserve(np);
     for (uint64_t j = 0; j < np && r->ok(); ++j) {
       r->expect("place");
       sched::NodePlacement p;
@@ -283,8 +292,12 @@ util::Status ClusterEngine::load_state(
       st.eval_iter = r->f64();
       st.eval_util = r->f64();
       st.eval_prep = r->f64();
-      job.nodes[node] = st;
+      job.nodes.emplace_back(node, st);
     }
+    // pstate rows were serialized in ascending node order, but sort anyway:
+    // the flat vector's order is an invariant, not a serialization accident.
+    std::sort(job.nodes.begin(), job.nodes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     // finish_event stays empty here; the snapshot manifest re-arms it via
     // rearm_finish at the exact serialized firing time.
     running_.emplace(id, std::move(job));
@@ -305,14 +318,13 @@ util::Status ClusterEngine::load_state(
         r->fail("resident references a non-running job");
         break;
       }
-      auto st_it = run_it->second.nodes.find(
-          static_cast<cluster::NodeId>(node));
-      if (st_it == run_it->second.nodes.end()) {
+      PerNodeState* st = node_state(run_it->second,
+                                    static_cast<cluster::NodeId>(node));
+      if (st == nullptr) {
         r->fail("resident references a node the job does not occupy");
         break;
       }
-      jobs_on_node_[node].push_back(
-          Resident{id, &run_it->second, &st_it->second});
+      jobs_on_node_[node].push_back(Resident{id, &run_it->second, st});
     }
   }
 

@@ -9,23 +9,25 @@ namespace coda::simcore {
 void EventQueue::push_entry(Entry entry) {
   heap_.push_back(std::move(entry));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++*live_;
+  ++pool_->live_;
 }
 
 EventHandle EventQueue::push(SimTime t, EventFn fn, EventTag tag) {
-  auto cancelled = std::make_shared<bool>(false);
-  push_entry(Entry{t, next_seq_++, std::move(fn), cancelled, tag});
-  return EventHandle(std::move(cancelled), live_);
+  const uint32_t slot = pool_->alloc();
+  const uint64_t gen = pool_->generation(slot);
+  push_entry(Entry{t, next_seq_++, std::move(fn), slot, gen, tag});
+  return EventHandle(pool_, slot, gen);
 }
 
 void EventQueue::post(SimTime t, EventFn fn, EventTag tag) {
-  push_entry(Entry{t, next_seq_++, std::move(fn), nullptr, tag});
+  push_entry(
+      Entry{t, next_seq_++, std::move(fn), EventPool::kNoSlot, 0, tag});
 }
 
 util::Status EventQueue::pending_events(std::vector<PendingEvent>* out) const {
   const size_t first = out->size();
   for (const Entry& entry : heap_) {
-    if (entry.cancelled && *entry.cancelled) {
+    if (stale(entry)) {
       continue;  // lazily-dropped cancel; never fires
     }
     if (entry.tag.kind == 0) {
@@ -47,10 +49,9 @@ util::Status EventQueue::pending_events(std::vector<PendingEvent>* out) const {
 }
 
 void EventQueue::drop_cancelled() {
-  // Cancelled entries already left the live count (EventHandle::cancel);
+  // Cancelled entries already left the live count (EventPool::cancel);
   // here they just get evicted from the heap.
-  while (!heap_.empty() && heap_.front().cancelled &&
-         *heap_.front().cancelled) {
+  while (!heap_.empty() && stale(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -68,10 +69,12 @@ EventQueue::Popped EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry top = std::move(heap_.back());
   heap_.pop_back();
-  if (top.cancelled) {
-    *top.cancelled = true;  // mark fired so handles report !pending()
+  if (top.slot != EventPool::kNoSlot) {
+    // Recycle the control slot; the generation bump flips every handle for
+    // this event to !pending(), the pooled equivalent of "fired".
+    pool_->release(top.slot);
   }
-  --*live_;
+  --pool_->live_;
   return Popped{top.t, std::move(top.fn)};
 }
 

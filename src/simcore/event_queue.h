@@ -5,9 +5,10 @@
 // Cancellation is lazy — a cancelled entry stays in the heap and is skipped
 // at pop time — so cancel is O(1) and pop stays O(log n) amortized.
 //
-// Two scheduling paths exist: push() hands back an EventHandle (one shared
-// control block per event), while post() is for the common fire-and-forget
-// case and allocates no per-event state beyond the functor itself.
+// Two scheduling paths exist: push() hands back an EventHandle backed by a
+// pooled generation slot (no per-event heap allocation in steady state),
+// while post() is for the common fire-and-forget case and allocates no
+// per-event state beyond the functor itself.
 #pragma once
 
 #include <cstdint>
@@ -42,22 +43,106 @@ struct PendingEvent {
   EventTag tag;
 };
 
+// Slab pool of event control slots. Each slot is just a generation counter:
+// a (slot, generation) pair names one scheduled event, and the pair goes
+// stale — meaning "fired or cancelled" — the moment the slot's generation
+// is bumped. Slots recycle through a free list, so after warm-up push()
+// allocates nothing; bumping the generation on release makes recycled slots
+// safe against stale handles (ABA). The pool is shared (shared_ptr) between
+// the queue and every outstanding EventHandle, so handles that outlive the
+// queue stay harmless, exactly like the old per-event control blocks.
+class EventPool {
+ public:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  // Claims a slot (growing by one slab when the free list is empty) and
+  // returns its index; the current generation names this allocation.
+  uint32_t alloc() {
+    if (free_.empty()) {
+      grow();
+    }
+    const uint32_t idx = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    return idx;
+  }
+
+  uint64_t generation(uint32_t idx) const {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+
+  // Invalidates every outstanding (idx, generation) reference and recycles
+  // the slot. Called when the event fires or is cancelled.
+  void release(uint32_t idx) {
+    ++chunks_[idx / kChunkSlots][idx % kChunkSlots];
+    free_.push_back(idx);
+    --in_use_;
+  }
+
+  // Cancel path used by EventHandle: succeeds only while (idx, g) is still
+  // current, releasing the slot and dropping the live-event count.
+  bool cancel(uint32_t idx, uint64_t g) {
+    if (generation(idx) != g) {
+      return false;  // already fired or cancelled
+    }
+    release(idx);
+    --live_;
+    return true;
+  }
+
+  struct Stats {
+    size_t live_events = 0;   // scheduled & not fired/cancelled (incl. post)
+    size_t slots_in_use = 0;  // pooled control slots currently claimed
+    size_t slots_free = 0;    // recycled slots awaiting reuse
+    size_t chunks = 0;        // slabs allocated over the pool's lifetime
+  };
+  Stats stats() const {
+    return Stats{live_, in_use_, free_.size(), chunks_.size()};
+  }
+
+ private:
+  friend class EventQueue;
+  static constexpr size_t kChunkSlots = 256;
+
+  void grow() {
+    auto chunk = std::make_unique<uint64_t[]>(kChunkSlots);
+    const uint32_t base = static_cast<uint32_t>(chunks_.size() * kChunkSlots);
+    for (size_t i = 0; i < kChunkSlots; ++i) {
+      chunk[i] = 0;
+      free_.push_back(base + static_cast<uint32_t>(kChunkSlots - 1 - i));
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<std::unique_ptr<uint64_t[]>> chunks_;  // slot generations
+  std::vector<uint32_t> free_;
+  size_t in_use_ = 0;
+  size_t live_ = 0;  // live events in the owning queue, pooled or post()ed
+};
+
 // Handle to a scheduled event; lets callers cancel it before it fires.
-// Copyable; all copies refer to the same scheduled event.
+// Copyable; all copies refer to the same scheduled event. Two backings
+// exist: pooled (queue push — slot index + generation into the shared
+// EventPool) and a plain shared flag (the Simulator's periodic ticks,
+// which manage their own liveness).
 class EventHandle {
  public:
   EventHandle() = default;
 
   // True while the event is scheduled and not yet fired/cancelled.
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const {
+    if (pool_) {
+      return pool_->generation(idx_) == gen_;
+    }
+    return state_ && !*state_;
+  }
 
   // Cancels the event if still pending; no-op otherwise.
   void cancel() {
-    if (state_ && !*state_) {
+    if (pool_) {
+      pool_->cancel(idx_, gen_);
+    } else if (state_ && !*state_) {
       *state_ = true;
-      if (live_) {
-        --*live_;
-      }
     }
   }
 
@@ -66,13 +151,13 @@ class EventHandle {
   friend class Simulator;
   explicit EventHandle(std::shared_ptr<bool> state)
       : state_(std::move(state)) {}
-  EventHandle(std::shared_ptr<bool> state, std::shared_ptr<size_t> live)
-      : state_(std::move(state)), live_(std::move(live)) {}
+  EventHandle(std::shared_ptr<EventPool> pool, uint32_t idx, uint64_t gen)
+      : pool_(std::move(pool)), idx_(idx), gen_(gen) {}
 
-  std::shared_ptr<bool> state_;  // true once cancelled or fired
-  // Owning queue's live-event counter; decremented on a successful cancel.
-  // Shared so a handle outliving its queue stays harmless.
-  std::shared_ptr<size_t> live_;
+  std::shared_ptr<bool> state_;      // periodic ticks: true once cancelled
+  std::shared_ptr<EventPool> pool_;  // pushed events: generation slot pool
+  uint32_t idx_ = EventPool::kNoSlot;
+  uint64_t gen_ = 0;
 };
 
 class EventQueue {
@@ -82,7 +167,7 @@ class EventQueue {
   EventHandle push(SimTime t, EventFn fn, EventTag tag = {});
 
   // Enqueues `fn` at `t` with no cancellation handle: the event will fire
-  // exactly once. Avoids the per-event control-block allocation.
+  // exactly once. Avoids claiming a control slot.
   void post(SimTime t, EventFn fn, EventTag tag = {});
 
   // Appends every live (non-cancelled) entry to `out` in dispatch order
@@ -92,7 +177,7 @@ class EventQueue {
   util::Status pending_events(std::vector<PendingEvent>* out) const;
 
   // True when no live (non-cancelled) events remain.
-  bool empty() const { return *live_ == 0; }
+  bool empty() const { return pool_->live_ == 0; }
 
   // Time of the earliest live event; requires !empty().
   SimTime next_time();
@@ -105,14 +190,18 @@ class EventQueue {
   Popped pop();
 
   // Number of live events; O(1).
-  size_t live_count() const { return *live_; }
+  size_t live_count() const { return pool_->live_; }
+
+  // Control-slot pool occupancy; telemetry reads this through the Simulator.
+  EventPool::Stats pool_stats() const { return pool_->stats(); }
 
  private:
   struct Entry {
     SimTime t;
     uint64_t seq;
     EventFn fn;
-    std::shared_ptr<bool> cancelled;  // null for post()ed events
+    uint32_t slot;  // EventPool::kNoSlot for post()ed events
+    uint64_t gen;   // pool generation at push time
     EventTag tag;
   };
   struct Later {
@@ -124,12 +213,19 @@ class EventQueue {
     }
   };
 
+  // A pushed entry whose slot generation moved on is cancelled: the handle
+  // released the slot before the event fired.
+  bool stale(const Entry& entry) const {
+    return entry.slot != EventPool::kNoSlot &&
+           pool_->generation(entry.slot) != entry.gen;
+  }
+
   void drop_cancelled();
   void push_entry(Entry entry);
 
   std::vector<Entry> heap_;  // min-heap via std::push_heap/pop_heap + Later
   uint64_t next_seq_ = 0;
-  std::shared_ptr<size_t> live_ = std::make_shared<size_t>(0);
+  std::shared_ptr<EventPool> pool_ = std::make_shared<EventPool>();
 };
 
 }  // namespace coda::simcore

@@ -73,6 +73,9 @@ class Simulator {
 
   bool queue_empty() const { return queue_.empty(); }
 
+  // Occupancy of the event control-slot pool (telemetry export).
+  EventPool::Stats event_pool_stats() const { return queue_.pool_stats(); }
+
   // Time of the earliest live event, or +infinity when the queue is empty.
   // Pacing hook for the service layer: a real-time driver sleeps until the
   // wall-clock instant this virtual time maps to. Non-const because peeking

@@ -18,7 +18,8 @@ namespace coda::state {
 
 namespace {
 
-constexpr uint64_t kVersion = 1;
+// v2: the engine stats line grew the parallel-flush counters (PR 9).
+constexpr uint64_t kVersion = 2;
 
 util::Error precondition(const std::string& msg) {
   return util::Error{util::ErrorCode::kFailedPrecondition, msg};

@@ -55,6 +55,21 @@ class BandwidthSource {
     sample_into(node, &s);
     return s.pressure();
   }
+
+  // Batch screen: pressure for every node id in [0, node_count), one MBM
+  // read per monitoring pass instead of node_count independent probes.
+  // (*out)[n] must equal what pressure(n) would return at the same instant;
+  // the default guarantees that by construction. The engine override syncs
+  // its dirty state once and fans the per-node reads across its thread
+  // pool — per-element writes are disjoint, so the result is identical at
+  // any thread count.
+  virtual void pressure_all(size_t node_count,
+                            std::vector<double>* out) const {
+    out->resize(node_count);
+    for (size_t n = 0; n < node_count; ++n) {
+      (*out)[n] = pressure(static_cast<cluster::NodeId>(n));
+    }
+  }
 };
 
 // Live per-job GPU utilization probe (nvidia-smi / DCGM stand-in);

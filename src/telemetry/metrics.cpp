@@ -12,6 +12,10 @@ void MetricRegistry::set(const std::string& name, double value) {
   counters_[name] = value;
 }
 
+double& MetricRegistry::gauge_ref(const std::string& name) {
+  return counters_.try_emplace(name, 0.0).first->second;
+}
+
 double MetricRegistry::counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0.0;

@@ -22,6 +22,13 @@ class MetricRegistry {
   void set(const std::string& name, double value);
   double counter(const std::string& name) const;
 
+  // Mutable slot accessor, creating (value 0) on first use. The returned
+  // reference stays valid for the registry's lifetime (map nodes are
+  // stable), so per-tick publishers resolve their gauges once and then
+  // store through the reference instead of paying a string construction
+  // plus map lookup every tick.
+  double& gauge_ref(const std::string& name);
+
   // Appends a (t, value) sample to the named series (creates on first use).
   void sample(const std::string& name, double t, double value);
   // Series accessor; returns an empty series for unknown names.

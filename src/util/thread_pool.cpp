@@ -1,0 +1,58 @@
+#include "util/thread_pool.h"
+
+namespace coda::util {
+
+ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
+  threads_.reserve(static_cast<size_t>(size_ - 1));
+  for (int w = 1; w < size_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    outstanding_ = size_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      fn = fn_;
+    }
+    (*fn)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace coda::util

@@ -1,0 +1,57 @@
+// A tiny reusable fork-join pool for deterministic data-parallel phases.
+//
+// The pool spawns its workers once (construction) and reuses them for every
+// run() call, so the per-batch cost is one mutex/condvar round-trip instead
+// of thread creation. run(fn) invokes fn(worker_index) on `size()` logical
+// workers: indices 1..size()-1 on the pooled threads and index 0 on the
+// calling thread, which participates instead of idling. run() returns only
+// after every worker finished, so callers may treat it as a barrier and
+// freely read whatever the workers wrote.
+//
+// The pool makes no fairness or ordering promises between workers inside a
+// batch; callers that need determinism must partition their work statically
+// by worker index (the engine's parallel flush does exactly that).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coda::util {
+
+class ThreadPool {
+ public:
+  // `threads` is the total logical worker count including the caller;
+  // values < 1 are clamped to 1 (run() degenerates to a plain call).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total logical workers, including the calling thread.
+  int size() const { return size_; }
+
+  // Runs fn(worker) for worker in [0, size()); blocks until all complete.
+  // Not reentrant and not thread-safe: one run() at a time, from one thread.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int worker);
+
+  int size_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new epoch (or shutdown)
+  std::condition_variable done_cv_;   // signals batch completion
+  const std::function<void(int)>* fn_ = nullptr;  // valid during an epoch
+  uint64_t epoch_ = 0;      // bumped per run(); workers wait for a new value
+  int outstanding_ = 0;     // pooled workers still inside the current batch
+  bool shutdown_ = false;
+};
+
+}  // namespace coda::util

@@ -31,6 +31,28 @@ const std::vector<ConfigChoice>& config_mix() {
 
 }  // namespace
 
+TraceConfig scale_profile(int nodes, int gpu_jobs, int cpu_jobs,
+                          double duration_s, uint64_t seed) {
+  TraceConfig cfg;
+  cfg.seed = seed;
+  cfg.duration_s = duration_s;
+  cfg.gpu_jobs = gpu_jobs;
+  cfg.cpu_jobs = cpu_jobs;
+  // Most of the GPU load trains across several servers: one start/finish
+  // then dirties the whole gang's nodes inside a single dispatched event,
+  // which is exactly the recompute shape that scales with engine threads.
+  cfg.wide_span_fraction = 0.7;
+  // Span grows gently with cluster size (4 legs at 2k nodes, 8 at 10k) —
+  // big clusters run bigger gangs, and wider gangs mean wider flushes.
+  cfg.wide_span_nodes = nodes >= 8000 ? 8 : 4;
+  cfg.wide_span_gpus_per_node = 2;
+  // Long-running jobs keep resident density high relative to arrivals, so
+  // flush work (not placement scans) dominates the replay.
+  cfg.gpu_runtime_mu = 9.4;
+  cfg.cpu_runtime_mu = 8.8;
+  return cfg;
+}
+
 std::vector<double> TraceGenerator::arrival_times(util::Rng& rng, int count,
                                                   bool diurnal) const {
   std::vector<double> times;
@@ -73,6 +95,13 @@ JobSpec TraceGenerator::make_gpu_job(util::Rng& rng, const Tenant& tenant,
     weights.push_back(choice.weight);
   }
   spec.train_config = config_mix()[rng.weighted_index(weights)].config;
+  // Scale-profile override, gated so the default (fraction 0) draws nothing
+  // from the stream and stock traces reproduce bit for bit.
+  if (config_.wide_span_fraction > 0.0 &&
+      rng.bernoulli(config_.wide_span_fraction)) {
+    spec.train_config = perfmodel::TrainConfig{
+        config_.wide_span_nodes, config_.wide_span_gpus_per_node, 0};
+  }
   if (rng.bernoulli(0.2)) {
     spec.train_config.batch_size = perfmodel::model_params(spec.model).max_batch;
   }

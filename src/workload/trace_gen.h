@@ -61,8 +61,28 @@ struct TraceConfig {
   double hint_fraction = 0.6;
   double category_known_fraction = 0.95;
 
+  // ---- scale-profile overrides (see scale_profile / bench_scale) ----
+  // When > 0, this fraction of GPU jobs trains across `wide_span_nodes`
+  // servers (`wide_span_gpus_per_node` GPUs each) instead of drawing from
+  // the stock configuration mix (whose widest job spans 2 nodes). Wide
+  // gangs make single start/finish events dirty many nodes at once — the
+  // shape a capacity-planning cluster shows and the parallel dirty-node
+  // flush fans out. 0 (the default) leaves the generator's RNG stream
+  // untouched, so existing seeded traces reproduce exactly.
+  double wide_span_fraction = 0.0;
+  int wide_span_nodes = 4;
+  int wide_span_gpus_per_node = 2;
+
   std::vector<Tenant> tenants = standard_tenants();
 };
+
+// Synthetic scale profile: a `nodes`-server cluster's workload compressed
+// into `duration_s`, GPU-heavy and dominated by wide multi-node training
+// gangs plus co-located CPU jobs. Parameterized directly by cluster size
+// and per-kind job counts so bench_scale can sweep 2k/10k-node clusters;
+// arrival rate follows from count / duration. Deterministic in `seed`.
+TraceConfig scale_profile(int nodes, int gpu_jobs, int cpu_jobs,
+                          double duration_s, uint64_t seed = 42);
 
 // Aggregate descriptive statistics of a generated trace; used by the Fig. 2
 // bench and by tests that pin the marginals to the paper's numbers.

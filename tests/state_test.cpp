@@ -153,7 +153,7 @@ TEST(Snapshot, WriteFileDurableReplacesAtomically) {
 
 TEST(Snapshot, SerializedStructSizeTripwires) {
   EXPECT_EQ(sizeof(sim::JobRecord), 224u);
-  EXPECT_EQ(sizeof(sim::ClusterEngine::EngineStats), 40u);
+  EXPECT_EQ(sizeof(sim::ClusterEngine::EngineStats), 72u);
   EXPECT_EQ(sizeof(perfmodel::ResourceFootprint), 80u);
   EXPECT_EQ(sizeof(perfmodel::ContentionFactors), 16u);
   EXPECT_EQ(sizeof(perfmodel::JobContention), 40u);
