@@ -3,15 +3,20 @@
 // Replays the synthetic scale profile (workload/trace_gen.h: wide multi-node
 // training gangs on a 2k/10k-node cluster) through a live ClusterEngine at
 // 1/2/4/8 engine threads and reports events/sec plus the speedup over the
-// serial engine. Every replay's ExperimentReport must serialize to the same
-// bytes — the parallel flush is an optimization, never a behavior change —
-// and the binary fails loudly if any thread count disagrees.
+// serial engine. Each cluster size also runs once with the placement index
+// disabled (CODA_NO_PLACEMENT_INDEX-equivalent linear scans) so the index's
+// serial win is measured side by side. Every replay's ExperimentReport must
+// serialize to the same bytes — parallel flush and placement index are
+// optimizations, never behavior changes — and the binary fails loudly if
+// any thread count or either index mode disagrees.
 //
 // Full mode sweeps {2k, 10k} nodes x {1, 2, 4, 8} threads and prints one
 // machine-readable line — "BENCH_SCALE_JSON {...}" — for
-// scripts/run_benches.sh (events_per_sec_scale is the 2k-node, 4-thread
-// cell). --fast / CODA_FAST=1 shrinks the workload and sweeps {1, 4}
-// threads on the small cluster so the binary can run as a ctest case.
+// scripts/run_benches.sh (events_per_sec_scale is the 10k-node, 4-thread
+// cell; placement_ops_per_sec is indexed find/count probes retired per
+// second in the biggest serial run). --fast / CODA_FAST=1 shrinks the
+// workload and sweeps {1, 4} threads on both cluster sizes so the binary
+// can run as a ctest case.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "sched/placement.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
 #include "sim/report_io.h"
@@ -45,21 +51,28 @@ struct ScaleCase {
 
 struct ScaleRun {
   int threads = 1;
+  bool indexed = true;
   size_t events = 0;
   double wall_s = 0.0;
   uint64_t parallel_flushes = 0;
+  uint64_t index_probes = 0;  // indexed placement queries in the window
   std::string report_blob;
 
   double events_per_sec() const {
     return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
   }
+  double probes_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(index_probes) / wall_s : 0.0;
+  }
 };
 
 ScaleRun replay(const ScaleCase& sc, const std::vector<workload::JobSpec>& trace,
-                int threads) {
+                int threads, bool use_index) {
   // The engine reads CODA_ENGINE_THREADS at construction; results are
-  // thread-count-invariant, which run_case() asserts on the report bytes.
+  // thread-count- and index-invariant, which run_case() asserts on the
+  // report bytes.
   ::setenv("CODA_ENGINE_THREADS", std::to_string(threads).c_str(), 1);
+  sched::set_placement_index_enabled(use_index);
 
   sim::ExperimentConfig config;
   config.engine.cluster.node_count = sc.nodes;
@@ -77,6 +90,7 @@ ScaleRun replay(const ScaleCase& sc, const std::vector<workload::JobSpec>& trace
   // measured window is the loaded steady state plus the drain.
   engine.run_until(0.1 * horizon);
   const size_t events0 = engine.sim().dispatched();
+  const uint64_t probes0 = engine.cluster().placement_index().stats().probes;
   const double t0 = wall_seconds();
   engine.run_until(horizon);
   engine.drain(horizon + config.drain_slack_s);
@@ -84,42 +98,57 @@ ScaleRun replay(const ScaleCase& sc, const std::vector<workload::JobSpec>& trace
 
   ScaleRun r;
   r.threads = threads;
+  r.indexed = use_index;
   r.events = engine.sim().dispatched() - events0;
   r.wall_s = t1 - t0;
   r.parallel_flushes = engine.engine_stats().parallel_flushes;
+  r.index_probes = engine.cluster().placement_index().stats().probes - probes0;
   r.report_blob = sim::serialize_report(sim::build_report(
       sim::Policy::kCoda, engine, trace.size(), horizon, sched.coda));
   ::unsetenv("CODA_ENGINE_THREADS");
+  sched::set_placement_index_enabled(true);
   return r;
 }
 
-// Runs one cluster size across `threads_sweep`; returns the runs (first
-// entry is the serial baseline). Exits non-zero on any report divergence.
-std::vector<ScaleRun> run_case(const ScaleCase& sc,
-                               const std::vector<int>& threads_sweep) {
+struct CaseResult {
+  ScaleRun scan;            // serial, placement index disabled
+  std::vector<ScaleRun> runs;  // index on, one per sweep entry
+};
+
+// Runs one cluster size: a serial linear-scan baseline first, then the
+// indexed thread sweep. Exits non-zero on any report divergence (between
+// thread counts or between index modes).
+CaseResult run_case(const ScaleCase& sc, const std::vector<int>& threads_sweep) {
   const auto trace = workload::TraceGenerator(sc.trace_config).generate();
   std::printf("case %s: %d nodes, %zu jobs\n", sc.label, sc.nodes,
               trace.size());
 
-  std::vector<ScaleRun> runs;
+  CaseResult cr;
+  cr.scan = replay(sc, trace, /*threads=*/1, /*use_index=*/false);
+  std::printf("  scan   threads=1  events=%zu  wall=%.2fs  %.0f events/s\n",
+              cr.scan.events, cr.scan.wall_s, cr.scan.events_per_sec());
+  std::fflush(stdout);
+
   for (int threads : threads_sweep) {
-    runs.push_back(replay(sc, trace, threads));
-    const ScaleRun& r = runs.back();
-    std::printf("  threads=%d  events=%zu  wall=%.2fs  %.0f events/s  "
-                "(%.2fx, %llu parallel flushes)\n",
+    cr.runs.push_back(replay(sc, trace, threads, /*use_index=*/true));
+    const ScaleRun& r = cr.runs.back();
+    std::printf("  index  threads=%d  events=%zu  wall=%.2fs  %.0f events/s  "
+                "(%.2fx vs serial, %.2fx vs scan, %llu parallel flushes)\n",
                 r.threads, r.events, r.wall_s, r.events_per_sec(),
-                r.events_per_sec() / runs.front().events_per_sec(),
+                r.events_per_sec() / cr.runs.front().events_per_sec(),
+                r.events_per_sec() / cr.scan.events_per_sec(),
                 static_cast<unsigned long long>(r.parallel_flushes));
     std::fflush(stdout);
-    if (r.report_blob != runs.front().report_blob) {
+    if (r.report_blob != cr.scan.report_blob) {
       std::fprintf(stderr,
-                   "bench_scale: report at %d threads diverges from serial "
-                   "on %s — determinism broken\n",
+                   "bench_scale: report at %d threads (index on) diverges "
+                   "from the serial linear scan on %s — the placement index "
+                   "or the parallel flush changed behavior\n",
                    threads, sc.label);
       std::exit(1);
     }
   }
-  return runs;
+  return cr;
 }
 
 }  // namespace
@@ -134,7 +163,7 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "scale",
       "one-experiment scalability: events/sec vs engine threads vs cluster "
-      "size (parallel dirty-node flush)");
+      "size (placement index + parallel dirty-node flush)");
 
   std::vector<ScaleCase> cases;
   std::vector<int> sweep;
@@ -146,6 +175,13 @@ int main(int argc, char** argv) {
         workload::scale_profile(2000, /*gpu_jobs=*/600, /*cpu_jobs=*/900,
                                 /*duration_s=*/4.0 * 3600.0);
     cases.push_back(small);
+    ScaleCase big;
+    big.label = "10k-smoke";
+    big.nodes = 10000;
+    big.trace_config =
+        workload::scale_profile(10000, /*gpu_jobs=*/1200, /*cpu_jobs=*/1800,
+                                /*duration_s=*/2.0 * 3600.0);
+    cases.push_back(big);
     sweep = {1, 4};
   } else {
     ScaleCase mid;
@@ -166,23 +202,34 @@ int main(int argc, char** argv) {
   }
 
   util::Table table;
-  table.set_header({"cluster", "threads", "events/s", "speedup"});
-  double events_per_sec_scale = 0.0;  // 2k nodes @ 4 threads (the headline)
+  table.set_header({"cluster", "mode", "threads", "events/s", "speedup"});
+  double events_per_sec_scale = 0.0;  // 10k nodes @ 4 threads (the headline)
   double speedup_4t_2k = 0.0;
   double speedup_4t_10k = 0.0;
+  double index_gain_10k = 0.0;        // serial index-on vs serial scan
+  double placement_ops_per_sec = 0.0; // biggest case, serial, index on
   for (const ScaleCase& sc : cases) {
-    const auto runs = run_case(sc, sweep);
-    for (const ScaleRun& r : runs) {
-      const double speedup = r.events_per_sec() / runs.front().events_per_sec();
-      table.add_row({sc.label, std::to_string(r.threads),
+    const CaseResult cr = run_case(sc, sweep);
+    table.add_row({sc.label, "scan", "1", bench::num(cr.scan.events_per_sec(), 0),
+                   "1.00x"});
+    for (const ScaleRun& r : cr.runs) {
+      const double speedup =
+          r.events_per_sec() / cr.runs.front().events_per_sec();
+      table.add_row({sc.label, "index", std::to_string(r.threads),
                      bench::num(r.events_per_sec(), 0),
-                     bench::num(speedup, 2) + "x"});
+                     bench::num(r.events_per_sec() / cr.scan.events_per_sec(),
+                                2) +
+                         "x"});
       if (r.threads == 4 && sc.nodes == 2000) {
-        events_per_sec_scale = r.events_per_sec();
         speedup_4t_2k = speedup;
       }
       if (r.threads == 4 && sc.nodes == 10000) {
+        events_per_sec_scale = r.events_per_sec();
         speedup_4t_10k = speedup;
+      }
+      if (r.threads == 1 && sc.nodes == 10000) {
+        index_gain_10k = r.events_per_sec() / cr.scan.events_per_sec();
+        placement_ops_per_sec = r.probes_per_sec();
       }
     }
   }
@@ -203,11 +250,13 @@ int main(int argc, char** argv) {
   std::printf(
       "BENCH_SCALE_JSON {\"events_per_sec_scale\": %.1f, "
       "\"speedup_4t_2k\": %.3f, \"speedup_4t_10k\": %.3f, "
+      "\"index_gain_10k\": %.3f, \"placement_ops_per_sec\": %.1f, "
       "\"hardware_concurrency\": %u}\n",
-      events_per_sec_scale, speedup_4t_2k, speedup_4t_10k, hw);
+      events_per_sec_scale, speedup_4t_2k, speedup_4t_10k, index_gain_10k,
+      placement_ops_per_sec, hw);
 
   if (events_per_sec_scale <= 0.0) {
-    std::fprintf(stderr, "bench_scale: no 4-thread measurement\n");
+    std::fprintf(stderr, "bench_scale: no 10k-node 4-thread measurement\n");
     return 1;
   }
   return 0;

@@ -28,6 +28,7 @@
 #include "flag_parse.h"
 #include "service/server.h"
 #include "sim/experiment.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "workload/trace_io.h"
 
@@ -70,6 +71,12 @@ void usage() {
       "JOURNAL[.shard<k>].SNAP.<seq>\n"
       "    snapshot plus the journal tail (take one live with: coda_ctl "
       "snapshot)\n"
+      "  --snapshot-every-sim-hours H / --snapshot-journal-mb M (or "
+      "CODA_SERVE_SNAP_SIM_HOURS /\n"
+      "    CODA_SERVE_SNAP_JOURNAL_MB) auto-snapshot + truncate each "
+      "shard's journal between\n"
+      "    event batches every H sim-hours or once it exceeds M MB "
+      "(0 disables)\n"
       "  --engine-threads N fans each engine's dirty-node recompute across "
       "N threads\n"
       "    (default CODA_ENGINE_THREADS or 1; results are identical at any "
@@ -94,6 +101,7 @@ const std::set<std::string> kKnownFlags = {
     "trace", "days", "seed", "policy", "nodes", "horizon", "speedup",
     "socket", "port", "journal", "report", "shards", "engine-threads",
     "auth-token", "journal-fsync", "restore",
+    "snapshot-every-sim-hours", "snapshot-journal-mb",
     "noise", "noise-seed", "metrics-period", "frag-min-cpus",
     "mba-fraction", "cpu-only-nodes", "record-events", "incremental",
     "drain-slack",
@@ -252,6 +260,22 @@ int main(int argc, char** argv) {
   config.restore = flag_bool(flags, "restore", false);
   if (config.restore && config.journal_path.empty()) {
     std::fprintf(stderr, "--restore requires --journal\n");
+    return 2;
+  }
+  // Auto-snapshot triggers: serving-layer knobs like --engine-threads, NOT
+  // experiment config — when a shard compacts its journal never changes
+  // results, so neither belongs in the v2 header or the report cache key.
+  config.snapshot_every_sim_hours = flag_double(
+      flags, "snapshot-every-sim-hours",
+      util::env_double("CODA_SERVE_SNAP_SIM_HOURS", 0.0, 0.0), 0.0);
+  config.snapshot_journal_mb = flag_double(
+      flags, "snapshot-journal-mb",
+      util::env_double("CODA_SERVE_SNAP_JOURNAL_MB", 0.0, 0.0), 0.0);
+  if ((config.snapshot_every_sim_hours > 0.0 ||
+       config.snapshot_journal_mb > 0.0) &&
+      config.journal_path.empty()) {
+    std::fprintf(stderr, "--snapshot-every-sim-hours/--snapshot-journal-mb "
+                         "require --journal\n");
     return 2;
   }
   if (flags.count("port") > 0) {

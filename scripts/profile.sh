@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Hotspot profiler for the engine benches: builds an instrumented tree and
+# prints a ranked flat profile (top functions by self time) for each
+# requested bench binary, so "what dominates at 10k nodes" is one command.
+#
+# Usage: scripts/profile.sh [--build-dir DIR] [--top N] [bench ...]
+#   bench        bench targets to profile; default: bench_scale
+#                bench_full_month_replay (both in fast mode)
+#   --build-dir  instrumented build tree (default: build-profile)
+#   --top N      rows per ranked table (default: 25)
+#
+# Backend: `perf record`/`perf report` when perf is on PATH and allowed to
+# sample; otherwise gprof (-pg instrumentation, serial engine only — gprof
+# samples the main thread, so CODA_ENGINE_THREADS is pinned to 1 to keep
+# the profile honest).
+#
+# Environment:
+#   CODA_FAST=0   profile the full-size benches instead of the smoke traces
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-profile"
+TOP=25
+BENCHES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)
+      [[ $# -ge 2 ]] || { echo "--build-dir needs an argument" >&2; exit 2; }
+      BUILD_DIR="$2"; shift 2 ;;
+    --top)
+      [[ $# -ge 2 ]] || { echo "--top needs an argument" >&2; exit 2; }
+      TOP="$2"; shift 2 ;;
+    -*)
+      echo "unknown flag: $1" >&2; exit 2 ;;
+    *)
+      BENCHES+=("$1"); shift ;;
+  esac
+done
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  BENCHES=(bench_scale bench_full_month_replay)
+fi
+
+# perf needs both the binary and kernel permission to sample; probe once.
+USE_PERF=0
+if command -v perf >/dev/null 2>&1 &&
+   perf record -o /dev/null -- true >/dev/null 2>&1; then
+  USE_PERF=1
+fi
+
+if [[ "$USE_PERF" == "1" ]]; then
+  echo "== backend: perf (sampling) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+else
+  echo "== backend: gprof (-pg instrumentation, serial engine) =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg > /dev/null
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target "${BENCHES[@]}" > /dev/null
+
+# Instrumented runs replay live engines: cache off so they actually
+# simulate, fast mode (unless overridden) so the suite stays affordable.
+export CODA_NO_CACHE=1
+export CODA_FAST="${CODA_FAST:-1}"
+
+workdir=$(mktemp -d /tmp/coda_profile.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  [[ -x "$bin" ]] || { echo "missing bench binary: $bin" >&2; exit 1; }
+  echo ""
+  echo "== $b: top $TOP functions by self time =="
+  if [[ "$USE_PERF" == "1" ]]; then
+    perf record -o "$workdir/$b.perf" --quiet -- "$bin" > /dev/null
+    perf report -i "$workdir/$b.perf" --stdio --percent-limit 0.2 \
+        2>/dev/null | grep -v '^#' | awk 'NF' | head -n "$TOP"
+  else
+    # gprof writes gmon.out into the CWD of the profiled process.
+    bin_abs=$(cd "$(dirname "$bin")" && pwd)/$(basename "$bin")
+    (cd "$workdir" && CODA_ENGINE_THREADS=1 "$bin_abs" > /dev/null 2>&1)
+    gprof -b -p "$bin_abs" "$workdir/gmon.out" | head -n "$((TOP + 5))"
+    rm -f "$workdir/gmon.out"
+  fi
+done

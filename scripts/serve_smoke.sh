@@ -159,4 +159,36 @@ echo "==> replaying snapshot + journal tail offline; must match the report"
 "$CLI" replay --snapshot "$journal2.SNAP.1" --journal "$journal2" \
        --expect-report "$journal2.report"
 
+# ---- automatic snapshot cycle (--snapshot-every-sim-hours) ----
+echo "==> booting a daemon with automatic snapshots"
+journal3="$workdir/auto.journal"
+"$CODAD" --days 0.02 --policy coda --nodes 8 --port 0 \
+         --journal "$journal3" --speedup 20000 \
+         --snapshot-every-sim-hours 0.05 >"$workdir/codad4.log" 2>&1 &
+daemon_pid=$!
+port4=$(wait_for_port "$workdir/codad4.log")
+"$CTL" submit --port "$port4" --kind cpu --cores 4 --work 900
+"$CTL" submit --port "$port4" --kind gpu --model resnet50 --iters 1500
+
+echo "==> waiting for an automatic snapshot + journal truncation"
+snap=""
+for _ in $(seq 1 50); do
+  snap=$(ls "$journal3".SNAP.* 2>/dev/null | sort -V | tail -1) || true
+  [ -n "$snap" ] && break
+  sleep 0.1
+done
+[ -n "$snap" ] || { echo "auto-snapshot never appeared" >&2; \
+                    cat "$workdir/codad4.log" >&2; exit 1; }
+
+"$CTL" drain --port "$port4"
+"$CTL" shutdown --port "$port4"
+wait "$daemon_pid"
+daemon_pid=""
+[ -s "$journal3.report" ] || { echo "auto-cycle report missing" >&2; exit 1; }
+
+echo "==> replaying latest auto snapshot + truncated journal tail"
+snap=$(ls "$journal3".SNAP.* | sort -V | tail -1)
+"$CLI" replay --snapshot "$snap" --journal "$journal3" \
+       --expect-report "$journal3.report"
+
 echo "==> serve smoke clean"

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
@@ -28,6 +29,14 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     nodes_.emplace_back(static_cast<NodeId>(config.node_count + i), nc);
     totals_ += ResourceVector{nc.cores, nc.gpus};
   }
+  const int max_gpus = std::max(config.node.gpus, config.cpu_only_node.gpus);
+  const int max_cpus = std::max(config.node.cores, config.cpu_only_node.cores);
+  index_.reset(max_gpus, max_cpus, nodes_.size());
+  for (auto& node : nodes_) {
+    index_.node_changed(node.id(), node.free_gpus(), node.free_cpus());
+    node.set_index(&index_);
+    node.set_used_totals(&used_totals_);
+  }
 }
 
 Node& Cluster::node(NodeId id) {
@@ -38,22 +47,6 @@ Node& Cluster::node(NodeId id) {
 const Node& Cluster::node(NodeId id) const {
   CODA_ASSERT(id < nodes_.size());
   return nodes_[id];
-}
-
-int Cluster::used_cpus() const {
-  int n = 0;
-  for (const auto& node : nodes_) {
-    n += node.used_cpus();
-  }
-  return n;
-}
-
-int Cluster::used_gpus() const {
-  int n = 0;
-  for (const auto& node : nodes_) {
-    n += node.used_gpus();
-  }
-  return n;
 }
 
 double Cluster::gpu_active_rate() const {

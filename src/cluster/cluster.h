@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "cluster/placement_index.h"
 #include "util/result.h"
 
 namespace coda::cluster {
@@ -28,6 +29,11 @@ class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
 
+  // Nodes hold a back-pointer into the placement index, so a cluster is
+  // pinned to its address for life.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
   const ClusterConfig& config() const { return config_; }
   size_t node_count() const { return nodes_.size(); }
   Node& node(NodeId id);
@@ -35,11 +41,14 @@ class Cluster {
   std::vector<Node>& nodes() { return nodes_; }
   const std::vector<Node>& nodes() const { return nodes_; }
 
-  // Aggregate capacities and usage across all nodes.
+  // Aggregate capacities and usage across all nodes. Usage is maintained
+  // incrementally: every node holds a back-pointer to used_totals_ and
+  // folds its allocate/resize/release deltas in, so these are O(1) reads
+  // (integer arithmetic — identical to summing the nodes).
   int total_cpus() const { return totals_.cpus; }
   int total_gpus() const { return totals_.gpus; }
-  int used_cpus() const;
-  int used_gpus() const;
+  int used_cpus() const { return used_totals_.cpus; }
+  int used_gpus() const { return used_totals_.gpus; }
 
   // Paper Eq. (1): fraction of GPUs (CPU cores) currently allocated to jobs.
   double gpu_active_rate() const;
@@ -55,10 +64,18 @@ class Cluster {
   // allocations on several nodes). Returns how many nodes released it.
   int release_everywhere(JobId job);
 
+  // The incrementally maintained free-resource index. Derived state, kept
+  // in lock-step with the nodes; mutable because const query paths bump
+  // its live stats and the CODA scheduler (which only sees a const
+  // cluster) publishes reservation bias through it.
+  PlacementIndex& placement_index() const { return index_; }
+
  private:
   ClusterConfig config_;
   std::vector<Node> nodes_;
   ResourceVector totals_;
+  ResourceVector used_totals_;   // running sum of every node's used_
+  mutable PlacementIndex index_;
 };
 
 }  // namespace coda::cluster

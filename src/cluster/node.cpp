@@ -1,8 +1,20 @@
 #include "cluster/node.h"
 
+#include "cluster/placement_index.h"
 #include "util/strings.h"
 
 namespace coda::cluster {
+
+void Node::publish_free() {
+  if (index_ != nullptr) {
+    index_->node_changed(id_, free_gpus(), free_cpus());
+  }
+}
+
+void Node::set_failed(bool failed) {
+  failed_ = failed;
+  publish_free();
+}
 
 util::Status Node::allocate(JobId job, int cpus, int gpus) {
   if (cpus < 0 || gpus < 0 || (cpus == 0 && gpus == 0)) {
@@ -27,6 +39,10 @@ util::Status Node::allocate(JobId job, int cpus, int gpus) {
   }
   allocations_[job] = Allocation{job, cpus, gpus};
   used_ += ResourceVector{cpus, gpus};
+  if (used_totals_ != nullptr) {
+    *used_totals_ += ResourceVector{cpus, gpus};
+  }
+  publish_free();
   return util::Status::Ok();
 }
 
@@ -51,6 +67,10 @@ util::Status Node::resize_cpus(JobId job, int new_cpus) {
   }
   it->second.cpus = new_cpus;
   used_.cpus += delta;
+  if (used_totals_ != nullptr) {
+    used_totals_->cpus += delta;
+  }
+  publish_free();
   return util::Status::Ok();
 }
 
@@ -64,7 +84,11 @@ util::Status Node::release(JobId job) {
   }
   used_ -= ResourceVector{it->second.cpus, it->second.gpus};
   CODA_ASSERT(used_.non_negative());
+  if (used_totals_ != nullptr) {
+    *used_totals_ -= ResourceVector{it->second.cpus, it->second.gpus};
+  }
   allocations_.erase(it);
+  publish_free();
   return util::Status::Ok();
 }
 

@@ -14,6 +14,8 @@
 
 namespace coda::cluster {
 
+class PlacementIndex;
+
 struct NodeConfig {
   int cores = 28;               // 2 sockets x 14 cores (Xeon Gold 6132)
   int gpus = 5;                 // 400 GPUs / 80 nodes in the paper's cluster
@@ -54,7 +56,17 @@ class Node {
   // Failure injection: a failed node accepts no allocations and reports no
   // free capacity until it recovers.
   bool failed() const { return failed_; }
-  void set_failed(bool failed) { failed_ = failed; }
+  void set_failed(bool failed);
+
+  // Attaches the cluster's free-resource index; every successful mutation
+  // republishes this node's (free_gpus, free_cpus) through it. Bare nodes
+  // (unit tests) run unindexed.
+  void set_index(PlacementIndex* index) { index_ = index; }
+
+  // Attaches the cluster's aggregate used-resource accumulator; every
+  // successful allocate/resize/release folds its integer delta in, keeping
+  // Cluster::used_cpus()/used_gpus() O(1). Bare nodes run untracked.
+  void set_used_totals(ResourceVector* totals) { used_totals_ = totals; }
 
   // Reserves (cpus, gpus) for `job`. Fails with kResourceExhausted when the
   // request does not fit and kFailedPrecondition when the job already holds
@@ -83,11 +95,16 @@ class Node {
   std::vector<JobId> cpu_only_jobs() const;
 
  private:
+  // Republishes (free_gpus, free_cpus) to the placement index, if attached.
+  void publish_free();
+
   NodeId id_;
   NodeConfig config_;
   ResourceVector used_;
   bool failed_ = false;
   std::map<JobId, Allocation> allocations_;  // ordered for determinism
+  PlacementIndex* index_ = nullptr;
+  ResourceVector* used_totals_ = nullptr;  // cluster-wide used accumulator
 };
 
 }  // namespace coda::cluster

@@ -1,0 +1,150 @@
+// Incrementally maintained free-resource index over the cluster's nodes.
+//
+// Every node lives in exactly one bucket of an exact (free_gpus, free_cpus)
+// grid; each bucket is a two-level bitmap over node ids. Node mutations
+// (allocate / resize / release / failure) re-bucket the node in O(1) word
+// operations, and best-fit placement queries walk buckets in the scheduler's
+// exact preference order — fewest free GPUs, then fewest free cores, then
+// lowest node id — instead of scanning all N nodes. The index is pure derived
+// state: it is rebuilt from the nodes on construction and restore, carries a
+// generation counter for failed-shape dedup in the schedulers, and is never
+// serialized.
+//
+// Two side tables ride along for the CODA CPU array:
+//   - a marginal free_cpus table (any GPU state) answering the borrow-path
+//     query "lowest (free_cpus, id) with free_cpus >= k", and
+//   - an adjusted-cores table bucketing each node by
+//     max(0, free_cpus - bias), where the scheduler publishes per-node bias
+//     (the GPU-array reservation hold) via set_cpu_bias(). This answers the
+//     CPU array's non-borrow best-fit without re-deriving scheduler state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/resources.h"
+
+namespace coda::cluster {
+
+// Fixed-capacity set of node ids: one bit per id plus a one-bit-per-word
+// summary level, so membership updates are O(1) and "first id >= from" skips
+// empty regions 4096 ids at a time. No allocation after reset().
+class IdBitmap {
+ public:
+  static constexpr NodeId kNone = 0xFFFFFFFFu;
+
+  void reset(size_t capacity);
+  void insert(NodeId id);
+  void erase(NodeId id);
+  bool contains(NodeId id) const;
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Smallest member >= from, or kNone.
+  NodeId next_at_least(NodeId from) const;
+  // Members in [lo, hi).
+  size_t count_in_range(NodeId lo, NodeId hi) const;
+
+ private:
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> summary_;  // bit w set iff words_[w] != 0
+  size_t capacity_ = 0;
+  size_t count_ = 0;
+};
+
+class PlacementIndex {
+ public:
+  // Live-only query/maintenance counters (never serialized; restores and
+  // snapshots must stay byte-identical to the linear-scan implementation).
+  struct Stats {
+    uint64_t probes = 0;    // placement/count/candidate queries answered
+    uint64_t rebuilds = 0;  // full reset()s (construction, restore replay)
+  };
+
+  // Half-open id interval a query is restricted to. Default covers all ids.
+  struct IdRange {
+    NodeId lo = 0;
+    NodeId hi = 0xFFFFFFFFu;
+  };
+
+  // Sizes the grid for nodes with up to max_gpus/max_cpus free units and
+  // places every id in the (0, 0) bucket with zero bias. Counts as a
+  // rebuild; callers then publish real per-node values via node_changed().
+  void reset(int max_gpus, int max_cpus, size_t node_count);
+
+  // Publishes a node's current (free_gpus, free_cpus). No-op (and no
+  // generation bump) when the bucket key is unchanged.
+  void node_changed(NodeId id, int free_gpus, int free_cpus);
+
+  // Publishes the CODA reservation hold for a node (adjusted free cores =
+  // max(0, free_cpus - bias)). Bumps the generation when the adjusted
+  // bucket actually moves.
+  void set_cpu_bias(NodeId id, int bias);
+  int cpu_bias(NodeId id) const { return bias_[id]; }
+
+  // Monotonic counter of observable state changes; schedulers key their
+  // failed-shape caches on it.
+  uint64_t generation() const { return generation_; }
+
+  size_t node_count() const { return key_gpus_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Appends up to `want` node ids feasible for (gpus, cpus) within `range`,
+  // in exact best-fit order: ascending (free_gpus, free_cpus, id). Returns
+  // how many ids were appended.
+  size_t collect_best_fit(int gpus, int cpus, IdRange range, size_t want,
+                          std::vector<NodeId>* out) const;
+
+  // Sum over in-range nodes of per-node slot counts
+  //   min(gpus > 0 ? free_gpus / gpus : per_node_cap,
+  //       cpus > 0 ? free_cpus / cpus : per_node_cap)
+  // stopping early once the running total reaches `stop_at` (the caller's
+  // limit * group size). Matches count_feasible's early-exit value.
+  long long feasible_slots(int gpus, int cpus, IdRange range,
+                           long long per_node_cap, long long stop_at) const;
+
+  // Lowest (adjusted cores, id) with adjusted >= cpus, or kNone. The CODA
+  // CPU array's non-borrow best fit.
+  NodeId best_adjusted_fit(int cpus) const;
+
+  // Lowest (free_cpus, id) with free_cpus >= cpus regardless of GPU state,
+  // or kNone. The CODA CPU array's borrow fallback.
+  NodeId best_free_cpu_fit(int cpus) const;
+
+  // Appends every in-range id with free_gpus >= gpus and free_cpus <
+  // cpus_below (bucket order, NOT id-sorted — callers sort). The CODA
+  // preemption scan's candidate set: nodes that could host the GPU shape if
+  // CPU borrowers were evicted.
+  void collect_eviction_candidates(int gpus, int cpus_below, IdRange range,
+                                   std::vector<NodeId>* out) const;
+
+  // Sum over all nodes with 0 < free_gpus < gpus of their free_gpus — the
+  // adjacency-fragmentation numerator (idle GPUs on nodes too sparse to host
+  // the easiest pending shape). Pure bucket-count arithmetic, O(grid).
+  long long free_gpu_sum_below(int gpus) const;
+
+  static constexpr NodeId kNone = IdBitmap::kNone;
+
+ private:
+  int bucket_of(int free_gpus, int free_cpus) const {
+    return free_gpus * (max_cpus_ + 1) + free_cpus;
+  }
+  int adjusted_of(int free_cpus, int bias) const {
+    const int adj = free_cpus - bias;
+    return adj > 0 ? adj : 0;
+  }
+
+  int max_gpus_ = 0;
+  int max_cpus_ = 0;
+  std::vector<IdBitmap> buckets_;       // (free_gpus, free_cpus) grid
+  std::vector<IdBitmap> cpu_marginal_;  // by free_cpus, any GPU state
+  std::vector<IdBitmap> adjusted_;      // by max(0, free_cpus - bias)
+  std::vector<int> key_gpus_;           // current bucket key per node
+  std::vector<int> key_cpus_;
+  std::vector<int> bias_;
+  uint64_t generation_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace coda::cluster

@@ -83,6 +83,8 @@ void CodaScheduler::attach(const sched::SchedulerEnv& env) {
     reserved_cores_ = 0;
     four_array_nodes_ = 0;
   }
+  total_borrowed_ = 0;
+  refresh_all_cpu_bias();
 
   // In restore mode the snapshot manifest re-arms both periodics at their
   // exact next firing times (rearm_* below); scheduling them here too would
@@ -209,13 +211,34 @@ int CodaScheduler::cpu_array_free_cores(const cluster::Node& node) const {
 void CodaScheduler::note_cpu_job_started(const RunningCpu& rc) {
   cpu_jobs_by_node_[rc.node].push_back(rc.spec.id);
   borrowed_on_node_[rc.node] += rc.borrowed_reserved;
+  total_borrowed_ += rc.borrowed_reserved;
+  refresh_cpu_bias(rc.node);
 }
 
 void CodaScheduler::note_cpu_job_gone(const RunningCpu& rc) {
   auto& jobs = cpu_jobs_by_node_[rc.node];
   jobs.erase(std::remove(jobs.begin(), jobs.end(), rc.spec.id), jobs.end());
   borrowed_on_node_[rc.node] -= rc.borrowed_reserved;
+  total_borrowed_ -= rc.borrowed_reserved;
   CODA_ASSERT(borrowed_on_node_[rc.node] >= 0);
+  refresh_cpu_bias(rc.node);
+}
+
+void CodaScheduler::refresh_cpu_bias(cluster::NodeId node) {
+  const cluster::Node& n = env_.cluster->node(node);
+  int bias = 0;
+  if (n.total_gpus() > 0) {
+    bias = std::max(0, reserved_cores_ - gpu_cores_on_node_[node] -
+                           borrowed_on_node_[node]);
+  }
+  env_.cluster->placement_index().set_cpu_bias(node, bias);
+}
+
+void CodaScheduler::refresh_all_cpu_bias() {
+  const size_t n = env_.cluster->node_count();
+  for (cluster::NodeId node = 0; node < n; ++node) {
+    refresh_cpu_bias(node);
+  }
 }
 
 void CodaScheduler::on_eliminator_cpu_resize(cluster::JobId job,
@@ -233,7 +256,9 @@ void CodaScheduler::on_eliminator_cpu_resize(cluster::JobId job,
   const int returned = std::min(freed, rc.borrowed_reserved);
   rc.borrowed_reserved -= returned;
   borrowed_on_node_[node] -= returned;
+  total_borrowed_ -= returned;
   rc.cores = new_cores;
+  refresh_cpu_bias(node);
 }
 
 // ----------------------------------------------------------------- kick path
@@ -270,18 +295,49 @@ bool CodaScheduler::try_start_gpu_job(const workload::JobSpec& spec,
   request.gpus_per_node = spec.train_config.gpus_per_node;
   request.cpus_per_node = cores;
 
-  const auto home_filter = [this, four_array](const cluster::Node& node) {
-    if (!config_.multi_array_enabled) {
-      return true;
+  // The sub-arrays are contiguous id ranges: [0, four_array_nodes_) is the
+  // 4-GPU array, the rest the 1-GPU array. With multi-array disabled there
+  // is one range and the cross steps below are unreachable.
+  const cluster::NodeId split =
+      static_cast<cluster::NodeId>(four_array_nodes_);
+  const sched::IdRange full{};
+  const sched::IdRange home =
+      !config_.multi_array_enabled
+          ? full
+          : (four_array ? sched::IdRange{0, split}
+                        : sched::IdRange{split, full.hi});
+  const sched::IdRange cross = four_array ? sched::IdRange{split, full.hi}
+                                          : sched::IdRange{0, split};
+
+  // Failed-shape dedup: a shape that failed an earlier *pure* try (one that
+  // evicted and migrated nothing, so the index generation never moved) must
+  // fail identically while the cluster and the array split are unchanged.
+  // Unlike FIFO/DRF this cannot rely on within-kick monotonicity — eviction
+  // overshoot can grow a node's free cores mid-kick — hence the exact
+  // (generation, four_array_nodes_) match.
+  const auto& index = env_.cluster->placement_index();
+  if (index.generation() != gpu_failed_gen_ ||
+      four_array_nodes_ != gpu_failed_four_nodes_) {
+    failed_gpu_shapes_.clear();
+    gpu_failed_gen_ = index.generation();
+    gpu_failed_four_nodes_ = four_array_nodes_;
+  }
+  for (const auto& f : failed_gpu_shapes_) {
+    if (f.nodes == request.nodes && f.gpus_per_node == request.gpus_per_node &&
+        f.cpus_per_node == request.cpus_per_node &&
+        f.four_array == four_array) {
+      return false;
     }
-    return node_in_four_array(node.id()) == four_array;
-  };
-  const auto cross_filter = [this, four_array](const cluster::Node& node) {
-    return node_in_four_array(node.id()) != four_array;
+  }
+  const auto note_pure_failure = [&] {
+    if (index.generation() == gpu_failed_gen_) {
+      failed_gpu_shapes_.push_back({request.nodes, request.gpus_per_node,
+                                    request.cpus_per_node, four_array});
+    }
   };
 
   // 1) Plain placement in the home sub-array.
-  if (auto placement = find_placement(*env_.cluster, request, home_filter)) {
+  if (auto placement = find_placement(*env_.cluster, request, home)) {
     start_gpu_job(spec, *placement, cores, four_array,
                   /*cross_borrower=*/false);
     return true;
@@ -289,24 +345,12 @@ bool CodaScheduler::try_start_gpu_job(const workload::JobSpec& spec,
 
   // 2) Home sub-array with eviction of CPU borrowers occupying reserved
   //    cores ("CODA aborts the running CPU job and releases the preempted
-  //    CPU cores", Sec. V-C).
-  if (config_.cpu_preemption_enabled) {
-    int prepared = 0;
-    for (const auto& node : env_.cluster->nodes()) {
-      if (prepared >= request.nodes) {
-        break;
-      }
-      if (!home_filter(node) ||
-          node.free_gpus() < request.gpus_per_node ||
-          node.free_cpus() >= request.cpus_per_node) {
-        continue;  // either unusable or needs no eviction
-      }
-      if (evict_cpu_borrowers_for(node.id(), request.cpus_per_node)) {
-        ++prepared;
-      }
-    }
-    if (auto placement =
-            find_placement(*env_.cluster, request, home_filter)) {
+  //    CPU cores", Sec. V-C). With no borrowed cores anywhere, or when the
+  //    pass evicted nothing, the re-query would repeat step 1's miss
+  //    verbatim — skip both.
+  if (config_.cpu_preemption_enabled && total_borrowed_ > 0 &&
+      prepare_nodes_by_eviction(request, home)) {
+    if (auto placement = find_placement(*env_.cluster, request, home)) {
       start_gpu_job(spec, *placement, cores, four_array,
                     /*cross_borrower=*/false);
       return true;
@@ -314,32 +358,19 @@ bool CodaScheduler::try_start_gpu_job(const workload::JobSpec& spec,
   }
 
   if (!config_.multi_array_enabled) {
+    note_pure_failure();
     return false;
   }
 
   // 3) Borrow nodes from the other sub-array (Sec. V-C).
-  if (auto placement = find_placement(*env_.cluster, request, cross_filter)) {
+  if (auto placement = find_placement(*env_.cluster, request, cross)) {
     start_gpu_job(spec, *placement, cores, four_array,
                   /*cross_borrower=*/!four_array);
     return true;
   }
-  if (config_.cpu_preemption_enabled) {
-    int prepared = 0;
-    for (const auto& node : env_.cluster->nodes()) {
-      if (prepared >= request.nodes) {
-        break;
-      }
-      if (!cross_filter(node) ||
-          node.free_gpus() < request.gpus_per_node ||
-          node.free_cpus() >= request.cpus_per_node) {
-        continue;
-      }
-      if (evict_cpu_borrowers_for(node.id(), request.cpus_per_node)) {
-        ++prepared;
-      }
-    }
-    if (auto placement =
-            find_placement(*env_.cluster, request, cross_filter)) {
+  if (config_.cpu_preemption_enabled && total_borrowed_ > 0 &&
+      prepare_nodes_by_eviction(request, cross)) {
+    if (auto placement = find_placement(*env_.cluster, request, cross)) {
       start_gpu_job(spec, *placement, cores, four_array,
                     /*cross_borrower=*/!four_array);
       return true;
@@ -350,13 +381,13 @@ bool CodaScheduler::try_start_gpu_job(const workload::JobSpec& spec,
   //    borrowers out ("when 4-GPU jobs need to use corresponding resources
   //    again, job migration is performed", Sec. V-C).
   if (four_array && migrate_cross_borrowers_for(request)) {
-    if (auto placement =
-            find_placement(*env_.cluster, request, home_filter)) {
+    if (auto placement = find_placement(*env_.cluster, request, home)) {
       start_gpu_job(spec, *placement, cores, four_array,
                     /*cross_borrower=*/false);
       return true;
     }
   }
+  note_pure_failure();
   return false;
 }
 
@@ -408,6 +439,49 @@ bool CodaScheduler::evict_cpu_borrowers_for(cluster::NodeId node_id,
   return true;
 }
 
+bool CodaScheduler::prepare_nodes_by_eviction(
+    const sched::PlacementRequest& request, sched::IdRange range) {
+  const int before = preemptions_;
+  int prepared = 0;
+  if (sched::placement_index_enabled()) {
+    // Candidate set snapshot: evicting borrowers on one node never touches
+    // another node's (free_gpus, free_cpus), so collecting first and then
+    // visiting in ascending id order is step-for-step identical to the
+    // linear scan below.
+    eviction_scratch_.clear();
+    env_.cluster->placement_index().collect_eviction_candidates(
+        request.gpus_per_node, request.cpus_per_node, range,
+        &eviction_scratch_);
+    std::sort(eviction_scratch_.begin(), eviction_scratch_.end());
+    for (cluster::NodeId id : eviction_scratch_) {
+      if (prepared >= request.nodes) {
+        break;
+      }
+      if (evict_cpu_borrowers_for(id, request.cpus_per_node)) {
+        ++prepared;
+      }
+    }
+  } else {
+    for (const auto& node : env_.cluster->nodes()) {
+      if (prepared >= request.nodes) {
+        break;
+      }
+      if (node.id() < range.lo || node.id() >= range.hi ||
+          node.free_gpus() < request.gpus_per_node ||
+          node.free_cpus() >= request.cpus_per_node) {
+        continue;  // either out of range, unusable, or needs no eviction
+      }
+      if (evict_cpu_borrowers_for(node.id(), request.cpus_per_node)) {
+        ++prepared;
+      }
+    }
+  }
+  // Candidates always have a core deficit, so a successful preparation
+  // implies at least one actual eviction; no evictions means the cluster is
+  // untouched and the caller's re-query would repeat its earlier miss.
+  return preemptions_ != before;
+}
+
 bool CodaScheduler::migrate_cross_borrowers_for(
     const sched::PlacementRequest& request) {
   // Find 4-GPU-array nodes that would fit the request if their 1-GPU
@@ -453,6 +527,7 @@ bool CodaScheduler::migrate_cross_borrowers_for(
       for (const auto& np : it->second.placement.nodes) {
         gpu_cores_on_node_[np.node] -= np.cpus;
         --cross_borrowers_on_node_[np.node];
+        refresh_cpu_bias(np.node);
       }
       --cross_borrower_count_;
       running_gpu_.erase(it);
@@ -487,6 +562,7 @@ void CodaScheduler::start_gpu_job(const workload::JobSpec& spec,
   r.generation = next_generation_++;
   for (const auto& np : placement.nodes) {
     gpu_cores_on_node_[np.node] += np.cpus;
+    refresh_cpu_bias(np.node);
   }
   running_gpu_[spec.id] = std::move(r);
   (four_array ? four_gpu_array_ : one_gpu_array_).usage[spec.tenant] +=
@@ -498,6 +574,17 @@ void CodaScheduler::schedule_cpu_array() {
   // CPU jobs may dip into the GPU reservation only while no GPU job waits
   // (Sec. V-C: "If CPU jobs burst and the GPU resource array is relatively
   // idle").
+  //
+  // Head core-counts that found no node stay cached: within this pass both
+  // free and adjusted cores only shrink (starts consume, nothing releases —
+  // a borrow-start zeroes its node's adjusted cores), so failures persist
+  // across offer rounds; across kicks they hold while the index generation
+  // (which also tracks bias changes) and the reservation are unchanged.
+  const auto& index = env_.cluster->placement_index();
+  if (index.generation() != cpu_failed_gen_ ||
+      reserved_cores_ != cpu_failed_reserved_) {
+    failed_cpu_reqs_.clear();
+  }
   while (true) {
     // Borrowing reserved-but-idle cores is always allowed when preemption
     // can reclaim them: the abort-and-requeue path (Sec. V-C) is what makes
@@ -514,33 +601,56 @@ void CodaScheduler::schedule_cpu_array() {
       // see evict_cpu_borrowers_for. Inference jobs are short, so the
       // reservation hold is transient.
       const bool may_borrow = borrow_allowed;
-      // Best fit over the per-node CPU-array budget.
+      if (std::find(failed_cpu_reqs_.begin(), failed_cpu_reqs_.end(), req) !=
+          failed_cpu_reqs_.end()) {
+        continue;  // this core count already failed in this index state
+      }
+      // Best fit over the per-node CPU-array budget: lowest
+      // (adjusted cores, id) with adjusted >= req; only when no such node
+      // exists, lowest (free_cpus, id) with free_cpus >= req (borrowing
+      // reserved cores). The index's adjusted table equals
+      // cpu_array_free_cores() for every node (see refresh_cpu_bias), and
+      // when the adjusted query misses, *every* node with free_cpus >= req
+      // is a borrow candidate — so both picks match the linear scan below.
       const cluster::Node* best = nullptr;
-      int best_left = 0;
       bool best_borrows = false;
-      for (const auto& node : env_.cluster->nodes()) {
-        const int normal = cpu_array_free_cores(node);
-        if (normal >= req) {
-          const int left = normal - req;
-          if (best == nullptr || best_borrows || left < best_left) {
-            best = &node;
-            best_left = left;
-            best_borrows = false;
-          }
-        } else if (may_borrow && node.free_cpus() >= req &&
-                   (best == nullptr || best_borrows)) {
-          const int left = node.free_cpus() - req;
-          if (best == nullptr || left < best_left || !best_borrows) {
-            // Prefer non-borrowing nodes; among borrowing ones, best fit.
-            if (best == nullptr || best_borrows) {
+      if (sched::placement_index_enabled()) {
+        cluster::NodeId pick = index.best_adjusted_fit(req);
+        if (pick == cluster::PlacementIndex::kNone && may_borrow) {
+          pick = index.best_free_cpu_fit(req);
+          best_borrows = pick != cluster::PlacementIndex::kNone;
+        }
+        if (pick != cluster::PlacementIndex::kNone) {
+          best = &env_.cluster->node(pick);
+          CODA_ASSERT(best_borrows || cpu_array_free_cores(*best) >= req);
+        }
+      } else {
+        int best_left = 0;
+        for (const auto& node : env_.cluster->nodes()) {
+          const int normal = cpu_array_free_cores(node);
+          if (normal >= req) {
+            const int left = normal - req;
+            if (best == nullptr || best_borrows || left < best_left) {
               best = &node;
               best_left = left;
-              best_borrows = true;
+              best_borrows = false;
+            }
+          } else if (may_borrow && node.free_cpus() >= req &&
+                     (best == nullptr || best_borrows)) {
+            const int left = node.free_cpus() - req;
+            if (best == nullptr || left < best_left || !best_borrows) {
+              // Prefer non-borrowing nodes; among borrowing ones, best fit.
+              if (best == nullptr || best_borrows) {
+                best = &node;
+                best_left = left;
+                best_borrows = true;
+              }
             }
           }
         }
       }
       if (best == nullptr) {
+        failed_cpu_reqs_.push_back(req);
         continue;  // this tenant's head does not fit; try the next tenant
       }
       sched::Placement placement;
@@ -569,6 +679,8 @@ void CodaScheduler::schedule_cpu_array() {
       break;
     }
     if (!started) {
+      cpu_failed_gen_ = index.generation();
+      cpu_failed_reserved_ = reserved_cores_;
       return;
     }
   }
@@ -620,11 +732,13 @@ void CodaScheduler::on_tuning_tick(cluster::JobId job, uint64_t generation) {
           const auto rollback = env_.resize_job(job, node, old);
           CODA_ASSERT(rollback.ok());
           gpu_cores_on_node_[node] += old - cores;
+          refresh_cpu_bias(node);
         }
         return false;
       }
       applied.emplace_back(np.node, r.cores_per_node);
       gpu_cores_on_node_[np.node] += cores - r.cores_per_node;
+      refresh_cpu_bias(np.node);
     }
     r.cores_per_node = cores;
     for (auto& np : r.placement.nodes) {
@@ -682,6 +796,8 @@ void CodaScheduler::update_reservation_from_history() {
         std::clamp(*frac * 0.8, 0.1, 0.6) *
         static_cast<double>(env_.cluster->node_count())));
   }
+  // A new reservation changes every node's bias.
+  refresh_all_cpu_bias();
 }
 
 // -------------------------------------------------------------- termination
@@ -699,6 +815,7 @@ void CodaScheduler::on_job_evicted(const workload::JobSpec& spec) {
         .usage[spec.tenant] -= spec.total_gpus();
     for (const auto& np : r.placement.nodes) {
       gpu_cores_on_node_[np.node] -= np.cpus;
+      refresh_cpu_bias(np.node);
     }
     if (allocator_.tracking(spec.id)) {
       allocator_.cancel(spec.id);
@@ -747,6 +864,7 @@ void CodaScheduler::on_job_finished(const workload::JobSpec& spec) {
     }
     for (const auto& np : r.placement.nodes) {
       gpu_cores_on_node_[np.node] -= np.cpus;
+      refresh_cpu_bias(np.node);
     }
     if (r.cross_borrower) {
       --cross_borrower_count_;

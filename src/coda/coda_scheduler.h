@@ -157,6 +157,19 @@ class CodaScheduler : public sched::Scheduler {
   // Eviction helpers.
   bool evict_cpu_borrowers_for(cluster::NodeId node, int cores_needed);
   bool migrate_cross_borrowers_for(const sched::PlacementRequest& request);
+  // Evicts CPU borrowers from in-range nodes that could host `request`
+  // afterwards (free GPUs suffice, free cores do not). Returns whether any
+  // eviction actually happened — when none did, the follow-up placement
+  // query is provably the same failure as before and is skipped.
+  bool prepare_nodes_by_eviction(const sched::PlacementRequest& request,
+                                 sched::IdRange range);
+
+  // Republishes this node's reservation bias (the part of the GPU
+  // reservation not consumed by GPU jobs or borrowers) into the cluster's
+  // placement index, keeping the index's adjusted-cores buckets equal to
+  // cpu_array_free_cores() for every node.
+  void refresh_cpu_bias(cluster::NodeId node);
+  void refresh_all_cpu_bias();
 
   void start_gpu_job(const workload::JobSpec& spec,
                      const sched::Placement& placement, int cores,
@@ -205,6 +218,39 @@ class CodaScheduler : public sched::Scheduler {
   uint64_t next_generation_ = 1;
   int preemptions_ = 0;
   int migrations_ = 0;
+
+  // Sum of borrowed_on_node_: lets a blocked GPU start skip the eviction
+  // pass entirely when no CPU job is borrowing reserved cores anywhere
+  // (the common case — evicting nothing cannot change the earlier miss).
+  int total_borrowed_ = 0;
+
+  // Failed-shape dedup, keyed on the placement index generation. A GPU
+  // shape is cached only when its whole try was pure (no eviction or
+  // migration mutated anything — the generation did not move), and the
+  // cache is valid only while (generation, four_array_nodes_) both match:
+  // unlike FIFO/DRF, CODA's eviction overshoot can *grow* a node's free
+  // cores mid-kick, so exact-state match is required rather than
+  // monotonicity.
+  struct FailedGpuShape {
+    int nodes = 0;
+    int gpus_per_node = 0;
+    int cpus_per_node = 0;
+    bool four_array = false;
+  };
+  std::vector<FailedGpuShape> failed_gpu_shapes_;
+  uint64_t gpu_failed_gen_ = ~0ULL;
+  int gpu_failed_four_nodes_ = -1;
+
+  // CPU-array head requests (core counts) that found no node. Within one
+  // schedule_cpu_array() pass both free and adjusted cores only shrink, so
+  // failures persist across offer rounds; across kicks they stay valid
+  // while the generation (which also tracks bias changes) is unchanged.
+  std::vector<int> failed_cpu_reqs_;
+  uint64_t cpu_failed_gen_ = ~0ULL;
+  int cpu_failed_reserved_ = -1;
+
+  // Scratch for the indexed eviction-candidate collection.
+  std::vector<cluster::NodeId> eviction_scratch_;
 };
 
 }  // namespace coda::core

@@ -262,6 +262,14 @@ void CodaScheduler::load_state(state::Reader* r,
 
   allocator_.load_state(r, specs);
   eliminator_->load_state(r);
+
+  // Derived state: the borrowed total and the placement index's per-node
+  // bias are not serialized; recompute them from the restored accounting.
+  total_borrowed_ = 0;
+  for (int b : borrowed_on_node_) {
+    total_borrowed_ += b;
+  }
+  refresh_all_cpu_bias();
 }
 
 }  // namespace coda::core

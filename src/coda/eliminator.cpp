@@ -45,26 +45,61 @@ void ContentionEliminator::check_all(
   }
   ++stats_.checks;
   const auto& nodes = env_->cluster->nodes();
-  // One batched MBM read screens the whole pass (the engine fans it across
-  // its thread pool on big clusters). Acting on a node — a cap, a resize —
-  // may shift pressure readings later in the same pass, so after the first
-  // action the pass falls back to live per-node probes. Since the batch
-  // agrees elementwise with pressure() and actions are rare, the pass makes
-  // exactly the decisions the old one-probe-per-node loop made.
-  env_->bandwidth->pressure_all(nodes.size(), &pressure_scratch_);
+  // One sparse batched MBM read screens the whole pass: ascending (id,
+  // pressure) rows covering every node that could read nonzero — an
+  // unlisted node's pressure is exactly 0.0, where check_node is a no-op
+  // below the threshold and release_node can only find throttle records on
+  // nodes that host jobs (which the screen lists). Visiting the listed
+  // nodes therefore makes exactly the decisions the old one-probe-per-node
+  // full loop made, at O(occupied) instead of O(cluster) per tick.
+  //
+  // Acting on a node — a cap, a resize — may shift pressure readings later
+  // in the same pass, so after the first action the pass falls back to live
+  // per-node probes (a mutation never populates a node the screen skipped:
+  // caps and resizes move no job between nodes, so unlisted nodes stay at
+  // exactly zero).
+  env_->bandwidth->pressure_screen(nodes.size(), &screen_ids_,
+                                   &pressure_scratch_);
   bool stale = false;
-  for (const auto& node : nodes) {
-    double screened =
-        stale ? env_->bandwidth->pressure(node.id()) : pressure_scratch_[node.id()];
+  size_t i = 0;
+  // Fast path while nothing has mutated: the screen value decides both
+  // per-node branches outright — check_node is a no-op below bw_threshold,
+  // and release_node is a no-op at/above release_threshold or with nothing
+  // throttled — so rows failing both predicates are skipped without a
+  // call. Only sub-threshold sample_into scratch writes are elided.
+  // throttled_ cannot change while !stale (every record mutation flips
+  // stale), so hoisting the emptiness test out of the loop is safe.
+  const bool may_release = config_.release_when_calm && !throttled_.empty();
+  for (; i < screen_ids_.size() && !stale; ++i) {
+    const double screened = pressure_scratch_[i];
+    const bool check_candidate = screened >= config_.bw_threshold;
+    const bool release_candidate =
+        may_release && screened < config_.release_threshold;
+    if (!check_candidate && !release_candidate) {
+      continue;
+    }
+    const cluster::Node& node = nodes[screen_ids_[i]];
     if (check_node(node, expected_util, screened)) {
       stale = true;
     }
     if (config_.release_when_calm) {
-      screened = stale ? env_->bandwidth->pressure(node.id())
-                       : pressure_scratch_[node.id()];
-      if (release_node(node, screened)) {
+      const double sp =
+          stale ? env_->bandwidth->pressure(node.id()) : screened;
+      if (release_node(node, sp)) {
         stale = true;
       }
+    }
+  }
+  // A node acted: pressure readings may have shifted, so the rest of the
+  // pass falls back to live probes on the remaining screened nodes.
+  for (; i < screen_ids_.size(); ++i) {
+    const cluster::Node& node = nodes[screen_ids_[i]];
+    if (check_node(node, expected_util, env_->bandwidth->pressure(node.id()))) {
+      stale = true;
+    }
+    if (config_.release_when_calm &&
+        release_node(node, env_->bandwidth->pressure(node.id()))) {
+      stale = true;
     }
   }
 }

@@ -124,8 +124,10 @@ class ContentionEliminator {
   // every node every check period, and each sample used to allocate a fresh
   // jobs vector.
   telemetry::NodeBandwidthSample sample_scratch_;
-  // Per-pass batched screen (BandwidthSource::pressure_all): one MBM read
-  // covering every node instead of node_count independent probes.
+  // Per-pass batched screen (BandwidthSource::pressure_screen): one sparse
+  // MBM read — parallel (id, pressure) rows for possibly-nonzero nodes —
+  // instead of node_count independent probes.
+  std::vector<cluster::NodeId> screen_ids_;
   std::vector<double> pressure_scratch_;
 };
 

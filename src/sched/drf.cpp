@@ -82,6 +82,16 @@ void DrfScheduler::kick() {
   // whose head job fits. A tenant whose head does not fit is skipped this
   // round (no cross-tenant head-of-line blocking), but its own queue stays
   // FIFO.
+  //
+  // Shapes that failed placement stay cached while the placement-index
+  // generation is unchanged: within a kick capacity only shrinks (rounds
+  // only start jobs), so a failure in one round still holds in the next,
+  // and a kick that begins with the cluster untouched since the last one
+  // inherits the previous kick's failures wholesale.
+  const auto& index = env_.cluster->placement_index();
+  if (index.generation() != failed_gen_) {
+    failed_shapes_.clear();
+  }
   while (true) {
     // Order tenants with pending jobs by (dominant share, id).
     std::vector<cluster::TenantId> order;
@@ -100,10 +110,6 @@ void DrfScheduler::kick() {
                 return a < b;
               });
     bool started = false;
-    // Within one offer round no job starts until the break below, so the
-    // cluster is frozen: a request shape that failed for one tenant fails
-    // identically for every later tenant and need not be searched again.
-    failed_shapes_.clear();
     const auto already_failed = [this](const PlacementRequest& req) {
       for (const auto& f : failed_shapes_) {
         if (f.nodes == req.nodes && f.gpus_per_node == req.gpus_per_node &&
@@ -138,6 +144,7 @@ void DrfScheduler::kick() {
       break;  // shares changed; recompute the order
     }
     if (!started) {
+      failed_gen_ = index.generation();
       return;
     }
   }

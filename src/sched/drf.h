@@ -44,9 +44,13 @@ class DrfScheduler : public Scheduler {
 
   std::map<cluster::TenantId, TenantState> tenants_;
   size_t gpu_pending_ = 0;
-  // Request shapes that failed placement in the current offer round
-  // (capacity is constant until a start; scratch kept across kicks).
+  // Request shapes that failed placement, valid while the cluster's
+  // placement-index generation stays at failed_gen_. Offer rounds within a
+  // kick only start jobs (capacity shrinks monotonically), so failures
+  // carry across rounds and — when nothing in the cluster changed — across
+  // whole kicks.
   std::vector<PlacementRequest> failed_shapes_;
+  uint64_t failed_gen_ = ~0ULL;
 };
 
 }  // namespace coda::sched

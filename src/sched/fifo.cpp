@@ -34,9 +34,14 @@ void FifoScheduler::kick() {
   // releases), and node feasibility is monotone in free resources — so once
   // a request shape fails, every identical shape later in the window must
   // fail too and its placement search can be skipped. Backlogged queues
-  // repeat a handful of shapes hundreds of times per kick.
+  // repeat a handful of shapes hundreds of times per kick. The failed set
+  // even survives across kicks: it is only stale once the cluster actually
+  // changed, which the placement-index generation tracks exactly.
   int examined = 0;
-  failed_shapes_.clear();
+  const auto& index = env_.cluster->placement_index();
+  if (index.generation() != failed_gen_) {
+    failed_shapes_.clear();
+  }
   const auto already_failed = [this](const PlacementRequest& req) {
     for (const auto& f : failed_shapes_) {
       if (f.nodes == req.nodes && f.gpus_per_node == req.gpus_per_node &&
@@ -66,6 +71,7 @@ void FifoScheduler::kick() {
     }
     it = queue_.erase(it);
   }
+  failed_gen_ = index.generation();
 }
 
 std::optional<sched::Scheduler::PendingGpuDemand>

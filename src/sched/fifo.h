@@ -47,9 +47,14 @@ class FifoScheduler : public Scheduler {
   // quadratic during failure-storm backlogs. Iteration order is identical.
   std::list<workload::JobSpec> queue_;
   size_t gpu_pending_ = 0;
-  // Request shapes that failed placement earlier in the current kick()
-  // pass (cleared on entry; scratch kept to avoid reallocating).
+  // Request shapes that failed placement, valid while the cluster's
+  // placement-index generation stays at failed_gen_. Free capacity only
+  // shrinks during a kick (starts allocate, nothing releases), so failures
+  // recorded mid-kick still hold at kick exit; if no cluster mutation
+  // happens between kicks the whole set carries over and repeat shapes
+  // skip their placement search entirely.
   std::vector<PlacementRequest> failed_shapes_;
+  uint64_t failed_gen_ = ~0ULL;
 };
 
 }  // namespace coda::sched

@@ -1,10 +1,32 @@
 #include "sched/placement.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "util/assert.h"
 
 namespace coda::sched {
+
+namespace {
+
+bool read_index_enabled_from_env() {
+  const char* v = std::getenv("CODA_NO_PLACEMENT_INDEX");
+  return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
+}
+
+bool& index_enabled_flag() {
+  static bool enabled = read_index_enabled_from_env();
+  return enabled;
+}
+
+}  // namespace
+
+bool placement_index_enabled() { return index_enabled_flag(); }
+
+void set_placement_index_enabled(bool enabled) {
+  index_enabled_flag() = enabled;
+}
 
 NodeFilter any_node() {
   return [](const cluster::Node&) { return true; };
@@ -45,13 +67,12 @@ struct Candidate {
   }
 };
 
-}  // namespace
-
-std::optional<Placement> find_placement(const cluster::Cluster& cluster,
-                                        const PlacementRequest& request,
-                                        const NodeFilter& filter) {
-  CODA_ASSERT(request.nodes >= 1);
-  CODA_ASSERT(request.cpus_per_node >= 1 || request.gpus_per_node >= 1);
+// Linear-scan search shared by the NodeFilter overload and the index-off
+// fallback; `pred` is any callable over const Node&.
+template <typename Pred>
+std::optional<Placement> find_placement_linear(const cluster::Cluster& cluster,
+                                               const PlacementRequest& request,
+                                               Pred&& pred) {
   // Single-node requests (every CPU job and most GPU jobs) dominate the
   // schedulers' probe traffic: pick the best-fit node in one pass with no
   // candidate buffer at all. The comparator is a strict total order (ties
@@ -59,7 +80,7 @@ std::optional<Placement> find_placement(const cluster::Cluster& cluster,
   if (request.nodes == 1) {
     Candidate best;
     for (const auto& node : cluster.nodes()) {
-      if (!filter(node) ||
+      if (!pred(node) ||
           !node.can_fit(request.cpus_per_node, request.gpus_per_node)) {
         continue;
       }
@@ -84,7 +105,7 @@ std::optional<Placement> find_placement(const cluster::Cluster& cluster,
   static thread_local std::vector<Candidate> candidates;
   candidates.clear();
   for (const auto& node : cluster.nodes()) {
-    if (!filter(node)) {
+    if (!pred(node)) {
       continue;
     }
     if (!node.can_fit(request.cpus_per_node, request.gpus_per_node)) {
@@ -108,14 +129,16 @@ std::optional<Placement> find_placement(const cluster::Cluster& cluster,
   return placement;
 }
 
-int count_feasible(const cluster::Cluster& cluster,
-                   const PlacementRequest& request, const NodeFilter& filter,
-                   int limit) {
-  // Capacity probe: how many *disjoint* placements fit, assuming each node
-  // can host floor(free/need) copies.
+// Capacity probe shared by the NodeFilter overload and the index-off
+// fallback: how many *disjoint* placements fit, assuming each node can host
+// floor(free/need) copies.
+template <typename Pred>
+int count_feasible_linear(const cluster::Cluster& cluster,
+                          const PlacementRequest& request, Pred&& pred,
+                          int limit) {
   int total_slots = 0;
   for (const auto& node : cluster.nodes()) {
-    if (!filter(node)) {
+    if (!pred(node)) {
       continue;
     }
     int by_cpu = request.cpus_per_node > 0
@@ -130,6 +153,76 @@ int count_feasible(const cluster::Cluster& cluster,
     }
   }
   return std::min(limit, total_slots / request.nodes);
+}
+
+bool in_range(const cluster::Node& node, IdRange range) {
+  return node.id() >= range.lo && node.id() < range.hi;
+}
+
+}  // namespace
+
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request) {
+  return find_placement(cluster, request, IdRange{});
+}
+
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request,
+                                        IdRange range) {
+  CODA_ASSERT(request.nodes >= 1);
+  CODA_ASSERT(request.cpus_per_node >= 1 || request.gpus_per_node >= 1);
+  if (!placement_index_enabled()) {
+    return find_placement_linear(
+        cluster, request,
+        [range](const cluster::Node& node) { return in_range(node, range); });
+  }
+  // Bucket probe: the index walks (free_gpus, free_cpus, id) ascending from
+  // the request's demand, which is exactly the best-fit preference order, so
+  // the first `nodes` feasible ids it yields are the linear scan's answer.
+  static thread_local std::vector<cluster::NodeId> ids;
+  ids.clear();
+  const size_t got = cluster.placement_index().collect_best_fit(
+      request.gpus_per_node, request.cpus_per_node, range,
+      static_cast<size_t>(request.nodes), &ids);
+  if (got < static_cast<size_t>(request.nodes)) {
+    return std::nullopt;
+  }
+  Placement placement;
+  for (cluster::NodeId id : ids) {
+    placement.nodes.push_back(
+        NodePlacement{id, request.cpus_per_node, request.gpus_per_node});
+  }
+  return placement;
+}
+
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request,
+                                        const NodeFilter& filter) {
+  CODA_ASSERT(request.nodes >= 1);
+  CODA_ASSERT(request.cpus_per_node >= 1 || request.gpus_per_node >= 1);
+  return find_placement_linear(cluster, request, filter);
+}
+
+int count_feasible(const cluster::Cluster& cluster,
+                   const PlacementRequest& request, IdRange range, int limit) {
+  if (!placement_index_enabled()) {
+    return count_feasible_linear(
+        cluster, request,
+        [range](const cluster::Node& node) { return in_range(node, range); },
+        limit);
+  }
+  const long long stop =
+      static_cast<long long>(limit) * static_cast<long long>(request.nodes);
+  const long long total = cluster.placement_index().feasible_slots(
+      request.gpus_per_node, request.cpus_per_node, range, limit, stop);
+  const long long count = total / request.nodes;
+  return static_cast<int>(std::min<long long>(limit, count));
+}
+
+int count_feasible(const cluster::Cluster& cluster,
+                   const PlacementRequest& request, const NodeFilter& filter,
+                   int limit) {
+  return count_feasible_linear(cluster, request, filter, limit);
 }
 
 }  // namespace coda::sched

@@ -33,16 +33,43 @@ struct PlacementRequest {
 // owner's own CPU ask). CODA overrides cpus_per_node.
 PlacementRequest baseline_request(const workload::JobSpec& spec);
 
-// Finds a best-fit placement, or nullopt when the filtered cluster cannot
-// host the request right now. Deterministic: ties break on node id.
+// Half-open node-id interval a search is restricted to. Every structural
+// node restriction the schedulers use (CODA's four-GPU/one-GPU arrays) is
+// an id threshold, which lets the search run on the cluster's placement
+// index instead of a full scan.
+using IdRange = cluster::PlacementIndex::IdRange;
+
+// Finds a best-fit placement over all nodes (or an id range), or nullopt
+// when the cluster cannot host the request right now. Deterministic: ties
+// break on node id. Served from the cluster's placement index unless it is
+// disabled (CODA_NO_PLACEMENT_INDEX=1 or set_placement_index_enabled) —
+// both paths return bit-identical results.
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request);
 std::optional<Placement> find_placement(const cluster::Cluster& cluster,
                                         const PlacementRequest& request,
-                                        const NodeFilter& filter = any_node());
+                                        IdRange range);
+
+// Arbitrary-predicate variant: always a linear scan (the index cannot
+// answer opaque filters). Kept for callers with genuinely ad-hoc
+// restrictions; the hot scheduler paths use the overloads above.
+std::optional<Placement> find_placement(const cluster::Cluster& cluster,
+                                        const PlacementRequest& request,
+                                        const NodeFilter& filter);
 
 // Counts how many requests of this shape could start right now (capacity
-// probes used by array rebalancing); stops counting at `limit`.
+// probes used by array rebalancing); stops counting at `limit`. The IdRange
+// overload answers from bucket counts; the NodeFilter overload scans.
+int count_feasible(const cluster::Cluster& cluster,
+                   const PlacementRequest& request, IdRange range, int limit);
 int count_feasible(const cluster::Cluster& cluster,
                    const PlacementRequest& request, const NodeFilter& filter,
                    int limit);
+
+// Runtime switch between the indexed and linear-scan search paths. The
+// index is maintained either way, so toggling is safe at any time; the
+// scale bench uses it to measure both implementations side by side.
+bool placement_index_enabled();
+void set_placement_index_enabled(bool enabled);
 
 }  // namespace coda::sched

@@ -125,6 +125,16 @@ class JournalWriter {
   void set_fsync(bool enabled) { fsync_ = enabled; }
   bool fsync_enabled() const { return fsync_; }
 
+  // Current journal size in bytes (header + appends, buffered included);
+  // 0 when closed. Drives --snapshot-journal-mb auto-compaction.
+  uint64_t bytes() const {
+    if (file_ == nullptr) {
+      return 0;
+    }
+    const long pos = std::ftell(file_);
+    return pos > 0 ? static_cast<uint64_t>(pos) : 0;
+  }
+
  private:
   std::FILE* file_ = nullptr;
   bool fsync_ = false;

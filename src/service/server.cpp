@@ -176,6 +176,11 @@ struct Server::EngineState {
   uint64_t next_auto_id = 1;
   uint64_t snapshot_seq = 0;  // last snapshot written (restored included)
   double resume_vt = 0.0;     // pacing origin: 0 fresh, snapshot vt restored
+  // Auto-snapshot bookkeeping: virtual time of the last snapshot (manual or
+  // automatic; restore seeds it with the resumed instant), and a latch that
+  // stops retry spam after a failed automatic attempt.
+  double last_snap_vt = 0.0;
+  bool auto_snap_failed = false;
   double horizon = 0.0;
   bool drained = false;
   std::string drain_summary;
@@ -414,6 +419,95 @@ std::string shard_report_path(const ServerConfig& config, int shard) {
 
 }  // namespace
 
+util::Result<std::string> Server::take_snapshot(Shard& shard,
+                                                EngineState& es) {
+  const std::string journal_path = shard_journal_path(config_, shard.index);
+  const auto t0 = SteadyClock::now();
+  state::SnapshotMeta meta;
+  meta.seq = es.snapshot_seq + 1;
+  meta.virtual_time = es.engine->sim().now();
+  meta.dispatched = es.engine->sim().dispatched();
+  meta.accepted = es.accepted_submits;
+  meta.next_auto_id = es.next_auto_id;
+  auto blob = state::capture_snapshot(meta, es.session_text, *es.engine,
+                                      *es.scheduler.scheduler);
+  if (!blob.ok()) {
+    return blob.error();
+  }
+  const std::string snap_path =
+      util::strfmt("%s.SNAP.%llu", journal_path.c_str(),
+                   static_cast<unsigned long long>(meta.seq));
+  // The snapshot always reaches disk (fsync inside) before the journal
+  // loses a byte; a crash between the two leaves snapshot + full
+  // journal, which restore_shard rejects only if they disagree.
+  if (auto status = state::write_file_durable(snap_path, *blob);
+      !status.ok()) {
+    return status.error();
+  }
+  es.journal.close();
+  struct stat st {};
+  const uint64_t old_bytes = ::stat(journal_path.c_str(), &st) == 0
+                                 ? static_cast<uint64_t>(st.st_size)
+                                 : 0;
+  auto reopened = JournalWriter::open(journal_path, es.session);
+  if (!reopened.ok()) {
+    es.journal_failed = true;
+    return util::Error{reopened.error().code,
+                       "journal truncation failed: " +
+                           reopened.error().message};
+  }
+  es.journal = std::move(*reopened);
+  es.journal.set_fsync(config_.journal_fsync);
+  es.snapshot_seq = meta.seq;
+  es.last_snap_vt = meta.virtual_time;
+  const std::string header = serialize_session_header(es.session);
+  const uint64_t truncated =
+      old_bytes > header.size() ? old_bytes - header.size() : 0;
+  const double snapshot_ms =
+      std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+          .count();
+  auto& metrics = es.engine->metrics_mut();
+  metrics.increment("snapshots_taken");
+  metrics.increment("journal_truncated_bytes",
+                    static_cast<double>(truncated));
+  metrics.set("snapshot_ms", snapshot_ms);
+  return util::strfmt(
+      "seq=%llu path=%s vt=%a bytes=%zu truncated=%llu ms=%.3f",
+      static_cast<unsigned long long>(meta.seq), snap_path.c_str(),
+      meta.virtual_time, blob->size(),
+      static_cast<unsigned long long>(truncated), snapshot_ms);
+}
+
+void Server::maybe_auto_snapshot(Shard& shard, EngineState& es) {
+  const double every_s = config_.snapshot_every_sim_hours * 3600.0;
+  const double cap_bytes = config_.snapshot_journal_mb * 1024.0 * 1024.0;
+  if (every_s <= 0.0 && cap_bytes <= 0.0) {
+    return;
+  }
+  if (es.drained || es.auto_snap_failed || es.journal_failed ||
+      !es.journal.is_open()) {
+    return;
+  }
+  const bool vt_due =
+      every_s > 0.0 && es.engine->sim().now() - es.last_snap_vt >= every_s;
+  const bool bytes_due =
+      cap_bytes > 0.0 &&
+      static_cast<double>(es.journal.bytes()) >= cap_bytes;
+  if (!vt_due && !bytes_due) {
+    return;
+  }
+  auto payload = take_snapshot(shard, es);
+  if (payload.ok()) {
+    CODA_LOG_INFO("shard %d auto-snapshot %s", shard.index,
+                  payload->c_str());
+  } else {
+    es.auto_snap_failed = true;
+    CODA_LOG_ERROR(
+        "shard %d auto-snapshot failed (disabled for this shard): %s",
+        shard.index, payload.error().message.c_str());
+  }
+}
+
 void Server::engine_main(Shard& shard) {
   EngineState es;
   const std::string journal_path = shard_journal_path(config_, shard.index);
@@ -434,6 +528,7 @@ void Server::engine_main(Shard& shard) {
         es.next_auto_id = resumed->next_auto_id;
         es.snapshot_seq = resumed->snapshot_seq;
         es.resume_vt = resumed->resume_vt;
+        es.last_snap_vt = resumed->resume_vt;
         es.horizon = es.session.config.horizon_s;
         const double restore_ms =
             std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
@@ -517,6 +612,9 @@ void Server::engine_main(Shard& shard) {
       if (target > es.engine->sim().now()) {
         es.engine->run_until(target);
       }
+      // Between batches nothing is staged and no event is mid-flight — the
+      // same instant the SNAPSHOT verb captures at.
+      maybe_auto_snapshot(shard, es);
     }
 
     // Wake on the next command, the next due simulation event, or a 200 ms
@@ -885,63 +983,12 @@ void Server::handle_command(Shard& shard, EngineState& es, Command& cmd,
                          "journal failed; cannot truncate safely"));
         break;
       }
-      const auto t0 = SteadyClock::now();
-      state::SnapshotMeta meta;
-      meta.seq = es.snapshot_seq + 1;
-      meta.virtual_time = es.engine->sim().now();
-      meta.dispatched = es.engine->sim().dispatched();
-      meta.accepted = es.accepted_submits;
-      meta.next_auto_id = es.next_auto_id;
-      auto blob = state::capture_snapshot(meta, es.session_text, *es.engine,
-                                          *es.scheduler.scheduler);
-      if (!blob.ok()) {
-        reply(format_err(blob.error().code, blob.error().message));
+      auto payload = take_snapshot(shard, es);
+      if (!payload.ok()) {
+        reply(format_err(payload.error().code, payload.error().message));
         break;
       }
-      const std::string snap_path = util::strfmt(
-          "%s.SNAP.%llu", journal_path.c_str(),
-          static_cast<unsigned long long>(meta.seq));
-      // The snapshot always reaches disk (fsync inside) before the journal
-      // loses a byte; a crash between the two leaves snapshot + full
-      // journal, which restore_shard rejects only if they disagree.
-      if (auto status = state::write_file_durable(snap_path, *blob);
-          !status.ok()) {
-        reply(format_err(status.error().code, status.error().message));
-        break;
-      }
-      es.journal.close();
-      struct stat st {};
-      const uint64_t old_bytes =
-          ::stat(journal_path.c_str(), &st) == 0
-              ? static_cast<uint64_t>(st.st_size)
-              : 0;
-      auto reopened = JournalWriter::open(journal_path, es.session);
-      if (!reopened.ok()) {
-        es.journal_failed = true;
-        reply(format_err(reopened.error().code,
-                         "journal truncation failed: " +
-                             reopened.error().message));
-        break;
-      }
-      es.journal = std::move(*reopened);
-      es.journal.set_fsync(config_.journal_fsync);
-      es.snapshot_seq = meta.seq;
-      const std::string header = serialize_session_header(es.session);
-      const uint64_t truncated =
-          old_bytes > header.size() ? old_bytes - header.size() : 0;
-      const double snapshot_ms =
-          std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
-              .count();
-      auto& metrics = es.engine->metrics_mut();
-      metrics.increment("snapshots_taken");
-      metrics.increment("journal_truncated_bytes",
-                        static_cast<double>(truncated));
-      metrics.set("snapshot_ms", snapshot_ms);
-      reply(format_ok(util::strfmt(
-          "seq=%llu path=%s vt=%a bytes=%zu truncated=%llu ms=%.3f",
-          static_cast<unsigned long long>(meta.seq), snap_path.c_str(),
-          meta.virtual_time, blob->size(),
-          static_cast<unsigned long long>(truncated), snapshot_ms)));
+      reply(format_ok(*payload));
       break;
     }
 

@@ -86,6 +86,17 @@ struct ServerConfig {
   // starting at virtual time zero. Without a snapshot the shard starts
   // fresh. Requires journaling.
   bool restore = false;
+  // Automatic snapshot + journal compaction, checked between event batches
+  // on each shard (0 disables a trigger; both off by default). A snapshot
+  // is taken exactly like the SNAPSHOT verb — capture, fsync, truncate the
+  // journal — once this much simulated time passed since the last one
+  // (--snapshot-every-sim-hours / CODA_SERVE_SNAP_SIM_HOURS) or the
+  // journal file outgrew this many MB (--snapshot-journal-mb /
+  // CODA_SERVE_SNAP_JOURNAL_MB). Requires journaling; a failed attempt
+  // disables further automatic snapshots on that shard (manual SNAPSHOT
+  // still works).
+  double snapshot_every_sim_hours = 0.0;
+  double snapshot_journal_mb = 0.0;
   ServiceLimits limits;
 };
 
@@ -146,6 +157,11 @@ class Server {
   void handle_command(Shard& shard, EngineState& es, Command& cmd,
                       std::vector<Completion>* done);
   void commit_staged(EngineState& es, std::vector<Completion>* done);
+  // Captures a snapshot and truncates the shard's journal; returns the OK
+  // payload text (seq, path, vt, sizes). Shared by the SNAPSHOT verb and
+  // the automatic between-batches trigger.
+  util::Result<std::string> take_snapshot(Shard& shard, EngineState& es);
+  void maybe_auto_snapshot(Shard& shard, EngineState& es);
   void finish_broadcast(Command& cmd, std::string part,
                         std::vector<Completion>* done);
   void do_drain(Shard& shard, EngineState& es);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "sched/placement.h"
 #include "simcore/event_tags.h"
 #include "util/assert.h"
 #include "util/env.h"
@@ -21,6 +22,11 @@ ClusterEngine::ClusterEngine(const EngineConfig& config,
       noise_rng_(config.noise_seed),
       event_log_(config.record_events) {
   jobs_on_node_.resize(cluster_.node_count());
+  occupied_nodes_.reset(cluster_.node_count());
+  node_bw_caps_.reserve(cluster_.node_count());
+  for (const auto& node : cluster_.nodes()) {
+    node_bw_caps_.push_back(node.config().mem_bw_gbps);
+  }
   node_reports_.resize(cluster_.node_count());
   for (auto& list : jobs_on_node_) {
     list.reserve(16);  // a 28-core node rarely hosts more residents
@@ -226,6 +232,9 @@ util::Status ClusterEngine::start_job(cluster::JobId id,
     st.cpus = np.cpus;
     rebuild_footprint(running, np.node);
     jobs_on_node_[np.node].push_back(Resident{id, &running, &st});
+    if (jobs_on_node_[np.node].size() == 1) {
+      occupied_nodes_.insert(np.node);
+    }
   }
   for (const auto& np : placement.nodes) {
     mark_node_dirty(np.node);
@@ -292,6 +301,9 @@ util::Status ClusterEngine::stop_running_job(cluster::JobId id,
     list.erase(std::remove_if(list.begin(), list.end(),
                               [id](const Resident& r) { return r.id == id; }),
                list.end());
+    if (list.empty()) {
+      occupied_nodes_.erase(np.node);
+    }
     auto release = cluster_.node(np.node).release(id);
     CODA_ASSERT(release.ok());
     affected.push_back(np.node);
@@ -418,6 +430,9 @@ void ClusterEngine::finish_job(cluster::JobId id) {
     list.erase(std::remove_if(list.begin(), list.end(),
                               [id](const Resident& r) { return r.id == id; }),
                list.end());
+    if (list.empty()) {
+      occupied_nodes_.erase(np.node);
+    }
     auto release = cluster_.node(np.node).release(id);
     CODA_ASSERT(release.ok());
     affected.push_back(np.node);
@@ -824,7 +839,7 @@ void ClusterEngine::sample_into(cluster::NodeId node,
 
 double ClusterEngine::pressure(cluster::NodeId node) const {
   ensure_synced();
-  const double cap = cluster_.node(node).config().mem_bw_gbps;
+  const double cap = node_bw_caps_[node];
   if (cap <= 0.0) {
     return 0.0;
   }
@@ -841,41 +856,31 @@ double ClusterEngine::pressure(cluster::NodeId node) const {
   return total / cap;
 }
 
-void ClusterEngine::pressure_all(size_t node_count,
-                                 std::vector<double>* out) const {
+void ClusterEngine::pressure_screen(size_t node_count,
+                                    std::vector<cluster::NodeId>* ids,
+                                    std::vector<double>* out) const {
   ensure_synced();
-  out->resize(node_count);
-  std::vector<double>& pressures = *out;
-  const auto compute = [this](size_t n) {
-    const cluster::NodeId id = static_cast<cluster::NodeId>(n);
-    const double cap = cluster_.node(id).config().mem_bw_gbps;
-    if (cap <= 0.0) {
-      return 0.0;
-    }
+  // After the sync, a node outside occupied_nodes_ has an empty report, and
+  // an empty report sums to pressure +0.0 exactly (0.0 / cap, or the cap<=0
+  // early-out) — so listing only occupied nodes satisfies the screen
+  // contract. The occupied set is bounded by the running-job count, not N,
+  // which keeps the eliminator's periodic screen off the 10k-node wall.
+  ids->clear();
+  out->clear();
+  for (cluster::NodeId id = occupied_nodes_.next_at_least(0);
+       id != cluster::IdBitmap::kNone &&
+       id < static_cast<cluster::NodeId>(node_count);
+       id = occupied_nodes_.next_at_least(id + 1)) {
+    const double cap = node_bw_caps_[id];
     double total = 0.0;
-    for (const auto& jc : node_reports_[id].jobs) {
-      total += jc.achieved_bw_gbps;
+    if (cap > 0.0) {
+      for (const auto& jc : node_reports_[id].jobs) {
+        total += jc.achieved_bw_gbps;
+      }
     }
-    return total / cap;
-  };
-  // Small clusters stay serial: waking the pool costs more than the scan.
-  // Each element is written by exactly one worker, so the vector is
-  // bit-identical to the serial loop at any thread count.
-  constexpr size_t kParallelScanThreshold = 512;
-  if (flush_pool_ == nullptr || node_count < kParallelScanThreshold) {
-    for (size_t n = 0; n < node_count; ++n) {
-      pressures[n] = compute(n);
-    }
-    return;
+    ids->push_back(id);
+    out->push_back(cap > 0.0 ? total / cap : 0.0);
   }
-  const int nw = flush_pool_->size();
-  flush_pool_->run([&](int w) {
-    const size_t begin = node_count * static_cast<size_t>(w) / nw;
-    const size_t end = node_count * (static_cast<size_t>(w) + 1) / nw;
-    for (size_t n = begin; n < end; ++n) {
-      pressures[n] = compute(n);
-    }
-  });
 }
 
 double ClusterEngine::gpu_utilization(cluster::JobId job) const {
@@ -925,18 +930,43 @@ void ClusterEngine::sample_metrics() {
   double frag_cpu = 0.0;
   double frag_adjacency = 0.0;
   if (auto demand = scheduler_->min_pending_gpu_demand()) {
-    int cpu_starved = 0;
-    int adjacency = 0;
-    for (const auto& node : cluster_.nodes()) {
-      if (node.free_gpus() == 0) {
-        continue;
+    long long cpu_starved = 0;
+    long long adjacency = 0;
+    if (sched::placement_index_enabled()) {
+      // Bucket-count form of the scan below. Adjacency is a pure sum over
+      // the (free_gpus < demand) buckets; failed nodes sit at (0, 0) and are
+      // excluded by both forms. The starved side only needs nodes with
+      // free_gpus >= demand.gpus AND free_cpus < demand.cpus — since
+      // reclaimable_cpus() is a sum of core counts (never negative), a node
+      // with free_cpus >= demand.cpus can never satisfy the starvation
+      // predicate — and that candidate set is exactly the eviction-candidate
+      // bucket walk. Integer sums are order-free, so this matches the full
+      // scan bit for bit.
+      const auto& index = cluster_.placement_index();
+      adjacency = index.free_gpu_sum_below(demand->gpus_per_node);
+      frag_scratch_.clear();
+      index.collect_eviction_candidates(demand->gpus_per_node,
+                                        demand->cpus_per_node, {},
+                                        &frag_scratch_);
+      for (const cluster::NodeId id : frag_scratch_) {
+        const cluster::Node& node = cluster_.node(id);
+        if (node.free_cpus() + scheduler_->reclaimable_cpus(id) <
+            demand->cpus_per_node) {
+          cpu_starved += node.free_gpus();
+        }
       }
-      if (node.free_gpus() < demand->gpus_per_node) {
-        adjacency += node.free_gpus();
-      } else if (node.free_cpus() +
-                     scheduler_->reclaimable_cpus(node.id()) <
-                 demand->cpus_per_node) {
-        cpu_starved += node.free_gpus();
+    } else {
+      for (const auto& node : cluster_.nodes()) {
+        if (node.free_gpus() == 0) {
+          continue;
+        }
+        if (node.free_gpus() < demand->gpus_per_node) {
+          adjacency += node.free_gpus();
+        } else if (node.free_cpus() +
+                       scheduler_->reclaimable_cpus(node.id()) <
+                   demand->cpus_per_node) {
+          cpu_starved += node.free_gpus();
+        }
       }
     }
     frag_cpu = static_cast<double>(cpu_starved) / cluster_.total_gpus();
@@ -994,9 +1024,14 @@ void ClusterEngine::sample_metrics() {
   series_.cpu_util_active->add(
       t, active_cores > 0 ? cpu_busy / active_cores : 0.0);
 
+  // Unoccupied nodes hold an empty report with mem_pressure exactly +0.0;
+  // adding +0.0 never changes a non-negative sum's bits, so summing the
+  // occupied nodes in ascending id order matches the old full-vector scan.
   double pressure = 0.0;
-  for (const auto& report : node_reports_) {
-    pressure += std::min(1.0, report.mem_pressure);
+  for (cluster::NodeId id = occupied_nodes_.next_at_least(0);
+       id != cluster::IdBitmap::kNone;
+       id = occupied_nodes_.next_at_least(id + 1)) {
+    pressure += std::min(1.0, node_reports_[id].mem_pressure);
   }
   series_.mem_pressure->add(
       t, pressure / static_cast<double>(node_reports_.size()));
@@ -1021,6 +1056,11 @@ void ClusterEngine::sample_metrics() {
     gauges_.event_pool_slots_free =
         &metrics_.gauge_ref("event_pool_slots_free");
     gauges_.event_pool_chunks = &metrics_.gauge_ref("event_pool_chunks");
+    gauges_.placement_index_probes =
+        &metrics_.gauge_ref("placement_index_probes");
+    gauges_.placement_index_rebuilds =
+        &metrics_.gauge_ref("placement_index_rebuilds");
+    gauges_.event_queue_depth = &metrics_.gauge_ref("event_queue_depth");
   }
   const perfmodel::TrainPerf::CacheStats& cs = perf_.cache_stats();
   *gauges_.perf_cache_hits = static_cast<double>(cs.hits);
@@ -1059,6 +1099,14 @@ void ClusterEngine::sample_metrics() {
   *gauges_.event_pool_slots_in_use = static_cast<double>(ps.slots_in_use);
   *gauges_.event_pool_slots_free = static_cast<double>(ps.slots_free);
   *gauges_.event_pool_chunks = static_cast<double>(ps.chunks);
+  // Placement-index query volume and the queue's live depth: together they
+  // say whether a slow shard is scheduler-bound (probes per event high) or
+  // event-bound (deep queue).
+  const cluster::PlacementIndex::Stats& is =
+      cluster_.placement_index().stats();
+  *gauges_.placement_index_probes = static_cast<double>(is.probes);
+  *gauges_.placement_index_rebuilds = static_cast<double>(is.rebuilds);
+  *gauges_.event_queue_depth = static_cast<double>(ps.live_events);
 }
 
 }  // namespace coda::sim

@@ -180,11 +180,13 @@ class ClusterEngine : public telemetry::BandwidthSource,
   void sample_into(cluster::NodeId node,
                    telemetry::NodeBandwidthSample* out) const override;
   double pressure(cluster::NodeId node) const override;
-  // Whole-cluster screen: one sync, then a per-node read fanned across the
-  // engine thread pool (per-element writes are disjoint, so the vector is
-  // identical at any thread count). This is the eliminator's per-tick scan.
-  void pressure_all(size_t node_count,
-                    std::vector<double>* out) const override;
+  // Whole-cluster screen: one sync, then (id, pressure) rows for occupied
+  // nodes only — every unlisted node reads pressure exactly +0.0. This is
+  // the eliminator's per-tick scan; listing only occupied nodes keeps it
+  // O(running jobs) instead of O(cluster).
+  void pressure_screen(size_t node_count,
+                       std::vector<cluster::NodeId>* ids,
+                       std::vector<double>* out) const override;
   double gpu_utilization(cluster::JobId job) const override;
 
   // No-contention utilization a running GPU job should reach with its
@@ -343,6 +345,17 @@ class ClusterEngine : public telemetry::BandwidthSource,
   };
   // Jobs resident on each node (GPU jobs may appear on several nodes).
   std::vector<std::vector<Resident>> jobs_on_node_;
+  // Ids with a non-empty resident list, maintained on the same transitions
+  // as jobs_on_node_. After a flush, a node outside this set has an empty
+  // contention report (pressure exactly +0.0), which lets the periodic
+  // whole-cluster scans (pressure_all, the mem-pressure mean) iterate
+  // occupied nodes only instead of all N — bit-identical, since skipped
+  // nodes contribute literal zeros.
+  cluster::IdBitmap occupied_nodes_;
+  // Per-node memory bandwidth capacity, copied out of the immutable node
+  // configs at construction so the periodic pressure screen reads a flat
+  // array instead of chasing Node::config() per occupied node.
+  std::vector<double> node_bw_caps_;
   // Last contention report per node (backs the MBM sample()).
   std::vector<perfmodel::NodeContentionReport> node_reports_;
   std::map<cluster::JobId, double> pending_since_;
@@ -351,6 +364,10 @@ class ClusterEngine : public telemetry::BandwidthSource,
   // Scratch buffer for recompute_node (reused across calls to avoid a
   // per-event allocation on the hottest engine path).
   std::vector<perfmodel::ResourceFootprint> footprints_scratch_;
+
+  // Scratch for sample_metrics' index-backed fragmentation walk (candidate
+  // node ids with enough free GPUs but possibly too few cores).
+  std::vector<cluster::NodeId> frag_scratch_;
 
   // Dirty-node batching (incremental_recompute): per-node staleness bits
   // plus the insertion list flushed (sorted) once per event dispatch.
@@ -428,6 +445,9 @@ class ClusterEngine : public telemetry::BandwidthSource,
     double* event_pool_slots_in_use = nullptr;
     double* event_pool_slots_free = nullptr;
     double* event_pool_chunks = nullptr;
+    double* placement_index_probes = nullptr;
+    double* placement_index_rebuilds = nullptr;
+    double* event_queue_depth = nullptr;
   };
   MetricGauges gauges_;
 

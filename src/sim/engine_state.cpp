@@ -326,6 +326,9 @@ util::Status ClusterEngine::load_state(
       }
       jobs_on_node_[node].push_back(Resident{id, &run_it->second, st});
     }
+    if (!jobs_on_node_[node].empty()) {
+      occupied_nodes_.insert(static_cast<cluster::NodeId>(node));
+    }
   }
 
   for (size_t node = 0; node < node_reports_.size() && r->ok(); ++node) {

@@ -2,8 +2,19 @@
 //
 // Events are ordered by (time, insertion sequence): ties in simulated time
 // resolve in schedule order, which keeps runs bit-for-bit deterministic.
-// Cancellation is lazy — a cancelled entry stays in the heap and is skipped
-// at pop time — so cancel is O(1) and pop stays O(log n) amortized.
+// Cancellation is lazy — a cancelled entry stays queued and is skipped when
+// it surfaces — so cancel is O(1) and pop stays O(log n) amortized.
+//
+// Storage is a two-level calendar hierarchy instead of one global heap:
+// a small "near" binary heap holds only events before near_end_, a ring of
+// equal-width far buckets covers the current epoch beyond it, and an
+// unsorted overflow holds everything past the ring. Steady-state pushes
+// into the future append to a far bucket in O(1) instead of paying
+// O(log E) against every queued event; buckets migrate into the near heap
+// one at a time as the simulation reaches them. Routing is strict on
+// t < near_end_ and bucket edges are computed with one shared expression,
+// so equal-time events always land in the same structure and dispatch
+// order is identical to the single-heap implementation, event for event.
 //
 // Two scheduling paths exist: push() hands back an EventHandle backed by a
 // pooled generation slot (no per-event heap allocation in steady state),
@@ -220,10 +231,30 @@ class EventQueue {
            pool_->generation(entry.slot) != entry.gen;
   }
 
-  void drop_cancelled();
-  void push_entry(Entry entry);
+  static constexpr size_t kFarBuckets = 256;
 
-  std::vector<Entry> heap_;  // min-heap via std::push_heap/pop_heap + Later
+  void push_entry(Entry entry);
+  // Files an entry into near heap / far ring / overflow by its time.
+  void route(Entry&& entry);
+  // Ensures the near heap's top is the earliest live event, migrating far
+  // buckets (and re-seeding the epoch from overflow) as needed. Requires a
+  // live event to exist.
+  void refill();
+  // Spreads the overflow across a fresh ring epoch sized to its time span.
+  void rebuild_epoch();
+  // Live count hit zero: drop any leftover cancelled entries and reset the
+  // epoch so the next batch starts clean.
+  void reset_structures();
+
+  std::vector<Entry> near_;     // min-heap over (t, seq); times < near_end_
+  std::vector<std::vector<Entry>> far_ =
+      std::vector<std::vector<Entry>>(kFarBuckets);  // calendar ring
+  std::vector<Entry> overflow_;  // past the ring, or no epoch active
+  SimTime near_end_ = 0.0;       // near/far routing boundary (strict <)
+  SimTime far_base_ = 0.0;       // ring epoch start
+  SimTime far_width_ = 0.0;      // per-bucket width of the current epoch
+  size_t far_cursor_ = 0;        // next ring bucket to migrate
+  bool epoch_active_ = false;
   uint64_t next_seq_ = 0;
   std::shared_ptr<EventPool> pool_ = std::make_shared<EventPool>();
 };

@@ -56,17 +56,22 @@ class BandwidthSource {
     return s.pressure();
   }
 
-  // Batch screen: pressure for every node id in [0, node_count), one MBM
-  // read per monitoring pass instead of node_count independent probes.
-  // (*out)[n] must equal what pressure(n) would return at the same instant;
-  // the default guarantees that by construction. The engine override syncs
-  // its dirty state once and fans the per-node reads across its thread
-  // pool — per-element writes are disjoint, so the result is identical at
-  // any thread count.
-  virtual void pressure_all(size_t node_count,
-                            std::vector<double>* out) const {
+  // Batch screen: one MBM read per monitoring pass instead of node_count
+  // independent probes. Fills two parallel arrays — ascending node ids and
+  // their pressures — covering AT LEAST every node whose pressure is
+  // nonzero; any id in [0, node_count) not listed is guaranteed to read
+  // exactly 0.0 from pressure() at the same instant, and every listed
+  // pressure must equal what pressure(id) would return. The default lists
+  // every node, which satisfies the contract trivially; the engine override
+  // syncs its dirty state once and lists only nodes with resident jobs, so
+  // the periodic screen costs O(occupied), not O(cluster).
+  virtual void pressure_screen(size_t node_count,
+                               std::vector<cluster::NodeId>* ids,
+                               std::vector<double>* out) const {
+    ids->resize(node_count);
     out->resize(node_count);
     for (size_t n = 0; n < node_count; ++n) {
+      (*ids)[n] = static_cast<cluster::NodeId>(n);
       (*out)[n] = pressure(static_cast<cluster::NodeId>(n));
     }
   }

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "service/journal.h"
+#include "service/server.h"
 #include "sim/experiment.h"
 
 namespace coda {
@@ -56,6 +57,15 @@ static_assert(sizeof(core::CodaConfig) == 144,
 static_assert(sizeof(sim::ExperimentConfig) == 360,
               "ExperimentConfig changed: update CODA_JOURNAL_V2_FIELDS "
               "(journal.cpp) and experiment_cache_key (report_cache.cpp)");
+// The service-side structs are not journaled, but their knobs are wired
+// through from_env() / codad flag parsing and documented in DESIGN.md §8 —
+// growing them must prompt a pass over both.
+static_assert(sizeof(service::ServiceLimits) == 20,
+              "ServiceLimits changed: wire the knob through from_env() and "
+              "document it (DESIGN.md service section)");
+static_assert(sizeof(service::ServerConfig) == 592,
+              "ServerConfig changed: wire the knob through codad's flag "
+              "parser and document it (DESIGN.md service section)");
 #endif
 
 // The number of `config.` lines the v2 header carries. Duplicated from

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/placement.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
 #include "sim/report_io.h"
@@ -162,6 +163,38 @@ TEST(ParallelSnapshot, MidRunRestoreUnderParallelEngineMatchesSerial) {
   const std::string got =
       finish_and_report(policy, config, trace.size(), resumed);
   EXPECT_EQ(got, want);
+}
+
+TEST(ParallelEquivalence, TenThousandNodeReportsMatchSerial) {
+  // The 10k-node regime is where the placement index and the occupied-node
+  // screens carry the hot path; a short scale-profile cut checks that the
+  // parallel engine still reproduces the serial report byte for byte there
+  // (and that the indexed run matches a linear-scan run, closing the loop
+  // on both optimizations at scale).
+  workload::TraceConfig tc = workload::scale_profile(
+      10000, /*gpu_jobs=*/300, /*cpu_jobs=*/450, /*duration_s=*/1800.0);
+  const auto trace = workload::TraceGenerator(tc).generate();
+
+  ExperimentConfig config;
+  config.engine.cluster.node_count = 10000;
+  config.horizon_s = 1800.0;
+
+  Session serial = start_session(Policy::kCoda, config, trace, 1);
+  const std::string want =
+      finish_and_report(Policy::kCoda, config, trace.size(), serial);
+
+  Session parallel = start_session(Policy::kCoda, config, trace, 4);
+  const std::string got =
+      finish_and_report(Policy::kCoda, config, trace.size(), parallel);
+  EXPECT_EQ(got, want);
+  EXPECT_GT(parallel.engine->engine_stats().parallel_flushes, 0u);
+
+  sched::set_placement_index_enabled(false);
+  Session scanned = start_session(Policy::kCoda, config, trace, 1);
+  const std::string linear =
+      finish_and_report(Policy::kCoda, config, trace.size(), scanned);
+  sched::set_placement_index_enabled(true);
+  EXPECT_EQ(linear, want);
 }
 
 TEST(ParallelSnapshot, SnapshotBytesIdenticalAcrossThreadCounts) {
